@@ -1,0 +1,25 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark reproduces one table or figure of the paper: it runs
+the corresponding experiment once (via ``benchmark.pedantic`` so
+pytest-benchmark records the runtime without re-running a long
+simulation), prints the same rows/series the paper reports alongside
+the published values, and asserts the paper's qualitative shape.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bti.calibration import BtiCalibration, default_calibration
+
+
+@pytest.fixture(scope="session")
+def calibration() -> BtiCalibration:
+    """The library-default Table I calibration (session-cached)."""
+    return default_calibration()
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,108 @@
+"""Extension benches: design-time rules vs run-time deep healing.
+
+The paper's Section I: wearout "is mainly addressed by design rules
+(e.g. metal width requirement) during the physical design phase ...
+but this leads to conservative overdesigns".  These benches put the
+classical design-time answers next to scheduled recovery on the same
+models:
+
+1. **EM**: Blech-rule segmentation / widening vs the Fig. 7 periodic
+   recovery schedule -- what each costs and buys for the same wire.
+2. **BTI**: the worst-device margin of a large near-threshold array
+   (stochastic BTI), with and without deep healing of the mean.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro import units
+from repro.analysis.reporting import format_table
+from repro.bti.variability import BtiVariabilityModel
+from repro.em.blech import assess, critical_length_m
+from repro.em.line import PAPER_EM_STRESS
+from repro.em.lumped import LumpedEmModel
+from repro.em.wire import PAPER_TEST_WIRE, Wire
+
+
+def test_em_design_rules_vs_healing(benchmark):
+    def experiment():
+        wire = PAPER_TEST_WIRE
+        model = LumpedEmModel(wire)
+        baseline_ttf = model.time_to_failure(PAPER_EM_STRESS)
+        audit = assess(wire, PAPER_EM_STRESS)
+        # Rule A: segment the line below the critical length.
+        l_crit = critical_length_m(
+            wire.material, PAPER_EM_STRESS.current_density_a_m2,
+            PAPER_EM_STRESS.temperature_k)
+        n_segments = int(wire.length_m / (0.9 * l_crit)) + 1
+        # Rule B: widen the wire until it is immortal at fixed current.
+        widen_factor = (audit.jl_product_a_per_m
+                        / audit.jl_critical_a_per_m)
+        # Run-time: the Fig. 7 schedule.
+        delay = model.nucleation_delay_factor(
+            units.minutes(15.0), units.minutes(5.0), PAPER_EM_STRESS)
+        return (baseline_ttf, audit, n_segments, widen_factor, delay)
+
+    baseline_ttf, audit, n_segments, widen_factor, delay = \
+        run_once(benchmark, experiment)
+
+    print()
+    print(format_table(("approach", "cost", "outcome"), [
+        ("as designed", "-",
+         f"mortal (jL {audit.jl_product_a_per_m / audit.jl_critical_a_per_m:.0f}x"
+         f" over the rule), TTF {units.to_hours(baseline_ttf):.1f} h"),
+        ("Blech segmentation", f"{n_segments} segments + vias",
+         "immortal (design-time, worst-case)"),
+        ("width increase", f"{widen_factor:.0f}x metal area",
+         "immortal (design-time, worst-case)"),
+        ("deep healing (15:5 min)", "25 % reverse-current duty",
+         f"nucleation delayed {delay:.2f}x, no area cost"),
+    ], title="EM: design rules vs scheduled recovery "
+             "(paper test wire, accelerated)"))
+
+    # The paper's test wire violates the rule by a wide margin; fixing
+    # it at design time costs area/complexity, healing costs duty.
+    assert not audit.immortal
+    assert n_segments > 10
+    assert widen_factor > 10.0
+    assert delay > 2.5
+
+
+def test_bti_population_margin_with_healing(benchmark):
+    def experiment():
+        variability = BtiVariabilityModel(per_trap_impact_v=2e-3)
+        # 10-year mean shifts from the margins study: ~24 mV without
+        # healing, ~4 mV with a balanced schedule (see
+        # examples/compensation_vs_healing.py).
+        unhealed_mean = 0.024
+        healed_mean = 0.004
+        n_devices = 1_000_000
+        return {
+            "unhealed": (unhealed_mean,
+                         variability.population_margin_v(
+                             unhealed_mean, n_devices)),
+            "healed": (healed_mean,
+                       variability.population_margin_v(
+                           healed_mean, n_devices)),
+        }
+
+    results = run_once(benchmark, experiment)
+
+    print()
+    rows = []
+    for name, (mean, worst) in results.items():
+        rows.append((name, f"{mean * 1e3:.1f} mV",
+                     f"{worst * 1e3:.1f} mV",
+                     f"{worst / mean:.2f}x"))
+    print(format_table(
+        ("design", "mean shift", "worst of 1M devices",
+         "amplification"), rows,
+        title="BTI: million-device near-threshold array margins"))
+
+    unhealed = results["unhealed"][1]
+    healed = results["healed"][1]
+    # Healing the mean shrinks the array margin strongly even though
+    # the stochastic amplification grows at small means.
+    assert healed < 0.45 * unhealed
+    # Variability makes the worst device much worse than the mean.
+    assert results["healed"][1] > 2.0 * results["healed"][0]

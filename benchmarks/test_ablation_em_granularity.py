@@ -1,0 +1,89 @@
+"""Ablation: EM recovery-interval granularity and recovery knobs.
+
+Two studies around the Fig. 7 strategy:
+
+1. **Granularity** -- at a fixed 75 % stress duty cycle, how does the
+   nucleation-delay factor depend on how finely the recovery intervals
+   are sliced?  (The paper uses "multiple short recovery intervals";
+   this quantifies why: coarse slicing lets the stress peak reach the
+   critical value inside a single interval.)
+2. **Temperature** -- the same reverse-current recovery at lower
+   temperature heals more slowly (recovery is thermally activated
+   through the atomic diffusivity), which is the paper's "accelerated"
+   knob for EM.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro import units
+from repro.analysis.reporting import format_table
+from repro.em.line import EmLine, EmStressCondition, PAPER_EM_STRESS
+from repro.em.lumped import LumpedEmModel
+
+#: Stress-interval lengths as fractions of the continuous t_nuc.
+FRACTIONS = (0.5, 0.25, 0.1, 0.05, 0.02)
+
+
+def test_ablation_interval_granularity(benchmark):
+    lumped = LumpedEmModel()
+
+    def experiment():
+        t_nuc = lumped.nucleation_time(PAPER_EM_STRESS)
+        rows = []
+        for fraction in FRACTIONS:
+            stress_s = fraction * t_nuc
+            recovery_s = stress_s / 3.0  # 75 % duty cycle
+            factor = lumped.nucleation_delay_factor(
+                stress_s, recovery_s, PAPER_EM_STRESS)
+            rows.append((fraction, stress_s, factor))
+        return t_nuc, rows
+
+    t_nuc, rows = run_once(benchmark, experiment)
+
+    print()
+    print(format_table(
+        ("stress interval (x t_nuc)", "interval (min)",
+         "nucleation delay"),
+        [(f"{fraction:.2f}",
+          f"{units.to_minutes(stress_s):.1f}",
+          f"{factor:.2f}x") for fraction, stress_s, factor in rows],
+        title="Ablation: recovery granularity at 75 % duty cycle"))
+
+    factors = [factor for _f, _s, factor in rows]
+    # Finer slicing delays nucleation strictly more than coarse slicing.
+    assert factors[-1] > factors[0] + 0.5
+    # Fine intervals approach the mean-drift bound: with net duty
+    # (0.75 - 0.25) the bound is (1/0.5)^2 = 4x.
+    assert factors[-1] > 3.0
+    assert factors[-1] < 4.2
+
+
+def test_ablation_recovery_temperature(benchmark):
+    def experiment():
+        results = {}
+        for temp_c in (150.0, 190.0, 230.0):
+            line = EmLine()
+            line.apply(units.minutes(500.0), PAPER_EM_STRESS)
+            worn = line.delta_resistance_ohm()
+            recovery = EmStressCondition(
+                -PAPER_EM_STRESS.current_density_a_m2,
+                units.celsius_to_kelvin(temp_c),
+                name=f"recovery at {temp_c:.0f}C")
+            line.apply(units.minutes(100.0), recovery)
+            healed = (worn - line.delta_resistance_ohm()) / worn
+            results[temp_c] = healed
+        return results
+
+    results = run_once(benchmark, experiment)
+
+    print()
+    print(format_table(
+        ("recovery temperature", "healed in 100 min"),
+        [(f"{temp:.0f} C", f"{fraction:.1%}")
+         for temp, fraction in sorted(results.items())],
+        title="Ablation: EM recovery temperature (same reverse "
+              "current)"))
+
+    # Hotter recovery heals faster (the "accelerated" knob).
+    assert results[230.0] > results[190.0] > results[150.0]

@@ -1,0 +1,45 @@
+"""Fig. 10: load size vs performance and mode-switching time.
+
+The paper sweeps the number of load units behind one assist circuit
+(1..5) and reports that the normalized load delay grows roughly
+linearly (to ~1.8 at five loads) because of header/footer droop, while
+the mode-switching time *decreases* with load size, at a slower rate.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_table
+from repro.assist.sizing import sweep_load_size
+
+SIZES = (1, 2, 3, 4, 5)
+
+
+def test_fig10_load_size_tradeoff(benchmark):
+    points = run_once(benchmark, lambda: sweep_load_size(SIZES))
+
+    rows = [(point.n_loads,
+             f"{point.load_swing_v:.3f} V",
+             f"{point.delay_normalized:.3f}",
+             f"{point.switching_time_s * 1e9:.1f} ns",
+             f"{point.switching_time_normalized:.3f}")
+            for point in points]
+    print()
+    print(format_table(
+        ("loads", "swing", "norm. delay", "switching time",
+         "norm. switching"),
+        rows, title="Fig. 10: load size vs delay / switching time"))
+
+    delays = [point.delay_normalized for point in points]
+    switching = [point.switching_time_normalized for point in points]
+    # Delay grows monotonically, roughly linearly, to ~1.8 at 5 loads.
+    assert all(b > a for a, b in zip(delays, delays[1:]))
+    assert delays[-1] == pytest.approx(1.8, abs=0.3)
+    increments = [b - a for a, b in zip(delays, delays[1:])]
+    assert max(increments) < 3.0 * min(increments)
+    # Switching time falls with load size...
+    assert switching[-1] < 0.8
+    assert min(switching) == pytest.approx(min(switching[1:]),
+                                           rel=1e-9)
+    # ... but more slowly than the delay rises.
+    assert (1.0 - switching[-1]) < (delays[-1] - 1.0)

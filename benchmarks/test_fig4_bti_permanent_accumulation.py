@@ -1,0 +1,58 @@
+"""Fig. 4: permanent BTI accumulation under stress/recovery schedules.
+
+The paper cycles accelerated stress against condition-No.4 recovery and
+plots the permanent component at the end of each cycle: under a
+balanced 1 h : 1 h schedule it is "practically 0", while longer stress
+intervals let traps lock in and the residue accumulates cycle after
+cycle.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_table
+from repro.bti.conditions import ACTIVE_ACCELERATED_RECOVERY
+from repro.core.schedule import PeriodicSchedule, run_bti_schedule
+
+SCHEDULES = ((1.0, 1.0), (2.0, 1.0), (4.0, 1.0))
+CYCLES = 5
+
+
+def test_fig4_permanent_accumulation(benchmark, calibration):
+    def experiment():
+        outcomes = []
+        for stress_h, recovery_h in SCHEDULES:
+            outcome = run_bti_schedule(
+                calibration.build_model(),
+                PeriodicSchedule.from_hours(stress_h, recovery_h,
+                                            CYCLES),
+                ACTIVE_ACCELERATED_RECOVERY)
+            outcomes.append(outcome)
+        return outcomes
+
+    outcomes = run_once(benchmark, experiment)
+
+    rows = []
+    for outcome in outcomes:
+        per_cycle = " ".join(
+            f"{value * 1e3:6.3f}" for value in
+            outcome.permanent_per_cycle_v)
+        rows.append((outcome.schedule.ratio_label, per_cycle,
+                     "yes" if outcome.fully_healed else "no"))
+    print()
+    print(format_table(
+        ("schedule", f"permanent per cycle C1..C{CYCLES} (mV)",
+         "fully healed"),
+        rows, title="Fig. 4: permanent component vs schedule"))
+
+    balanced, two_to_one, four_to_one = outcomes
+    # 1h:1h keeps the permanent component at ~0 ("practically 0").
+    assert balanced.fully_healed
+    assert balanced.final_permanent_v == pytest.approx(0.0, abs=1e-9)
+    # Longer stress intervals accumulate monotonically per cycle...
+    for outcome in (two_to_one, four_to_one):
+        series = outcome.permanent_per_cycle_v
+        assert all(b > a for a, b in zip(series, series[1:]))
+    # ... and harsher ratios accumulate faster.
+    assert four_to_one.final_permanent_v > two_to_one.final_permanent_v \
+        > balanced.final_permanent_v

@@ -1,0 +1,81 @@
+"""Fig. 7: periodic recovery in the nucleation phase extends the TTF.
+
+The paper schedules "multiple short recovery intervals ... in the early
+phase of EM stress evolution", which delays void nucleation "almost 3x"
+compared to the continuous-stress run of Fig. 5 and extends the overall
+time-to-failure; the continuous-stress wire eventually breaks ("metal
+broke").
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro import units
+from repro.analysis.reporting import format_table
+from repro.core.schedule import PeriodicSchedule, run_em_schedule
+from repro.em.korhonen import KorhonenConfig
+from repro.em.line import EmLine, EmLineConfig, PAPER_EM_STRESS
+from repro.em.lumped import LumpedEmModel
+
+STRESS_MIN = 15.0
+RECOVERY_MIN = 5.0
+
+
+def test_fig7_periodic_recovery_extends_ttf(benchmark):
+    lumped = LumpedEmModel()
+
+    def experiment():
+        t_nuc_continuous = lumped.nucleation_time(PAPER_EM_STRESS)
+        estimate = lumped.nucleation_under_periodic_recovery(
+            units.minutes(STRESS_MIN), units.minutes(RECOVERY_MIN),
+            PAPER_EM_STRESS)
+        ttf_continuous = lumped.time_to_failure(PAPER_EM_STRESS)
+        growth_s = ttf_continuous - t_nuc_continuous
+        duty = STRESS_MIN / (STRESS_MIN + RECOVERY_MIN)
+        ttf_scheduled = estimate.time_s + growth_s / duty
+        # Mechanistic spot-check with the PDE model: the line must
+        # still be void-free at the continuous nucleation time.
+        line = EmLine(config=EmLineConfig(
+            korhonen=KorhonenConfig(n_nodes=301, max_dt_s=60.0),
+            max_step_s=60.0))
+        cycles = int(math.ceil(1.2 * t_nuc_continuous
+                               / units.minutes(STRESS_MIN
+                                               + RECOVERY_MIN)))
+        outcome = run_em_schedule(
+            line,
+            PeriodicSchedule(units.minutes(STRESS_MIN),
+                             units.minutes(RECOVERY_MIN), cycles),
+            PAPER_EM_STRESS)
+        return (t_nuc_continuous, estimate, ttf_continuous,
+                ttf_scheduled, outcome)
+
+    (t_nuc, estimate, ttf_cont, ttf_sched, outcome) = \
+        run_once(benchmark, experiment)
+
+    delay = estimate.time_s / t_nuc
+    print()
+    print(format_table(("quantity", "paper", "ours"), [
+        ("continuous nucleation", "~2 h",
+         f"{units.to_minutes(t_nuc):.0f} min"),
+        (f"scheduled nucleation ({STRESS_MIN:.0f}:{RECOVERY_MIN:.0f}"
+         " min)", "~3x slower",
+         f"{units.to_minutes(estimate.time_s):.0f} min"
+         f" ({delay:.2f}x)"),
+        ("continuous TTF (metal broke)", "finite",
+         f"{units.to_hours(ttf_cont):.1f} h"),
+        ("scheduled TTF", "extended",
+         f"{units.to_hours(ttf_sched):.1f} h"
+         f" ({ttf_sched / ttf_cont:.2f}x)"),
+    ], title="Fig. 7: periodic recovery during nucleation"))
+
+    # "Almost 3x" nucleation delay.
+    assert 2.3 < delay < 3.8
+    # The overall TTF is extended.  (The estimate is conservative: it
+    # only credits the recovery intervals with *pausing* void growth,
+    # although at the calibrated recovery boost they actually shrink
+    # the void, so the real extension is larger.)
+    assert ttf_sched > 1.25 * ttf_cont
+    # PDE verification: still void-free past the continuous t_nuc.
+    assert outcome.survived_nucleation

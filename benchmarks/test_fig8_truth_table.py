@@ -1,0 +1,71 @@
+"""Fig. 8(b): the assist-circuit truth table, verified electrically.
+
+The paper's Fig. 8(b) tabulates which devices conduct in each mode.
+This bench does more than restate the table: it solves the circuit in
+every mode and checks each device's *actual* conduction state (drain
+current above/below a threshold) against the truth table entry.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.analysis.reporting import format_table
+from repro.assist.circuitry import AssistCircuit
+from repro.assist.modes import (
+    AssistMode,
+    DEVICE_NAMES,
+    DeviceState,
+    TRUTH_TABLE,
+)
+from repro.circuit.dc import dc_operating_point
+
+#: Currents above this are "conducting" (well above the off leakage).
+_CONDUCTION_THRESHOLD_A = 1e-5
+
+
+def test_fig8_truth_table_is_electrically_consistent(benchmark):
+    circuit = AssistCircuit()
+
+    def experiment():
+        observed = {}
+        for mode in AssistMode:
+            circuit.set_mode(mode)
+            solution = dc_operating_point(circuit.circuit)
+            observed[mode] = {
+                device: abs(solution.mosfet_current(device))
+                for device in DEVICE_NAMES}
+        return observed
+
+    observed = run_once(benchmark, experiment)
+
+    rows = []
+    for device in DEVICE_NAMES:
+        row = [device]
+        for mode in AssistMode:
+            expected = TRUTH_TABLE[mode][device]
+            current = observed[mode][device]
+            conducting = current > _CONDUCTION_THRESHOLD_A
+            row.append(f"{expected.value}"
+                       f" ({current * 1e3:.2f} mA)")
+            # An ON device in a live current path conducts; an OFF
+            # device never does.  (ON devices in the BTI mode's dead
+            # branches legitimately carry no current, so only the OFF
+            # entries are strict.)
+            if expected is DeviceState.OFF:
+                assert not conducting, (mode, device, current)
+        rows.append(tuple(row))
+    print()
+    print(format_table(
+        ("device", "Normal", "EM recovery", "BTI recovery"), rows,
+        title="Fig. 8(b) truth table with measured drain currents"))
+
+    # Every mode's intended series path carries the load current.
+    on_path = {
+        AssistMode.NORMAL: ("P1", "P4", "N3", "N2"),
+        AssistMode.EM_RECOVERY: ("P2", "P3", "N4", "N1"),
+        AssistMode.BTI_RECOVERY: ("P5", "N5"),
+    }
+    for mode, devices in on_path.items():
+        for device in devices:
+            assert observed[mode][device] > _CONDUCTION_THRESHOLD_A, \
+                (mode, device)

@@ -1,0 +1,52 @@
+"""Table I: BTI recovery fraction under the four Fig. 2(a) conditions.
+
+Protocol: 24 h accelerated stress, then 6 h recovery.  The paper
+reports (measurement / its own model):
+
+=====  ======================  ===========  =====
+No.    Condition               Measurement  Model
+=====  ======================  ===========  =====
+1      20 degC and 0 V         0.66 %       1 %
+2      20 degC and -0.3 V      16.7 %       14.4 %
+3      110 degC and 0 V        28.7 %       29.2 %
+4      110 degC and -0.3 V     72.4 %       72.7 %
+=====  ======================  ===========  =====
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro import units
+from repro.analysis.reporting import format_table
+from repro.bti.calibration import TABLE1_MEASUREMENTS
+
+
+def test_table1_bti_recovery(benchmark, calibration):
+    model = calibration.build_model()
+
+    def experiment():
+        return [
+            (row, model.recovery_fraction_after(
+                units.hours(24.0), units.hours(6.0), row.condition))
+            for row in TABLE1_MEASUREMENTS
+        ]
+
+    results = run_once(benchmark, experiment)
+
+    rows = [(row.condition.name,
+             f"{row.measured_fraction:.2%}",
+             f"{row.paper_model_fraction:.2%}",
+             f"{ours:.2%}")
+            for row, ours in results]
+    print()
+    print(format_table(
+        ("recovery condition", "paper meas.", "paper model", "ours"),
+        rows, title="Table I: 24 h stress, 6 h recovery"))
+
+    # Shape: every row within 2 points of the paper's measurement, and
+    # the paper's strict ordering preserved.
+    fractions = [ours for _row, ours in results]
+    for (row, ours) in results:
+        assert ours == pytest.approx(row.measured_fraction, abs=0.02)
+    assert fractions[0] < fractions[1] < fractions[3]
+    assert fractions[0] < fractions[2] < fractions[3]

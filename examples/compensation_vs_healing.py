@@ -1,0 +1,115 @@
+"""Compensating wearout vs fundamentally fixing it.
+
+The paper's core argument (Section I): adaptive techniques -- slowing
+the clock or boosting the supply as the circuit ages -- keep the system
+*functional*, "but the wearout itself means that the power/performance
+metrics will be degraded and the system runs sluggish or burns more
+power gradually".  Deep healing removes the wearout instead.
+
+This example quantifies the running cost of each strategy over a
+10-year lifetime at a use-condition stress:
+
+* **frequency derating** -- throughput falls with the aged critical
+  path;
+* **VDD boost** -- throughput stays at 1.0 but dynamic power grows
+  quadratically with the boosted supply (and the knob saturates);
+* **deep healing** -- a 1 h : 1 h schedule bounds the wearout; the cost
+  is the 50 % recovery downtime, which redundancy (the dark-silicon
+  rotation of Section IV-B) converts into spare-core area instead of
+  lost throughput.
+
+Also prints the prior-work comparison: how much shift the
+signal-probability *rebalancing* of GNOMO/Penelope can remove, vs
+active recovery.
+
+Usage::
+
+    python examples/compensation_vs_healing.py
+"""
+
+from repro import units
+from repro.analysis.reporting import format_table
+from repro.bti.conditions import BtiStressCondition
+from repro.bti.duty import DutyCycledStressModel, rebalancing_gain
+from repro.core.compensation import compare_strategies
+
+LIFETIME = units.years(10.0)
+USE_STRESS = BtiStressCondition(
+    voltage=0.45, temperature_k=units.celsius_to_kelvin(60.0),
+    name="use")
+
+
+def strategy_comparison() -> None:
+    timelines = compare_strategies(LIFETIME, USE_STRESS)
+    rows = []
+    for timeline in timelines:
+        final = timeline.final
+        rows.append((
+            timeline.name,
+            f"{timeline.mean_throughput():.3f}",
+            f"{final.throughput_factor:.3f}",
+            f"{final.power_factor:.3f}",
+            f"{final.residual_shift_v * 1e3:.2f} mV",
+        ))
+    print(format_table(
+        ("strategy", "mean throughput", "final throughput",
+         "final power", "residual shift"),
+        rows, title="10-year mitigation strategies (1.0 = fresh "
+                    "always-on system)"))
+    print()
+    print("Note: deep healing's throughput column charges the full "
+          "recovery downtime to\nthe core itself; with spare-core "
+          "rotation (examples/manycore_dark_silicon.py)\nthe chip-level "
+          "throughput cost shrinks to the spare fraction.")
+    print()
+
+
+def heating_bill() -> None:
+    """The hidden cost of *accelerated* recovery: getting the block hot.
+
+    Healing at 110 degC needs heat.  An isolated block must burn
+    heater power; a dark-silicon block amid busy neighbours gets most
+    of it for free (Fig. 12a's heat-flow arrows) -- which is exactly
+    why the paper pairs accelerated recovery with dark silicon.
+    """
+    import numpy as np
+    from repro.thermal.floorplan import Floorplan
+    from repro.thermal.network import ThermalRCNetwork
+
+    network = ThermalRCNetwork(Floorplan.grid(3, 3))
+    target = units.celsius_to_kelvin(110.0)
+    idle_chip = network.heating_power_w("core11", target, np.zeros(9))
+    busy = np.full(9, 1.5)
+    busy[4] = 0.0
+    dark_silicon = network.heating_power_w("core11", target, busy)
+    print(format_table(("healing scenario", "heater power"), [
+        ("isolated block, idle chip", f"{idle_chip:.2f} W"),
+        ("dark-silicon slot, busy neighbours",
+         f"{dark_silicon:.2f} W"),
+    ], title="Heater bill for 110 C accelerated recovery "
+             "(2x2 mm block)"))
+    print()
+
+
+def rebalancing_comparison() -> None:
+    model = DutyCycledStressModel()
+    gain_half = rebalancing_gain(model, LIFETIME, 0.9, 0.5, USE_STRESS)
+    gain_tenth = rebalancing_gain(model, LIFETIME, 0.9, 0.1, USE_STRESS)
+    print(format_table(("mitigation", "shift removed"), [
+        ("rebalance signal probability 0.9 -> 0.5",
+         f"{gain_half:.1%}"),
+        ("rebalance signal probability 0.9 -> 0.1",
+         f"{gain_tenth:.1%}"),
+        ("balanced active recovery (1 h : 1 h)", "~100% of the "
+         "accumulating component"),
+    ], title="Prior-work rebalancing vs deep healing"))
+
+
+def main() -> None:
+    strategy_comparison()
+    heating_bill()
+    rebalancing_comparison()
+
+
+if __name__ == "__main__":
+    main()

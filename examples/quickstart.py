@@ -1,0 +1,105 @@
+"""Quickstart: the paper's headline experiments in a few lines each.
+
+Runs three things:
+
+1. The Table I protocol -- 24 h accelerated stress, then 6 h recovery
+   under each of the four Fig. 2(a) conditions.
+2. The Fig. 4 scheduling result -- a balanced 1 h : 1 h stress/recovery
+   schedule keeps the permanent BTI component at zero.
+3. The Fig. 8/9 assist circuitry -- all three operating modes solved
+   with the built-in circuit simulator.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import units
+from repro.analysis.reporting import format_table
+from repro.assist.circuitry import AssistCircuit
+from repro.assist.modes import AssistMode
+from repro.bti.calibration import default_calibration
+from repro.bti.conditions import (
+    ACTIVE_ACCELERATED_RECOVERY,
+    TABLE1_RECOVERY_CONDITIONS,
+)
+from repro.core.schedule import PeriodicSchedule, run_bti_schedule
+
+
+def table1_protocol() -> None:
+    """Reproduce Table I: recovery fraction per condition."""
+    calibration = default_calibration()
+    model = calibration.build_model()
+    rows = []
+    for condition in TABLE1_RECOVERY_CONDITIONS:
+        fraction = model.recovery_fraction_after(
+            units.hours(24.0), units.hours(6.0), condition)
+        rows.append((condition.name, f"{fraction:.1%}"))
+    print(format_table(("recovery condition", "recovered"), rows,
+                       title="Table I protocol (24 h stress, 6 h "
+                             "recovery)"))
+    print()
+
+
+def balanced_schedule() -> None:
+    """Reproduce the Fig. 4 takeaway: 1 h : 1 h -> no permanent wearout."""
+    calibration = default_calibration()
+    rows = []
+    for stress_h, recovery_h in ((1.0, 1.0), (2.0, 1.0), (4.0, 1.0)):
+        outcome = run_bti_schedule(
+            calibration.build_model(),
+            PeriodicSchedule.from_hours(stress_h, recovery_h, 5),
+            ACTIVE_ACCELERATED_RECOVERY)
+        rows.append((outcome.schedule.ratio_label,
+                     f"{outcome.final_permanent_v * 1e3:.3f} mV",
+                     "yes" if outcome.fully_healed else "no"))
+    print(format_table(
+        ("schedule", "permanent after 5 cycles", "fully healed"),
+        rows, title="Scheduled recovery (Fig. 4)"))
+    print()
+
+
+def em_recovery() -> None:
+    """Reproduce the Fig. 7 takeaway: periodic reversal delays EM."""
+    from repro.em.lumped import LumpedEmModel
+    from repro.em.line import PAPER_EM_STRESS
+
+    model = LumpedEmModel()
+    t_nuc = model.nucleation_time(PAPER_EM_STRESS)
+    estimate = model.nucleation_under_periodic_recovery(
+        units.minutes(15.0), units.minutes(5.0), PAPER_EM_STRESS)
+    print(format_table(("quantity", "value"), [
+        ("continuous-stress nucleation",
+         f"{units.to_minutes(t_nuc):.0f} min"),
+        ("with 15:5 min periodic reversal",
+         f"{units.to_minutes(estimate.time_s):.0f} min"),
+        ("delay factor (paper: almost 3x)",
+         f"{estimate.time_s / t_nuc:.2f}x"),
+    ], title="EM periodic recovery (Fig. 7)"))
+    print()
+
+
+def assist_modes() -> None:
+    """Solve the assist circuitry in its three modes (Fig. 9)."""
+    circuit = AssistCircuit()
+    rows = []
+    for mode in AssistMode:
+        op = circuit.solve_mode(mode)
+        rows.append((mode.value,
+                     f"{op.load_vdd_v:.3f} V",
+                     f"{op.load_vss_v:.3f} V",
+                     f"{op.vdd_grid_current_a * 1e3:+.3f} mA"))
+    print(format_table(
+        ("mode", "load VDD", "load VSS", "VDD-grid current"),
+        rows, title="Assist circuitry operating points (Fig. 9)"))
+
+
+def main() -> None:
+    table1_protocol()
+    balanced_schedule()
+    em_recovery()
+    assist_modes()
+
+
+if __name__ == "__main__":
+    main()

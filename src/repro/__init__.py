@@ -1,0 +1,56 @@
+"""deep-healing: active and accelerated BTI/EM wearout recovery.
+
+A production-quality reproduction of *"Deep Healing: Ease the BTI and
+EM Wearout Crisis by Activating Recovery"* (Xinfei Guo and Mircea R.
+Stan, 2017).  The library provides:
+
+* device-physics substrates for BTI (:mod:`repro.bti`) and EM
+  (:mod:`repro.em`) wearout including *active* (reverse-stress) and
+  *accelerated* (high-temperature) recovery,
+* a thermal substrate (:mod:`repro.thermal`), a circuit simulator
+  (:mod:`repro.circuit`), a power-delivery-network model
+  (:mod:`repro.pdn`) and wearout sensors (:mod:`repro.sensors`),
+* the paper's assist circuitry with its three operating modes
+  (:mod:`repro.assist`),
+* the core contribution -- recovery scheduling, push-pull balancing,
+  lifetime and guardband analysis, and a runtime controller
+  (:mod:`repro.core`), and
+* a system-level multicore lifetime simulator with dark-silicon-aware
+  healing (:mod:`repro.system`).
+
+Quickstart::
+
+    from repro import units
+    from repro.bti import default_calibration, ACTIVE_ACCELERATED_RECOVERY
+
+    model = default_calibration().build_model()
+    model.apply_stress(units.hours(24))
+    worn = model.delta_vth_v
+    model.apply_recovery(units.hours(6), ACTIVE_ACCELERATED_RECOVERY)
+    print(f"recovered {(worn - model.delta_vth_v) / worn:.1%}")  # ~72.4%
+"""
+
+__version__ = "1.0.0"
+
+from repro import units
+from repro.errors import (
+    CalibrationError,
+    ConvergenceError,
+    NetlistError,
+    ReproError,
+    ScheduleError,
+    SensorError,
+    SimulationError,
+)
+
+__all__ = [
+    "units",
+    "ReproError",
+    "CalibrationError",
+    "ConvergenceError",
+    "NetlistError",
+    "ScheduleError",
+    "SensorError",
+    "SimulationError",
+    "__version__",
+]

@@ -1,0 +1,49 @@
+"""Analysis utilities: model fitting, wearout statistics, reporting.
+
+Support code shared by the examples and the benchmark harness:
+
+* :mod:`~repro.analysis.fitting` -- power-law and Arrhenius fits used
+  to extract compact-model coefficients from simulated (or measured)
+  traces, plus lognormal TTF fitting for EM populations.
+* :mod:`~repro.analysis.stats` -- summary statistics over wearout
+  populations (percentiles, failure fractions, Monte Carlo TTF).
+* :mod:`~repro.analysis.reporting` -- plain-text tables matching the
+  rows/series the paper's tables and figures report.
+"""
+
+from repro.analysis.fitting import (
+    ArrheniusFit,
+    PowerLawFit,
+    fit_arrhenius,
+    fit_power_law,
+    fit_lognormal_ttf,
+    LognormalFit,
+)
+from repro.analysis.stats import (
+    failure_fraction,
+    population_percentiles,
+    monte_carlo_ttf,
+)
+from repro.analysis.reporting import format_table, format_series
+from repro.analysis.sensitivity import (
+    SensitivityResult,
+    one_at_a_time,
+    tornado_rows,
+)
+
+__all__ = [
+    "SensitivityResult",
+    "one_at_a_time",
+    "tornado_rows",
+    "ArrheniusFit",
+    "PowerLawFit",
+    "LognormalFit",
+    "fit_arrhenius",
+    "fit_power_law",
+    "fit_lognormal_ttf",
+    "failure_fraction",
+    "population_percentiles",
+    "monte_carlo_ttf",
+    "format_table",
+    "format_series",
+]

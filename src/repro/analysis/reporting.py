@@ -1,0 +1,69 @@
+"""Plain-text tables and series for benchmark output.
+
+The benchmark harness prints exactly the rows/series the paper's
+tables and figures report; these helpers keep that output aligned and
+consistent without pulling in a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned plain-text table.
+
+    Args:
+        headers: column titles.
+        rows: cell values; formatted with ``str`` (pre-format numbers
+            for specific precision).
+        title: optional title line printed above the table.
+
+    Returns:
+        The rendered multi-line string.
+    """
+    cells: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row {row!r} does not match {len(headers)} headers")
+        cells.append([str(value) for value in row])
+    widths = [max(len(row[col]) for row in cells)
+              for col in range(len(headers))]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    separator = "-+-".join("-" * width for width in widths)
+    for index, row in enumerate(cells):
+        lines.append(" | ".join(value.ljust(width)
+                                for value, width in zip(row, widths)))
+        if index == 0:
+            lines.append(separator)
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[float], ys: Sequence[float],
+                  x_label: str = "x", y_label: str = "y",
+                  precision: int = 3, max_points: int = 25) -> str:
+    """Render a named (x, y) series as aligned columns.
+
+    Long series are decimated to ``max_points`` evenly spaced samples
+    (always keeping the first and last) so benchmark logs stay
+    readable.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    n = len(xs)
+    if n == 0:
+        raise ValueError("series must not be empty")
+    if n > max_points:
+        step = (n - 1) / (max_points - 1)
+        indices = sorted({int(round(i * step))
+                          for i in range(max_points)})
+    else:
+        indices = list(range(n))
+    rows = [(f"{xs[i]:.{precision}g}", f"{ys[i]:.{precision}g}")
+            for i in indices]
+    return format_table((x_label, y_label), rows, title=name)

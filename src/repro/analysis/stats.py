@@ -1,0 +1,60 @@
+"""Population statistics for wearout studies.
+
+EM lifetimes in particular are population quantities: a chip fails when
+its *weakest* wire fails, so design sign-off reasons about percentiles
+and Monte Carlo samples rather than single medians.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+def failure_fraction(ttfs_s: Sequence[float], at_time_s: float) -> float:
+    """Fraction of a TTF population failed by ``at_time_s``."""
+    ttf = np.asarray(ttfs_s, dtype=float)
+    if ttf.size == 0:
+        raise SimulationError("population must not be empty")
+    if at_time_s < 0.0:
+        raise SimulationError("time must be non-negative")
+    return float(np.mean(ttf <= at_time_s))
+
+
+def population_percentiles(values: Sequence[float],
+                           percentiles: Sequence[float] = (1, 10, 50,
+                                                           90, 99),
+                           ) -> Dict[float, float]:
+    """Selected percentiles of a population, keyed by percentile."""
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise SimulationError("population must not be empty")
+    return {float(p): float(np.percentile(data, p)) for p in percentiles}
+
+
+def monte_carlo_ttf(sample_ttf: Callable[[np.random.Generator], float],
+                    n_samples: int = 200,
+                    seed: int = 0) -> np.ndarray:
+    """Draw a TTF population from a per-sample simulator.
+
+    Args:
+        sample_ttf: callable receiving a seeded generator and returning
+            one failure time (e.g. an :class:`~repro.em.line.EmLine`
+            run with randomized geometry/temperature).
+        n_samples: population size.
+        seed: master seed; each sample gets an independent child
+            generator, so results are reproducible yet uncorrelated.
+
+    Returns:
+        Array of ``n_samples`` failure times.
+    """
+    if n_samples < 1:
+        raise SimulationError("n_samples must be at least 1")
+    master = np.random.default_rng(seed)
+    seeds = master.integers(0, 2 ** 63 - 1, size=n_samples)
+    return np.array([
+        sample_ttf(np.random.default_rng(int(child_seed)))
+        for child_seed in seeds])

@@ -1,0 +1,96 @@
+"""Operating modes and device truth table of the assist circuitry.
+
+The assist circuit routes the load's supply through the EM-sensitive
+local VDD/VSS grids in either direction, and can cross-connect the
+idle load's rails for BTI recovery.  Device naming (see
+:mod:`repro.assist.circuitry` for the topology):
+
+========  =======================================================
+device    role
+========  =======================================================
+P1        PMOS header, supply -> grid end A (normal feed)
+P2        PMOS header, supply -> grid end B (reversed feed)
+P3        PMOS tap, grid end A -> load VDD (reversed tap)
+P4        PMOS tap, grid end B -> load VDD (normal tap)
+N1        NMOS footer, grid end C -> ground (reversed return)
+N2        NMOS footer, grid end D -> ground (normal return)
+N3        NMOS tap, load VSS -> grid end C (normal tap)
+N4        NMOS tap, load VSS -> grid end D (reversed tap)
+P5        PMOS cross-connect, supply -> load VSS (BTI mode)
+N5        NMOS cross-connect, load VDD -> ground (BTI mode)
+========  =======================================================
+
+The paper's Fig. 8 realizes the same three behaviours with eight
+devices by sharing the grid taps; this implementation keeps the BTI
+cross-connect devices explicit (ten devices) so each mode is a pure
+row of the truth table -- the observable behaviour (Fig. 9) is
+identical.  The truth table below is the executable counterpart of the
+paper's Fig. 8(b).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Mapping
+
+
+class AssistMode(enum.Enum):
+    """The three operating modes of the assist circuitry (Fig. 8b)."""
+
+    NORMAL = "normal"
+    EM_RECOVERY = "em-active-recovery"
+    BTI_RECOVERY = "bti-active-recovery"
+
+
+class DeviceState(enum.Enum):
+    """Conduction state of one assist device."""
+
+    ON = "on"
+    OFF = "off"
+
+
+#: Device states per mode -- the executable Fig. 8(b).
+TRUTH_TABLE: Mapping[AssistMode, Dict[str, DeviceState]] = {
+    AssistMode.NORMAL: {
+        "P1": DeviceState.ON, "P2": DeviceState.OFF,
+        "P3": DeviceState.OFF, "P4": DeviceState.ON,
+        "N1": DeviceState.OFF, "N2": DeviceState.ON,
+        "N3": DeviceState.ON, "N4": DeviceState.OFF,
+        "P5": DeviceState.OFF, "N5": DeviceState.OFF,
+    },
+    AssistMode.EM_RECOVERY: {
+        "P1": DeviceState.OFF, "P2": DeviceState.ON,
+        "P3": DeviceState.ON, "P4": DeviceState.OFF,
+        "N1": DeviceState.ON, "N2": DeviceState.OFF,
+        "N3": DeviceState.OFF, "N4": DeviceState.ON,
+        "P5": DeviceState.OFF, "N5": DeviceState.OFF,
+    },
+    AssistMode.BTI_RECOVERY: {
+        "P1": DeviceState.OFF, "P2": DeviceState.OFF,
+        "P3": DeviceState.OFF, "P4": DeviceState.OFF,
+        "N1": DeviceState.OFF, "N2": DeviceState.OFF,
+        "N3": DeviceState.OFF, "N4": DeviceState.OFF,
+        "P5": DeviceState.ON, "N5": DeviceState.ON,
+    },
+}
+
+#: All assist device names in a stable order.
+DEVICE_NAMES = ("P1", "P2", "P3", "P4", "N1", "N2", "N3", "N4", "P5", "N5")
+
+
+def gate_voltage(device: str, state: DeviceState, supply_v: float) -> float:
+    """Gate drive that puts ``device`` into ``state``.
+
+    PMOS devices conduct with the gate at ground, NMOS devices with
+    the gate at the supply.
+    """
+    is_pmos = device.startswith("P")
+    if state is DeviceState.ON:
+        return 0.0 if is_pmos else supply_v
+    return supply_v if is_pmos else 0.0
+
+
+def gate_voltages(mode: AssistMode, supply_v: float) -> Dict[str, float]:
+    """Gate drives of every assist device for a mode."""
+    return {device: gate_voltage(device, state, supply_v)
+            for device, state in TRUTH_TABLE[mode].items()}

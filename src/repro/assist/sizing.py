@@ -1,0 +1,98 @@
+"""Load-size vs performance / switching-time exploration (Fig. 10).
+
+The paper sweeps the number of load units behind one assist circuit
+and reports two normalized metrics:
+
+* **load delay** rises roughly linearly with load size, because the
+  extra current through the fixed-size header/footer devices deepens
+  the droop at the load rails (performance follows the alpha-power
+  delay law of the reduced swing);
+* **mode switching time** falls with load size, but at a slower rate,
+  because the larger load conduction helps slew the rail nodes during
+  a mode change even though the rail capacitance grows too.
+
+The sweep concludes, as the paper does, that each load has its own
+optimal design point: compensating the delay requires upsizing the
+header/footer devices, which costs area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from repro.assist.circuitry import AssistCircuit, AssistCircuitConfig
+from repro.assist.modes import AssistMode
+
+#: Alpha-power exponent used for the delay metric.
+_ALPHA = 1.3
+
+#: Device threshold used for the delay metric (28 nm presets).
+_VTH_V = 0.30
+
+
+def _alpha_power_delay(swing_v: float) -> float:
+    """Relative logic delay at a supply swing (alpha-power law)."""
+    overdrive = swing_v - _VTH_V
+    if overdrive <= 0.0:
+        return float("inf")
+    return swing_v / overdrive ** _ALPHA
+
+
+@dataclass(frozen=True)
+class LoadSizingPoint:
+    """One point of the Fig. 10 sweep.
+
+    Attributes:
+        n_loads: number of parallel load units.
+        load_swing_v: voltage across the load bank in Normal mode.
+        delay_normalized: load delay relative to the 1-load point.
+        switching_time_s: Normal -> BTI mode switching time.
+        switching_time_normalized: relative to the 1-load point.
+    """
+
+    n_loads: int
+    load_swing_v: float
+    delay_normalized: float
+    switching_time_s: float
+    switching_time_normalized: float
+
+
+def sweep_load_size(n_loads_values: Sequence[int] = (1, 2, 3, 4, 5),
+                    base_config: Optional[AssistCircuitConfig] = None,
+                    ) -> List[LoadSizingPoint]:
+    """Reproduce the Fig. 10 sweep.
+
+    Args:
+        n_loads_values: load sizes to evaluate (the paper uses 1..5).
+        base_config: circuit configuration template; only ``n_loads``
+            is varied.
+
+    Returns:
+        One :class:`LoadSizingPoint` per requested size, normalized to
+        the first entry.
+    """
+    if not n_loads_values:
+        raise ValueError("n_loads_values must not be empty")
+    base = base_config or AssistCircuitConfig()
+    raw: List[dict] = []
+    for n_loads in n_loads_values:
+        circuit = AssistCircuit(replace(base, n_loads=n_loads))
+        normal = circuit.solve_mode(AssistMode.NORMAL)
+        switching = circuit.switching_time_s(AssistMode.NORMAL,
+                                             AssistMode.BTI_RECOVERY)
+        raw.append({
+            "n_loads": n_loads,
+            "swing": normal.load_swing_v,
+            "delay": _alpha_power_delay(normal.load_swing_v),
+            "switching": switching,
+        })
+    delay_ref = raw[0]["delay"]
+    switching_ref = raw[0]["switching"]
+    return [LoadSizingPoint(
+        n_loads=point["n_loads"],
+        load_swing_v=point["swing"],
+        delay_normalized=point["delay"] / delay_ref,
+        switching_time_s=point["switching"],
+        switching_time_normalized=point["switching"] / switching_ref,
+    ) for point in raw]

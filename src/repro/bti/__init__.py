@@ -1,0 +1,97 @@
+"""Bias Temperature Instability (BTI) wearout and recovery models.
+
+This package is the device-physics substrate that replaces the paper's
+40 nm FPGA hardware measurements (Section III-B/C of Guo & Stan 2017).
+It provides:
+
+* :class:`~repro.bti.traps.TrapPopulation` -- a capture/emission trap
+  population with logarithmically distributed time constants, the
+  mechanism behind both stress build-up and (active, accelerated)
+  recovery, including the *lock-in* process that creates the
+  quasi-permanent wearout component.
+* :class:`~repro.bti.model.BtiModel` -- the user-facing stateful model
+  that applies stress and recovery phases and reports threshold-voltage
+  shift over time.
+* :class:`~repro.bti.conditions.BtiRecoveryCondition` /
+  :class:`~repro.bti.conditions.BtiStressCondition` -- operating points,
+  including the paper's four Fig. 2(a) recovery regimes as presets.
+* :mod:`~repro.bti.calibration` -- fits the recovery acceleration
+  parameters to the paper's Table I measurements.
+* :mod:`~repro.bti.analytic` -- closed-form stress/relaxation models
+  (power-law stress, universal relaxation) for fast system-level use.
+"""
+
+from repro.bti.conditions import (
+    BtiRecoveryCondition,
+    BtiStressCondition,
+    PASSIVE_RECOVERY,
+    ACTIVE_RECOVERY,
+    ACCELERATED_RECOVERY,
+    ACTIVE_ACCELERATED_RECOVERY,
+    TABLE1_RECOVERY_CONDITIONS,
+    TABLE1_STRESS,
+)
+from repro.bti.traps import TrapPopulation, TrapPopulationConfig
+from repro.bti.model import BtiModel, BtiModelConfig, BtiPhaseResult
+from repro.bti.calibration import (
+    BtiCalibration,
+    Table1Measurement,
+    TABLE1_MEASUREMENTS,
+    calibrate_to_table1,
+    default_calibration,
+)
+from repro.bti.analytic import (
+    UniversalRelaxationModel,
+    PowerLawStressModel,
+    AnalyticBtiModel,
+)
+from repro.bti.duty import (
+    DutyCycledStressModel,
+    rebalancing_gain,
+    stress_duty_from_signal_probability,
+)
+from repro.bti.variability import (
+    BtiVariabilityModel,
+    margin_amplification,
+)
+from repro.bti.reaction_diffusion import (
+    ReactionDiffusionBtiModel,
+    ReactionDiffusionConfig,
+)
+from repro.bti.experiment import (
+    FrequencyDomainExperiment,
+    FrequencyMeasurement,
+)
+
+__all__ = [
+    "ReactionDiffusionBtiModel",
+    "ReactionDiffusionConfig",
+    "FrequencyDomainExperiment",
+    "FrequencyMeasurement",
+    "BtiVariabilityModel",
+    "margin_amplification",
+    "DutyCycledStressModel",
+    "rebalancing_gain",
+    "stress_duty_from_signal_probability",
+    "BtiRecoveryCondition",
+    "BtiStressCondition",
+    "PASSIVE_RECOVERY",
+    "ACTIVE_RECOVERY",
+    "ACCELERATED_RECOVERY",
+    "ACTIVE_ACCELERATED_RECOVERY",
+    "TABLE1_RECOVERY_CONDITIONS",
+    "TABLE1_STRESS",
+    "TrapPopulation",
+    "TrapPopulationConfig",
+    "BtiModel",
+    "BtiModelConfig",
+    "BtiPhaseResult",
+    "BtiCalibration",
+    "Table1Measurement",
+    "TABLE1_MEASUREMENTS",
+    "calibrate_to_table1",
+    "default_calibration",
+    "UniversalRelaxationModel",
+    "PowerLawStressModel",
+    "AnalyticBtiModel",
+]

@@ -1,0 +1,209 @@
+"""Closed-form BTI models for fast architectural/system-level use.
+
+The paper's future-work section calls for "high-level compact models
+that capture the accurate device and circuit level BTI/EM recovery
+information while being able to apply at the architectural and system
+level".  This module provides exactly that layer:
+
+* :class:`PowerLawStressModel` -- the classic ``dVth = A * t^n``
+  stress law with voltage and temperature acceleration.
+* :class:`UniversalRelaxationModel` -- Grasser's universal relaxation
+  expression ``r(xi) = 1 / (1 + B * xi^beta)`` with the recovery
+  acceleration folded into the normalized recovery time ``xi``.
+* :class:`AnalyticBtiModel` -- combines the two with a permanent
+  fraction, suitable for multi-year simulations at large time steps.
+
+These are intentionally stateless formulas; the stateful, mechanistic
+model lives in :mod:`repro.bti.model`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro import units
+from repro.bti.conditions import (
+    BtiRecoveryCondition,
+    BtiStressCondition,
+    RecoveryAccelerationParams,
+    TABLE1_STRESS,
+)
+
+
+@dataclass(frozen=True)
+class PowerLawStressModel:
+    """Power-law BTI stress: ``dVth(t) = prefactor * a(V,T) * t^exponent``.
+
+    Attributes:
+        prefactor_v: shift in volts after 1 second at the reference
+            stress condition.
+        exponent: the time exponent ``n`` (typically 0.1-0.25 for BTI).
+        reference: stress condition at which ``prefactor_v`` holds.
+    """
+
+    prefactor_v: float = 1.15e-3
+    exponent: float = 0.17
+    reference: BtiStressCondition = TABLE1_STRESS
+
+    def __post_init__(self) -> None:
+        if self.prefactor_v <= 0.0:
+            raise ValueError("prefactor_v must be positive")
+        if not 0.0 < self.exponent < 1.0:
+            raise ValueError("exponent must be in (0, 1)")
+
+    def shift(self, stress_time_s: float,
+              condition: BtiStressCondition = None) -> float:
+        """Threshold shift after ``stress_time_s`` of constant stress."""
+        if stress_time_s < 0.0:
+            raise ValueError("stress time must be non-negative")
+        if stress_time_s == 0.0:
+            return 0.0
+        condition = condition or self.reference
+        accel = condition.capture_acceleration(self.reference)
+        # Acceleration rescales effective stress time: t_eff = a * t.
+        return self.prefactor_v * (accel * stress_time_s) ** self.exponent
+
+    def equivalent_stress_time(self, shift_v: float,
+                               condition: BtiStressCondition = None
+                               ) -> float:
+        """Invert :meth:`shift`: stress time that produces ``shift_v``."""
+        if shift_v < 0.0:
+            raise ValueError("shift must be non-negative")
+        if shift_v == 0.0:
+            return 0.0
+        condition = condition or self.reference
+        accel = condition.capture_acceleration(self.reference)
+        return (shift_v / self.prefactor_v) ** (1.0 / self.exponent) / accel
+
+
+@dataclass(frozen=True)
+class UniversalRelaxationModel:
+    """Universal BTI relaxation ``r(xi) = 1 / (1 + B * xi^beta)``.
+
+    ``r`` is the fraction of the *recoverable* shift that remains after
+    a recovery time ``t_rec`` following a stress time ``t_stress``, with
+    ``xi = A * t_rec / t_stress`` and ``A`` the recovery-condition
+    acceleration factor (1 for passive room-temperature recovery).
+
+    Attributes:
+        magnitude: the ``B`` coefficient.
+        dispersion: the ``beta`` exponent (0 < beta <= 1).
+        acceleration: the fitted acceleration-law coefficients used to
+            convert a recovery condition to the factor ``A``.
+    """
+
+    magnitude: float = 0.037
+    dispersion: float = 0.30
+    acceleration: RecoveryAccelerationParams = RecoveryAccelerationParams(
+        bias_efold_volts=0.086, activation_energy_ev=0.66,
+        synergy_coefficient=1.3)
+
+    def __post_init__(self) -> None:
+        if self.magnitude <= 0.0:
+            raise ValueError("magnitude must be positive")
+        if not 0.0 < self.dispersion <= 1.0:
+            raise ValueError("dispersion must be in (0, 1]")
+
+    def remaining_fraction(self, recovery_time_s: float,
+                           stress_time_s: float,
+                           condition: BtiRecoveryCondition) -> float:
+        """Fraction of the recoverable shift that survives recovery."""
+        if recovery_time_s < 0.0 or stress_time_s <= 0.0:
+            raise ValueError("require t_rec >= 0 and t_stress > 0")
+        if recovery_time_s == 0.0:
+            return 1.0
+        accel = condition.acceleration(self.acceleration)
+        xi = accel * recovery_time_s / stress_time_s
+        return 1.0 / (1.0 + self.magnitude * xi ** self.dispersion)
+
+    def recovered_fraction(self, recovery_time_s: float,
+                           stress_time_s: float,
+                           condition: BtiRecoveryCondition) -> float:
+        """Complement of :meth:`remaining_fraction`."""
+        return 1.0 - self.remaining_fraction(recovery_time_s,
+                                             stress_time_s, condition)
+
+
+@dataclass(frozen=True)
+class AnalyticBtiModel:
+    """Compact stress + relaxation + permanent-fraction model.
+
+    Good enough for decade-long system simulations where stepping the
+    trap population would be wasteful; calibrated so its one-shot
+    Table I predictions are close to the mechanistic model.
+
+    Attributes:
+        stress_model: the power-law stress component.
+        relaxation_model: the universal relaxation component.
+        permanent_fraction: share of the stress-induced shift that
+            locks in when stress intervals exceed ``lock_age_s``.
+        lock_age_s: stress-interval length below which (with recovery
+            in between) essentially nothing locks in; the paper's
+            1 h : 1 h result pins this near one hour.
+    """
+
+    stress_model: PowerLawStressModel = PowerLawStressModel()
+    relaxation_model: UniversalRelaxationModel = UniversalRelaxationModel()
+    permanent_fraction: float = 0.27
+    lock_age_s: float = 75.0 * 60.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.permanent_fraction < 1.0:
+            raise ValueError("permanent_fraction must be in [0, 1)")
+        if self.lock_age_s <= 0.0:
+            raise ValueError("lock_age_s must be positive")
+
+    def one_shot_shift(self, stress_time_s: float, recovery_time_s: float,
+                       condition: BtiRecoveryCondition,
+                       stress: BtiStressCondition = None) -> float:
+        """Shift after a single stress phase and a single recovery phase."""
+        total = self.stress_model.shift(stress_time_s, stress)
+        locks = stress_time_s > self.lock_age_s
+        permanent = total * self.permanent_fraction if locks else 0.0
+        recoverable = total - permanent
+        remaining = self.relaxation_model.remaining_fraction(
+            recovery_time_s, stress_time_s, condition)
+        return permanent + recoverable * remaining
+
+    def duty_cycled_shift(self, total_time_s: float, stress_interval_s: float,
+                          recovery_interval_s: float,
+                          condition: BtiRecoveryCondition,
+                          stress: BtiStressCondition = None) -> float:
+        """Long-run shift under a periodic stress/recovery schedule.
+
+        Approximates the periodic steady state.  Each cycle adds one
+        stress interval of damage and the recovery interval removes a
+        fraction ``1 - r`` of the recoverable part, so the steady-state
+        envelope corresponds to an *effective* accumulated stress time
+        of ``stress_interval / (1 - r)`` (a geometric sum of per-cycle
+        survivals) -- strong recovery pins the envelope near one
+        interval's worth of damage, weak (passive) recovery lets it
+        climb towards the continuous-stress level.  The permanent part
+        accrues only when individual stress intervals exceed the
+        lock-in age.
+        """
+        if total_time_s < 0.0:
+            raise ValueError("total time must be non-negative")
+        cycle = stress_interval_s + recovery_interval_s
+        if cycle <= 0.0 or stress_interval_s < 0.0 or recovery_interval_s < 0.0:
+            raise ValueError("intervals must be non-negative with a "
+                             "positive cycle length")
+        n_cycles = total_time_s / cycle
+        accumulated_stress_s = n_cycles * stress_interval_s
+        if accumulated_stress_s <= 0.0:
+            return 0.0
+        total = self.stress_model.shift(accumulated_stress_s, stress)
+        if stress_interval_s > self.lock_age_s:
+            over = ((stress_interval_s - self.lock_age_s)
+                    / max(stress_interval_s, 1e-12))
+            permanent = total * self.permanent_fraction * over
+        else:
+            permanent = 0.0
+        remaining = self.relaxation_model.remaining_fraction(
+            recovery_interval_s, stress_interval_s, condition)
+        effective_stress_s = min(
+            stress_interval_s / max(1.0 - remaining, 1e-12),
+            accumulated_stress_s)
+        recoverable = self.stress_model.shift(effective_stress_s, stress)
+        return min(permanent + recoverable, total)

@@ -1,0 +1,218 @@
+"""Operating conditions for BTI stress and recovery.
+
+The paper (Fig. 2a) distinguishes four recovery regimes for a transistor:
+
+=====  =====================  =========================================
+No.    Condition              Name
+=====  =====================  =========================================
+1      Vsg = 0, room T        passive recovery (baseline)
+2      Vsg negative, room T   active recovery ("reverse" the stress)
+3      Vsg = 0, high T        accelerated recovery
+4      Vsg negative, high T   active + accelerated recovery
+=====  =====================  =========================================
+
+A recovery condition is reduced to a single *acceleration factor* that
+multiplies the passive de-trapping rate of every trap.  The factor is the
+product of a bias term, an Arrhenius temperature term and a bias-assisted
+thermal synergy term; the three coefficients are calibrated against the
+paper's Table I by :mod:`repro.bti.calibration`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro import units
+
+#: Temperature of the paper's room-temperature recovery experiments (20 degC).
+ROOM_TEMPERATURE_K = units.celsius_to_kelvin(20.0)
+
+#: Temperature of the paper's high-temperature recovery experiments (110 degC).
+HIGH_TEMPERATURE_K = units.celsius_to_kelvin(110.0)
+
+#: Gate bias used for "active" recovery in the paper (-0.3 V source-gate).
+ACTIVE_RECOVERY_BIAS_V = -0.3
+
+
+@dataclass(frozen=True)
+class BtiStressCondition:
+    """An accelerated-stress operating point for a transistor.
+
+    Attributes:
+        voltage: gate stress overdrive in volts (positive = stressing).
+        temperature_k: junction temperature in kelvin.
+        name: human-readable label used in reports.
+    """
+
+    voltage: float
+    temperature_k: float
+    name: str = "stress"
+
+    def __post_init__(self) -> None:
+        if self.temperature_k <= 0.0:
+            raise ValueError("stress temperature must be positive (kelvin)")
+        if self.voltage < 0.0:
+            raise ValueError(
+                "stress voltage must be non-negative; use a recovery "
+                "condition for negative bias")
+
+    def capture_acceleration(self,
+                             reference: "BtiStressCondition") -> float:
+        """Trap-capture rate multiplier relative to a reference stress.
+
+        Uses an exponential field-acceleration law and an Arrhenius
+        temperature law; both are standard first-order BTI stress
+        dependences (Mahapatra 2016, cited as [2] in the paper).
+        """
+        field_factor = math.exp((self.voltage - reference.voltage)
+                                / _FIELD_ACCELERATION_VOLTS)
+        temp_factor = units.arrhenius_factor(
+            _STRESS_ACTIVATION_EV, self.temperature_k,
+            reference.temperature_k)
+        return field_factor * temp_factor
+
+
+#: Field-acceleration constant of the stress process (V per e-fold).
+_FIELD_ACCELERATION_VOLTS = 0.12
+
+#: Activation energy of the stress (capture) process in eV.
+_STRESS_ACTIVATION_EV = 0.10
+
+
+@dataclass(frozen=True)
+class BtiRecoveryCondition:
+    """A recovery operating point for a transistor.
+
+    Attributes:
+        gate_bias_v: source-gate voltage applied during recovery; 0 for
+            passive recovery, negative to actively push trapped charge
+            out (the paper uses -0.3 V).
+        temperature_k: junction temperature in kelvin during recovery.
+        name: human-readable label used in reports.
+    """
+
+    gate_bias_v: float
+    temperature_k: float
+    name: str = "recovery"
+
+    def __post_init__(self) -> None:
+        if self.temperature_k <= 0.0:
+            raise ValueError("recovery temperature must be positive (kelvin)")
+        if self.gate_bias_v > 0.0:
+            raise ValueError(
+                "a positive gate bias stresses the device; recovery bias "
+                "must be zero or negative")
+
+    @property
+    def is_active(self) -> bool:
+        """True when a reverse (negative) bias is applied."""
+        return self.gate_bias_v < 0.0
+
+    @property
+    def is_accelerated(self) -> bool:
+        """True when the condition is hotter than room temperature."""
+        return self.temperature_k > ROOM_TEMPERATURE_K + 1e-9
+
+    def acceleration(self, params: "RecoveryAccelerationParams") -> float:
+        """De-trapping rate multiplier relative to passive room recovery.
+
+        The multiplier is::
+
+            A = A_bias(V) * A_temp(T) * A_synergy(V, T)
+
+        where ``A_bias`` is exponential in the bias magnitude, ``A_temp``
+        is an Arrhenius factor referenced to room temperature, and
+        ``A_synergy`` captures the super-multiplicative interaction the
+        paper measures between bias and temperature (Table I: the joint
+        condition recovers far more than the product of the individual
+        gains would suggest).
+        """
+        bias = abs(min(self.gate_bias_v, 0.0))
+        bias_factor = math.exp(bias / params.bias_efold_volts)
+        temp_factor = units.arrhenius_factor(
+            params.activation_energy_ev, self.temperature_k,
+            ROOM_TEMPERATURE_K)
+        synergy = math.exp(
+            params.synergy_coefficient
+            * (bias / abs(ACTIVE_RECOVERY_BIAS_V))
+            * _normalized_thermal_drive(self.temperature_k))
+        return bias_factor * temp_factor * synergy
+
+
+def _normalized_thermal_drive(temperature_k: float) -> float:
+    """Thermal drive normalized to 0 at 20 degC and 1 at 110 degC.
+
+    Uses the (1/T_ref - 1/T) form so the synergy term follows the same
+    reciprocal-temperature behaviour as the Arrhenius factor.
+    """
+    span = 1.0 / ROOM_TEMPERATURE_K - 1.0 / HIGH_TEMPERATURE_K
+    drive = (1.0 / ROOM_TEMPERATURE_K - 1.0 / temperature_k) / span
+    return drive
+
+
+@dataclass(frozen=True)
+class RecoveryAccelerationParams:
+    """Coefficients of the recovery-acceleration law.
+
+    Produced by :func:`repro.bti.calibration.calibrate_to_table1`;
+    consumed by :meth:`BtiRecoveryCondition.acceleration`.
+
+    Attributes:
+        bias_efold_volts: bias magnitude (in volts) that multiplies the
+            de-trapping rate by *e*.
+        activation_energy_ev: Arrhenius activation energy of thermally
+            accelerated de-trapping, in eV.
+        synergy_coefficient: log-scale strength of the bias*temperature
+            interaction term; 0 disables the synergy.
+    """
+
+    bias_efold_volts: float
+    activation_energy_ev: float
+    synergy_coefficient: float
+
+    def __post_init__(self) -> None:
+        if self.bias_efold_volts <= 0.0:
+            raise ValueError("bias_efold_volts must be positive")
+        if self.activation_energy_ev < 0.0:
+            raise ValueError("activation_energy_ev must be non-negative")
+
+
+# ---------------------------------------------------------------------------
+# Presets mirroring the paper's experiments.
+# ---------------------------------------------------------------------------
+
+#: Fig. 2a No. 1 -- stress removed, room temperature.
+PASSIVE_RECOVERY = BtiRecoveryCondition(
+    gate_bias_v=0.0, temperature_k=ROOM_TEMPERATURE_K,
+    name="No.1 passive (20C, 0V)")
+
+#: Fig. 2a No. 2 -- reverse bias, room temperature.
+ACTIVE_RECOVERY = BtiRecoveryCondition(
+    gate_bias_v=ACTIVE_RECOVERY_BIAS_V, temperature_k=ROOM_TEMPERATURE_K,
+    name="No.2 active (20C, -0.3V)")
+
+#: Fig. 2a No. 3 -- stress removed, high temperature.
+ACCELERATED_RECOVERY = BtiRecoveryCondition(
+    gate_bias_v=0.0, temperature_k=HIGH_TEMPERATURE_K,
+    name="No.3 accelerated (110C, 0V)")
+
+#: Fig. 2a No. 4 -- reverse bias and high temperature ("deep healing").
+ACTIVE_ACCELERATED_RECOVERY = BtiRecoveryCondition(
+    gate_bias_v=ACTIVE_RECOVERY_BIAS_V, temperature_k=HIGH_TEMPERATURE_K,
+    name="No.4 active+accelerated (110C, -0.3V)")
+
+#: The four Table I recovery conditions in the paper's order.
+TABLE1_RECOVERY_CONDITIONS = (
+    PASSIVE_RECOVERY,
+    ACTIVE_RECOVERY,
+    ACCELERATED_RECOVERY,
+    ACTIVE_ACCELERATED_RECOVERY,
+)
+
+#: The accelerated stress condition used before every Table I recovery
+#: run ("high voltage and temperature"); it is also the calibration
+#: reference so its capture acceleration is exactly 1.
+TABLE1_STRESS = BtiStressCondition(
+    voltage=0.6, temperature_k=HIGH_TEMPERATURE_K,
+    name="accelerated stress (high V, 110C)")

@@ -1,0 +1,125 @@
+"""Signal-probability and duty-cycle views of BTI stress.
+
+The paper's related work (its refs [14] GNOMO, [15] Penelope) mitigates
+BTI by *rebalancing signal probabilities*: a PMOS device suffers NBTI
+stress only while its gate is low, so the fraction of time a node
+spends at each logic level sets the device's stress duty cycle.  Deep
+healing goes further -- it adds *active* recovery during the OFF
+fraction -- but the duty-cycle bookkeeping is the same, and a fair
+comparison between rebalancing and deep healing needs both in one
+framework.
+
+This module provides that bookkeeping:
+
+* :func:`stress_duty_from_signal_probability` -- device-level stress
+  duty for NBTI (PMOS) and PBTI (NMOS) given a node's probability of
+  being logic-1;
+* :class:`DutyCycledStressModel` -- long-run shift of a device whose
+  stress is duty-cycled at a frequency far above the trap time
+  constants (the standard AC-BTI reduction: effective stress time =
+  duty * wall-clock time);
+* :func:`rebalancing_gain` -- the shift reduction achievable by moving
+  the signal probability alone (the prior-work knob), to contrast with
+  the active-recovery gain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.bti.analytic import PowerLawStressModel
+from repro.bti.conditions import BtiStressCondition
+from repro.errors import SimulationError
+
+
+def stress_duty_from_signal_probability(probability_one: float,
+                                        polarity: str) -> float:
+    """Fraction of time a device is under BTI stress.
+
+    Args:
+        probability_one: probability that the device's *gate input
+            node* is at logic 1.
+        polarity: ``"pmos"`` (NBTI: stressed while the input is 0,
+            which turns the PMOS on) or ``"nmos"`` (PBTI: stressed
+            while the input is 1).
+
+    Returns:
+        The stress duty cycle in [0, 1].
+    """
+    if not 0.0 <= probability_one <= 1.0:
+        raise SimulationError("probability must be within [0, 1]")
+    if polarity == "pmos":
+        return 1.0 - probability_one
+    if polarity == "nmos":
+        return probability_one
+    raise SimulationError("polarity must be 'pmos' or 'nmos'")
+
+
+@dataclass(frozen=True)
+class DutyCycledStressModel:
+    """Long-run BTI shift of a duty-cycled device.
+
+    For switching activity far faster than the trap time constants the
+    standard AC reduction applies: the device behaves like one under
+    DC stress for ``duty * t`` wall-clock seconds (plus a small AC
+    attenuation factor often folded into the prefactor).
+
+    Attributes:
+        stress_model: underlying DC power-law model.
+        ac_attenuation: multiplicative factor (<= 1) accounting for the
+            partial recovery inside each fast cycle.
+    """
+
+    stress_model: PowerLawStressModel = field(
+        default_factory=PowerLawStressModel)
+    ac_attenuation: float = 0.9
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.ac_attenuation <= 1.0:
+            raise SimulationError("ac_attenuation must be in (0, 1]")
+
+    def shift(self, wall_clock_s: float, duty: float,
+              condition: Optional[BtiStressCondition] = None) -> float:
+        """Shift after ``wall_clock_s`` at the given stress duty."""
+        if not 0.0 <= duty <= 1.0:
+            raise SimulationError("duty must be within [0, 1]")
+        if wall_clock_s < 0.0:
+            raise SimulationError("time must be non-negative")
+        if duty == 0.0 or wall_clock_s == 0.0:
+            return 0.0
+        effective = duty * wall_clock_s
+        return self.ac_attenuation * self.stress_model.shift(
+            effective, condition)
+
+    def shift_from_signal_probability(self, wall_clock_s: float,
+                                      probability_one: float,
+                                      polarity: str,
+                                      condition: Optional[
+                                          BtiStressCondition] = None
+                                      ) -> float:
+        """Shift of a device given its input-node signal probability."""
+        duty = stress_duty_from_signal_probability(probability_one,
+                                                   polarity)
+        return self.shift(wall_clock_s, duty, condition)
+
+
+def rebalancing_gain(model: DutyCycledStressModel,
+                     wall_clock_s: float,
+                     duty_before: float, duty_after: float,
+                     condition: Optional[BtiStressCondition] = None
+                     ) -> float:
+    """Relative shift reduction from signal-probability rebalancing.
+
+    Returns ``1 - shift(after) / shift(before)``: the fraction of the
+    BTI shift removed by moving the stress duty from ``duty_before``
+    to ``duty_after`` (the GNOMO/Penelope knob).  Because the shift is
+    a weak power law in time, halving the duty removes only
+    ``1 - 0.5^n`` (~11 % at n = 0.17) -- which is exactly why the paper
+    argues passive-time engineering cannot match active recovery.
+    """
+    before = model.shift(wall_clock_s, duty_before, condition)
+    if before <= 0.0:
+        raise SimulationError("duty_before produces no stress to reduce")
+    after = model.shift(wall_clock_s, duty_after, condition)
+    return 1.0 - after / before

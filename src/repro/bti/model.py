@@ -1,0 +1,222 @@
+"""User-facing stateful BTI wearout/recovery model.
+
+:class:`BtiModel` binds a :class:`~repro.bti.traps.TrapPopulation` to
+the operating-condition abstractions of :mod:`repro.bti.conditions`, so
+callers think in terms of *"stress for 24 h, then recover for 6 h at
+110 degC and -0.3 V"* rather than rate multipliers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.bti.conditions import (
+    BtiRecoveryCondition,
+    BtiStressCondition,
+    PASSIVE_RECOVERY,
+    RecoveryAccelerationParams,
+    TABLE1_STRESS,
+)
+from repro.bti.traps import TrapPopulation, TrapPopulationConfig
+
+
+@dataclass(frozen=True)
+class BtiModelConfig:
+    """Complete configuration of a :class:`BtiModel`.
+
+    Attributes:
+        population: trap-population parameters (bin layout, emission
+            scale, lock-in behaviour).
+        acceleration: coefficients of the recovery-acceleration law,
+            normally taken from a Table I calibration.
+        reference_stress: the stress condition whose capture rate the
+            trap time constants are expressed in; stressing at any other
+            condition rescales capture rates relative to this one.
+    """
+
+    population: TrapPopulationConfig = field(
+        default_factory=TrapPopulationConfig)
+    acceleration: RecoveryAccelerationParams = field(
+        default_factory=lambda: RecoveryAccelerationParams(
+            bias_efold_volts=0.1, activation_energy_ev=0.5,
+            synergy_coefficient=0.0))
+    reference_stress: BtiStressCondition = TABLE1_STRESS
+
+
+@dataclass(frozen=True)
+class BtiPhaseResult:
+    """Outcome of one stress or recovery phase.
+
+    Attributes:
+        kind: ``"stress"`` or ``"recovery"``.
+        duration_s: phase length in seconds.
+        vth_before_v / vth_after_v: total threshold shift at the phase
+            boundaries.
+        permanent_after_v: permanent component after the phase.
+    """
+
+    kind: str
+    duration_s: float
+    vth_before_v: float
+    vth_after_v: float
+    permanent_after_v: float
+
+    @property
+    def delta_v(self) -> float:
+        """Signed shift change over the phase (negative = healed)."""
+        return self.vth_after_v - self.vth_before_v
+
+
+class BtiModel:
+    """Stateful BTI model for one transistor (or one matched block).
+
+    Example (the paper's Table I protocol)::
+
+        model = default_calibration().build_model()
+        model.apply_stress(hours(24))
+        before = model.delta_vth_v
+        model.apply_recovery(hours(6), ACTIVE_ACCELERATED_RECOVERY)
+        recovered = (before - model.delta_vth_v) / before   # ~0.724
+    """
+
+    def __init__(self, config: Optional[BtiModelConfig] = None):
+        self.config = config or BtiModelConfig()
+        self.population = TrapPopulation(self.config.population)
+        self.history: List[BtiPhaseResult] = []
+
+    # -- observables ----------------------------------------------------
+
+    @property
+    def delta_vth_v(self) -> float:
+        """Total threshold-voltage shift in volts."""
+        return self.population.total_vth_v
+
+    @property
+    def recoverable_vth_v(self) -> float:
+        """Still-recoverable part of the shift."""
+        return self.population.recoverable_vth_v
+
+    @property
+    def permanent_vth_v(self) -> float:
+        """Locked-in (permanent) part of the shift."""
+        return self.population.permanent_vth_v
+
+    @property
+    def permanent_fraction(self) -> float:
+        """Permanent share of the total shift."""
+        return self.population.permanent_fraction
+
+    @property
+    def elapsed_s(self) -> float:
+        """Total simulated time across all phases."""
+        return self.population.time_s
+
+    def copy(self) -> "BtiModel":
+        """Deep copy (state and history) sharing the immutable config."""
+        clone = BtiModel(self.config)
+        clone.population = self.population.copy()
+        clone.history = list(self.history)
+        return clone
+
+    def reset(self) -> None:
+        """Return the model to the fresh state and clear the history."""
+        self.population.reset()
+        self.history.clear()
+
+    # -- phases -----------------------------------------------------------
+
+    def apply_stress(self, duration_s: float,
+                     condition: Optional[BtiStressCondition] = None
+                     ) -> BtiPhaseResult:
+        """Stress the device for ``duration_s`` seconds.
+
+        Args:
+            duration_s: stress time in seconds.
+            condition: stress operating point; defaults to the
+                calibration reference stress.
+        """
+        condition = condition or self.config.reference_stress
+        accel = condition.capture_acceleration(self.config.reference_stress)
+        before = self.delta_vth_v
+        self.population.stress(duration_s, accel)
+        result = BtiPhaseResult(
+            kind="stress", duration_s=duration_s, vth_before_v=before,
+            vth_after_v=self.delta_vth_v,
+            permanent_after_v=self.permanent_vth_v)
+        self.history.append(result)
+        return result
+
+    def apply_recovery(self, duration_s: float,
+                       condition: BtiRecoveryCondition = PASSIVE_RECOVERY
+                       ) -> BtiPhaseResult:
+        """Recover the device for ``duration_s`` seconds.
+
+        Args:
+            duration_s: recovery time in seconds.
+            condition: recovery operating point (one of the Fig. 2a
+                presets, or any custom bias/temperature).
+        """
+        accel = condition.acceleration(self.config.acceleration)
+        before = self.delta_vth_v
+        self.population.recover(duration_s, accel)
+        result = BtiPhaseResult(
+            kind="recovery", duration_s=duration_s, vth_before_v=before,
+            vth_after_v=self.delta_vth_v,
+            permanent_after_v=self.permanent_vth_v)
+        self.history.append(result)
+        return result
+
+    # -- traced phases (for figure reproduction) --------------------------
+
+    def stress_trace(self, duration_s: float, n_points: int,
+                     condition: Optional[BtiStressCondition] = None
+                     ) -> Tuple[np.ndarray, np.ndarray]:
+        """Stress while sampling the total shift at ``n_points`` times.
+
+        Returns ``(times_s, delta_vth_v)`` arrays; ``times_s`` is
+        relative to the start of this phase.
+        """
+        return self._traced(duration_s, n_points,
+                            lambda dt: self.apply_stress(dt, condition))
+
+    def recovery_trace(self, duration_s: float, n_points: int,
+                       condition: BtiRecoveryCondition = PASSIVE_RECOVERY
+                       ) -> Tuple[np.ndarray, np.ndarray]:
+        """Recover while sampling the total shift at ``n_points`` times."""
+        return self._traced(duration_s, n_points,
+                            lambda dt: self.apply_recovery(dt, condition))
+
+    def _traced(self, duration_s: float, n_points: int, phase
+                ) -> Tuple[np.ndarray, np.ndarray]:
+        if n_points < 2:
+            raise ValueError("n_points must be at least 2")
+        times = np.linspace(0.0, duration_s, n_points)
+        shifts = np.empty(n_points)
+        shifts[0] = self.delta_vth_v
+        for i in range(1, n_points):
+            phase(times[i] - times[i - 1])
+            shifts[i] = self.delta_vth_v
+        return times, shifts
+
+    # -- convenience -----------------------------------------------------
+
+    def recovery_fraction_after(self, stress_s: float, recovery_s: float,
+                                condition: BtiRecoveryCondition
+                                ) -> float:
+        """Run the Table I protocol from fresh and report recovery %.
+
+        Stresses a *fresh copy* of this model for ``stress_s``, recovers
+        it under ``condition`` for ``recovery_s``, and returns the
+        recovered fraction of the post-stress shift.  The model itself
+        is not mutated.
+        """
+        probe = BtiModel(self.config)
+        probe.apply_stress(stress_s)
+        before = probe.delta_vth_v
+        probe.apply_recovery(recovery_s, condition)
+        if before <= 0.0:
+            return 0.0
+        return (before - probe.delta_vth_v) / before

@@ -1,0 +1,151 @@
+"""Newton-Raphson DC operating-point analysis with gmin stepping.
+
+The solver assembles the MNA system at the current voltage estimate,
+stamps linearized device companions, and iterates with a damped Newton
+update.  If plain Newton fails (strongly nonlinear bias points), it
+falls back to gmin stepping: a large conductance from every node to
+ground is added and progressively relaxed, dragging the solution from
+an almost-linear problem to the real one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.circuit.elements import MnaSystem
+from repro.circuit.netlist import Circuit
+from repro.errors import ConvergenceError
+
+#: Maximum Newton iterations per gmin level.
+_MAX_ITERATIONS = 200
+
+#: Per-iteration clamp on node-voltage updates (volts).
+_MAX_UPDATE_V = 0.3
+
+#: Convergence tolerance on node voltages (volts).
+_VOLTAGE_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class DcSolution:
+    """A solved DC operating point.
+
+    Attributes:
+        circuit: the analysed netlist.
+        solution: raw MNA vector (node voltages then branch currents).
+        iterations: Newton iterations used (summed over gmin levels).
+    """
+
+    circuit: Circuit
+    solution: np.ndarray
+    iterations: int
+
+    def voltage(self, node: str) -> float:
+        """Voltage of a named node."""
+        index = self.circuit.node(node)
+        return float(self.solution[index]) if index >= 0 else 0.0
+
+    def voltages(self) -> Dict[str, float]:
+        """All node voltages keyed by name."""
+        return {name: float(self.solution[self.circuit.node(name)])
+                for name in self.circuit.node_names}
+
+    def resistor_current(self, name: str) -> float:
+        """Current through a named resistor (from its ``a`` to ``b``)."""
+        return self.circuit.find_resistor(name).current(self.solution)
+
+    def source_current(self, name: str) -> float:
+        """Branch current of a named voltage source (out of ``pos``)."""
+        return self.circuit.find_voltage_source(name).current(
+            self.solution, self.circuit.n_nodes)
+
+    def mosfet_current(self, name: str) -> float:
+        """Drain-to-source current of a named MOSFET."""
+        return self.circuit.find_mosfet(name).current(self.solution)
+
+
+def _assemble(circuit: Circuit, estimate: np.ndarray,
+              gmin: float) -> MnaSystem:
+    system = MnaSystem(circuit.n_nodes, len(circuit.voltage_sources))
+    for resistor in circuit.resistors:
+        resistor.stamp(system)
+    for source in circuit.voltage_sources:
+        source.stamp(system)
+    for source in circuit.current_sources:
+        source.stamp(system)
+    for mosfet in circuit.mosfets:
+        mosfet.stamp(system, estimate)
+    if gmin > 0.0:
+        for node in range(circuit.n_nodes):
+            system.matrix[node, node] += gmin
+    return system
+
+
+def _newton(circuit: Circuit, estimate: np.ndarray, gmin: float
+            ) -> Tuple[Optional[np.ndarray], int]:
+    """Damped Newton at a fixed gmin: (solution or None, iterations)."""
+    x = estimate.copy()
+    n_nodes = circuit.n_nodes
+    for iteration in range(1, _MAX_ITERATIONS + 1):
+        system = _assemble(circuit, x, gmin)
+        try:
+            target = np.linalg.solve(system.matrix, system.rhs)
+        except np.linalg.LinAlgError:
+            return None, iteration
+        if not np.all(np.isfinite(target)):
+            return None, iteration
+        delta = target - x
+        max_step = float(np.abs(delta[:n_nodes]).max()) if n_nodes else 0.0
+        if max_step > _MAX_UPDATE_V:
+            x = x + (_MAX_UPDATE_V / max_step) * delta
+            continue
+        x = target
+        if max_step <= _VOLTAGE_TOL:
+            return x, iteration
+    return None, _MAX_ITERATIONS
+
+
+def dc_operating_point(circuit: Circuit,
+                       initial_guess: Optional[np.ndarray] = None
+                       ) -> DcSolution:
+    """Solve the DC operating point of a circuit.
+
+    Args:
+        circuit: the netlist to analyse.
+        initial_guess: optional starting MNA vector (e.g. the previous
+            transient step), which speeds up and stabilizes Newton.
+
+    Returns:
+        The converged :class:`DcSolution`.
+
+    Raises:
+        ConvergenceError: if Newton fails even with gmin stepping.
+    """
+    size = circuit.n_unknowns
+    if initial_guess is not None and initial_guess.shape == (size,):
+        estimate = initial_guess.copy()
+    else:
+        estimate = np.zeros(size)
+
+    solution, iterations = _newton(circuit, estimate, gmin=0.0)
+    if solution is not None:
+        return DcSolution(circuit, solution, iterations)
+
+    # gmin stepping: solve a heavily damped problem first, then relax.
+    total_iterations = iterations
+    for exponent in range(3, 13):
+        gmin = 10.0 ** (-exponent)
+        stepped, used = _newton(circuit, estimate, gmin=gmin)
+        total_iterations += used
+        if stepped is None:
+            break
+        estimate = stepped
+    solution, used = _newton(circuit, estimate, gmin=0.0)
+    total_iterations += used
+    if solution is None:
+        raise ConvergenceError(
+            f"DC analysis of {circuit.title!r} failed to converge")
+    return DcSolution(circuit, solution, total_iterations)

@@ -1,0 +1,184 @@
+"""Linear circuit elements and their MNA stamps.
+
+Every element stamps itself into a dense MNA system::
+
+    [ G  B ] [ v ]   [ i ]
+    [ C  D ] [ j ] = [ e ]
+
+where ``v`` are node voltages and ``j`` are voltage-source branch
+currents.  Node index ``-1`` denotes ground and is skipped by the stamp
+helpers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import NetlistError
+
+
+class MnaSystem:
+    """Dense MNA matrix/right-hand side under assembly."""
+
+    def __init__(self, n_nodes: int, n_branches: int):
+        size = n_nodes + n_branches
+        self.n_nodes = n_nodes
+        self.matrix = np.zeros((size, size))
+        self.rhs = np.zeros(size)
+
+    def add_conductance(self, a: int, b: int, g: float) -> None:
+        """Stamp a conductance ``g`` between nodes ``a`` and ``b``."""
+        if a >= 0:
+            self.matrix[a, a] += g
+        if b >= 0:
+            self.matrix[b, b] += g
+        if a >= 0 and b >= 0:
+            self.matrix[a, b] -= g
+            self.matrix[b, a] -= g
+
+    def add_transconductance(self, out_a: int, out_b: int,
+                             in_a: int, in_b: int, gm: float) -> None:
+        """Stamp a VCCS: current gm*(v[in_a]-v[in_b]) from out_a to out_b."""
+        for out_node, out_sign in ((out_a, 1.0), (out_b, -1.0)):
+            if out_node < 0:
+                continue
+            if in_a >= 0:
+                self.matrix[out_node, in_a] += out_sign * gm
+            if in_b >= 0:
+                self.matrix[out_node, in_b] -= out_sign * gm
+
+    def add_current(self, a: int, b: int, amps: float) -> None:
+        """Stamp a current of ``amps`` flowing from node ``a`` to ``b``."""
+        if a >= 0:
+            self.rhs[a] -= amps
+        if b >= 0:
+            self.rhs[b] += amps
+
+    def add_voltage_branch(self, branch: int, pos: int, neg: int,
+                           volts: float) -> None:
+        """Stamp an ideal voltage source on branch row ``branch``."""
+        row = self.n_nodes + branch
+        if pos >= 0:
+            self.matrix[pos, row] += 1.0
+            self.matrix[row, pos] += 1.0
+        if neg >= 0:
+            self.matrix[neg, row] -= 1.0
+            self.matrix[row, neg] -= 1.0
+        self.rhs[row] += volts
+
+
+@dataclass
+class Resistor:
+    """Linear resistor.
+
+    Attributes:
+        name: unique element name.
+        a / b: node indices.
+        ohms: resistance; must be positive.
+    """
+
+    name: str
+    a: int
+    b: int
+    ohms: float
+
+    def __post_init__(self) -> None:
+        if self.ohms <= 0.0:
+            raise NetlistError(f"resistor {self.name}: ohms must be positive")
+
+    def stamp(self, system: MnaSystem) -> None:
+        """Stamp the conductance into the system."""
+        system.add_conductance(self.a, self.b, 1.0 / self.ohms)
+
+    def current(self, solution_v: np.ndarray) -> float:
+        """Current from ``a`` to ``b`` given a node-voltage solution."""
+        va = solution_v[self.a] if self.a >= 0 else 0.0
+        vb = solution_v[self.b] if self.b >= 0 else 0.0
+        return (va - vb) / self.ohms
+
+
+@dataclass
+class Capacitor:
+    """Capacitor: open in DC, backward-Euler companion in transient.
+
+    Attributes:
+        name: unique element name.
+        a / b: node indices.
+        farads: capacitance; must be positive.
+        voltage_v: present capacitor voltage ``v(a) - v(b)``; updated by
+            the transient solver, used as the companion-source state.
+    """
+
+    name: str
+    a: int
+    b: int
+    farads: float
+    voltage_v: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.farads <= 0.0:
+            raise NetlistError(
+                f"capacitor {self.name}: farads must be positive")
+
+    def stamp_transient(self, system: MnaSystem, dt: float) -> None:
+        """Stamp the backward-Euler companion (G = C/dt, I = G*v_old)."""
+        g = self.farads / dt
+        system.add_conductance(self.a, self.b, g)
+        # Companion current source pushes g*v_old from b to a.
+        system.add_current(self.b, self.a, g * self.voltage_v)
+
+    def update_state(self, solution_v: np.ndarray) -> None:
+        """Record the post-step capacitor voltage."""
+        va = solution_v[self.a] if self.a >= 0 else 0.0
+        vb = solution_v[self.b] if self.b >= 0 else 0.0
+        self.voltage_v = va - vb
+
+
+@dataclass
+class VoltageSource:
+    """Ideal voltage source with an MNA branch current.
+
+    Attributes:
+        name: unique element name.
+        pos / neg: node indices; ``v(pos) - v(neg) = volts``.
+        volts: source value (may be changed between solves).
+        branch: index of the MNA branch row.
+    """
+
+    name: str
+    pos: int
+    neg: int
+    volts: float
+    branch: int
+
+    def stamp(self, system: MnaSystem) -> None:
+        """Stamp the source into its branch row."""
+        system.add_voltage_branch(self.branch, self.pos, self.neg,
+                                  self.volts)
+
+    def current(self, solution: np.ndarray, n_nodes: int) -> float:
+        """Branch current flowing from ``pos`` through the source."""
+        return float(solution[n_nodes + self.branch])
+
+
+@dataclass
+class CurrentSource:
+    """Ideal current source driving ``amps`` from node ``a`` to ``b``.
+
+    Attributes:
+        name: unique element name.
+        a / b: node indices; positive ``amps`` removes current from
+            ``a`` and injects it into ``b``.
+        amps: source value (may be changed between solves).
+    """
+
+    name: str
+    a: int
+    b: int
+    amps: float
+
+    def stamp(self, system: MnaSystem) -> None:
+        """Stamp the injection into the right-hand side."""
+        system.add_current(self.a, self.b, self.amps)

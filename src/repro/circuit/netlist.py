@@ -1,0 +1,141 @@
+"""Netlist container: named nodes, named elements, index bookkeeping.
+
+Nodes are arbitrary strings; :data:`GROUND` (``"gnd"``, with ``"0"``
+accepted as an alias) is the reference node and is not given a matrix
+index.  Elements are added through typed ``add_*`` helpers that also
+reject duplicate names, so a mistyped netlist fails loudly at build
+time rather than producing a singular matrix later.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from repro.errors import NetlistError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.circuit.elements import (
+        Capacitor, CurrentSource, Resistor, VoltageSource)
+    from repro.circuit.mosfet import Mosfet
+
+#: Canonical name of the reference node.
+GROUND = "gnd"
+
+_GROUND_ALIASES = {GROUND, "0", "GND", "vss!"}
+
+
+class Circuit:
+    """A flat netlist of elements connecting named nodes."""
+
+    def __init__(self, title: str = "circuit"):
+        self.title = title
+        self.resistors: List["Resistor"] = []
+        self.capacitors: List["Capacitor"] = []
+        self.voltage_sources: List["VoltageSource"] = []
+        self.current_sources: List["CurrentSource"] = []
+        self.mosfets: List["Mosfet"] = []
+        self._node_index: Dict[str, int] = {}
+        self._names: set = set()
+
+    # -- node management ---------------------------------------------------
+
+    def node(self, name: str) -> int:
+        """Matrix index of a node, creating it on first use (-1 = ground)."""
+        if name in _GROUND_ALIASES:
+            return -1
+        if name not in self._node_index:
+            self._node_index[name] = len(self._node_index)
+        return self._node_index[name]
+
+    @property
+    def node_names(self) -> List[str]:
+        """All non-ground node names in index order."""
+        return sorted(self._node_index, key=self._node_index.get)
+
+    @property
+    def n_nodes(self) -> int:
+        """Number of non-ground nodes."""
+        return len(self._node_index)
+
+    def _register(self, name: str) -> None:
+        if name in self._names:
+            raise NetlistError(f"duplicate element name {name!r}")
+        self._names.add(name)
+
+    # -- element helpers ---------------------------------------------------
+
+    def add_resistor(self, name: str, a: str, b: str,
+                     ohms: float) -> "Resistor":
+        """Add a two-terminal resistor between nodes ``a`` and ``b``."""
+        from repro.circuit.elements import Resistor
+        self._register(name)
+        element = Resistor(name, self.node(a), self.node(b), ohms)
+        self.resistors.append(element)
+        return element
+
+    def add_capacitor(self, name: str, a: str, b: str, farads: float,
+                      initial_v: float = 0.0) -> "Capacitor":
+        """Add a capacitor (open in DC, companion model in transient)."""
+        from repro.circuit.elements import Capacitor
+        self._register(name)
+        element = Capacitor(name, self.node(a), self.node(b), farads,
+                            initial_v)
+        self.capacitors.append(element)
+        return element
+
+    def add_voltage_source(self, name: str, pos: str, neg: str,
+                           volts: float) -> "VoltageSource":
+        """Add an ideal voltage source (``pos`` - ``neg`` = ``volts``)."""
+        from repro.circuit.elements import VoltageSource
+        self._register(name)
+        element = VoltageSource(name, self.node(pos), self.node(neg),
+                                volts, branch=len(self.voltage_sources))
+        self.voltage_sources.append(element)
+        return element
+
+    def add_current_source(self, name: str, a: str, b: str,
+                           amps: float) -> "CurrentSource":
+        """Add an ideal current source driving ``amps`` from ``a`` to ``b``."""
+        from repro.circuit.elements import CurrentSource
+        self._register(name)
+        element = CurrentSource(name, self.node(a), self.node(b), amps)
+        self.current_sources.append(element)
+        return element
+
+    def add_mosfet(self, name: str, drain: str, gate: str, source: str,
+                   params: "MosfetParams") -> "Mosfet":
+        """Add a three-terminal (body tied to source rail) MOSFET."""
+        from repro.circuit.mosfet import Mosfet
+        self._register(name)
+        element = Mosfet(name, self.node(drain), self.node(gate),
+                         self.node(source), params)
+        self.mosfets.append(element)
+        return element
+
+    # -- lookups -----------------------------------------------------------
+
+    def find_resistor(self, name: str) -> "Resistor":
+        """The resistor with the given name."""
+        for element in self.resistors:
+            if element.name == name:
+                return element
+        raise NetlistError(f"no resistor named {name!r}")
+
+    def find_voltage_source(self, name: str) -> "VoltageSource":
+        """The voltage source with the given name."""
+        for element in self.voltage_sources:
+            if element.name == name:
+                return element
+        raise NetlistError(f"no voltage source named {name!r}")
+
+    def find_mosfet(self, name: str) -> "Mosfet":
+        """The MOSFET with the given name."""
+        for element in self.mosfets:
+            if element.name == name:
+                return element
+        raise NetlistError(f"no mosfet named {name!r}")
+
+    @property
+    def n_unknowns(self) -> int:
+        """MNA system size: node voltages plus source branch currents."""
+        return self.n_nodes + len(self.voltage_sources)

@@ -1,0 +1,164 @@
+"""Backward-Euler transient analysis with time-varying sources.
+
+Capacitors are replaced per step by their backward-Euler companion
+(conductance ``C/dt`` plus a history current source); the resulting
+resistive nonlinear network is solved with the same damped Newton used
+for DC.  Source waveforms are supplied as callables ``f(t) -> value``
+keyed by element name, which is how the assist-circuit benches drive
+the mode-control gate signals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.circuit.dc import _MAX_ITERATIONS, _MAX_UPDATE_V, _VOLTAGE_TOL, \
+    _assemble, dc_operating_point
+from repro.circuit.netlist import Circuit
+from repro.errors import ConvergenceError
+
+#: A source waveform: maps time (s) to the source value (V or A).
+Waveform = Callable[[float], float]
+
+
+@dataclass(frozen=True)
+class TransientResult:
+    """Waveforms from a transient run.
+
+    Attributes:
+        circuit: the analysed netlist.
+        times_s: time points (including t = 0).
+        solutions: MNA vectors, one row per time point.
+    """
+
+    circuit: Circuit
+    times_s: np.ndarray
+    solutions: np.ndarray
+
+    def voltage(self, node: str) -> np.ndarray:
+        """Waveform of a named node voltage."""
+        index = self.circuit.node(node)
+        if index < 0:
+            return np.zeros(len(self.times_s))
+        return self.solutions[:, index].copy()
+
+    def resistor_current(self, name: str) -> np.ndarray:
+        """Current waveform through a named resistor (a -> b)."""
+        element = self.circuit.find_resistor(name)
+        return np.array([element.current(row) for row in self.solutions])
+
+    def source_current(self, name: str) -> np.ndarray:
+        """Branch-current waveform of a named voltage source."""
+        element = self.circuit.find_voltage_source(name)
+        return self.solutions[:, self.circuit.n_nodes
+                              + element.branch].copy()
+
+    def final_voltages(self) -> Dict[str, float]:
+        """Node voltages at the last time point."""
+        return {name: float(self.solutions[-1, self.circuit.node(name)])
+                for name in self.circuit.node_names}
+
+    def settle_time(self, node: str, target_v: float,
+                    tolerance_v: float = 0.02) -> float:
+        """First time after which the node stays within the tolerance.
+
+        Used by the Fig. 10 study to measure mode-switching time.
+        Returns ``inf`` if the node never settles.
+        """
+        wave = self.voltage(node)
+        within = np.abs(wave - target_v) <= tolerance_v
+        # Find the earliest index from which `within` holds to the end.
+        if not within[-1]:
+            return float("inf")
+        idx = len(within) - 1
+        while idx > 0 and within[idx - 1]:
+            idx -= 1
+        return float(self.times_s[idx])
+
+
+def _solve_step(circuit: Circuit, estimate: np.ndarray,
+                dt: float) -> np.ndarray:
+    """One backward-Euler step: Newton on the companion network."""
+    x = estimate.copy()
+    n_nodes = circuit.n_nodes
+    for _ in range(_MAX_ITERATIONS):
+        system = _assemble(circuit, x, gmin=0.0)
+        for capacitor in circuit.capacitors:
+            capacitor.stamp_transient(system, dt)
+        try:
+            target = np.linalg.solve(system.matrix, system.rhs)
+        except np.linalg.LinAlgError as exc:
+            raise ConvergenceError(
+                f"transient step of {circuit.title!r} is singular") from exc
+        delta = target - x
+        max_step = float(np.abs(delta[:n_nodes]).max()) if n_nodes else 0.0
+        if max_step > _MAX_UPDATE_V:
+            x = x + (_MAX_UPDATE_V / max_step) * delta
+            continue
+        x = target
+        if max_step <= _VOLTAGE_TOL:
+            return x
+    raise ConvergenceError(
+        f"transient step of {circuit.title!r} failed to converge")
+
+
+def transient(circuit: Circuit, stop_s: float, dt_s: float,
+              waveforms: Optional[Dict[str, Waveform]] = None,
+              from_dc: bool = True) -> TransientResult:
+    """Run a fixed-step backward-Euler transient analysis.
+
+    Args:
+        circuit: the netlist; capacitor states are mutated in place
+            (their final voltages remain available afterwards).
+        stop_s: simulation end time.
+        dt_s: fixed time step.
+        waveforms: optional per-source waveforms, keyed by voltage- or
+            current-source name; sources without a waveform keep their
+            static value.
+        from_dc: start from the DC operating point with waveforms
+            evaluated at t = 0 (otherwise start from all-zero state).
+
+    Returns:
+        The collected :class:`TransientResult`.
+    """
+    if stop_s <= 0.0 or dt_s <= 0.0:
+        raise ValueError("stop_s and dt_s must be positive")
+    waveforms = waveforms or {}
+    sources_by_name = {source.name: source
+                       for source in circuit.voltage_sources}
+    sources_by_name.update({source.name: source
+                            for source in circuit.current_sources})
+    for name in waveforms:
+        if name not in sources_by_name:
+            raise ConvergenceError(f"no source named {name!r} to drive")
+
+    def apply_waveforms(t: float) -> None:
+        for name, waveform in waveforms.items():
+            source = sources_by_name[name]
+            if hasattr(source, "volts"):
+                source.volts = float(waveform(t))
+            else:
+                source.amps = float(waveform(t))
+
+    apply_waveforms(0.0)
+    if from_dc:
+        x = dc_operating_point(circuit).solution
+    else:
+        x = np.zeros(circuit.n_unknowns)
+    for capacitor in circuit.capacitors:
+        capacitor.update_state(x)
+
+    n_steps = int(round(stop_s / dt_s))
+    times = np.linspace(0.0, n_steps * dt_s, n_steps + 1)
+    solutions = np.empty((n_steps + 1, circuit.n_unknowns))
+    solutions[0] = x
+    for step in range(1, n_steps + 1):
+        apply_waveforms(times[step])
+        x = _solve_step(circuit, x, dt_s)
+        for capacitor in circuit.capacitors:
+            capacitor.update_state(x)
+        solutions[step] = x
+    return TransientResult(circuit, times, solutions)

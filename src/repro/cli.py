@@ -1,0 +1,268 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage::
+
+    python -m repro.cli table1
+    python -m repro.cli fig4 --cycles 8
+    python -m repro.cli fig5
+    python -m repro.cli fig7 --stress-min 15 --recovery-min 5
+    python -m repro.cli fig9
+    python -m repro.cli fig10
+    python -m repro.cli margins --years 10
+    python -m repro.cli system --epochs 336
+
+Each sub-command prints the same rows/series the corresponding paper
+table or figure reports.  The heavy lifting lives in the library; the
+CLI is a thin argparse layer so results are scriptable without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from repro import units
+from repro.analysis.reporting import format_series, format_table
+
+
+def _cmd_table1(args: argparse.Namespace) -> None:
+    from repro.bti.calibration import TABLE1_MEASUREMENTS, \
+        default_calibration
+    model = default_calibration().build_model()
+    rows = []
+    for row in TABLE1_MEASUREMENTS:
+        ours = model.recovery_fraction_after(
+            units.hours(args.stress_hours),
+            units.hours(args.recovery_hours), row.condition)
+        rows.append((row.condition.name,
+                     f"{row.measured_fraction:.2%}",
+                     f"{row.paper_model_fraction:.2%}",
+                     f"{ours:.2%}"))
+    print(format_table(
+        ("recovery condition", "paper meas.", "paper model", "ours"),
+        rows, title=f"Table I ({args.stress_hours:g} h stress, "
+                    f"{args.recovery_hours:g} h recovery)"))
+
+
+def _cmd_fig4(args: argparse.Namespace) -> None:
+    from repro.bti.calibration import default_calibration
+    from repro.bti.conditions import ACTIVE_ACCELERATED_RECOVERY
+    from repro.core.schedule import PeriodicSchedule, run_bti_schedule
+    calibration = default_calibration()
+    rows = []
+    for stress_h, recovery_h in ((1.0, 1.0), (2.0, 1.0), (4.0, 1.0)):
+        outcome = run_bti_schedule(
+            calibration.build_model(),
+            PeriodicSchedule.from_hours(stress_h, recovery_h,
+                                        args.cycles),
+            ACTIVE_ACCELERATED_RECOVERY)
+        per_cycle = " ".join(f"{v * 1e3:6.3f}"
+                             for v in outcome.permanent_per_cycle_v)
+        rows.append((outcome.schedule.ratio_label, per_cycle))
+    print(format_table(
+        ("schedule", f"permanent per cycle (mV), {args.cycles} cycles"),
+        rows, title="Fig. 4: permanent BTI vs schedule"))
+
+
+def _cmd_fig5(args: argparse.Namespace) -> None:
+    from repro.em.line import EmLine, PAPER_EM_RECOVERY, PAPER_EM_STRESS
+    line = EmLine()
+    stress_t, stress_r = line.apply_trace(
+        units.minutes(args.stress_min), PAPER_EM_STRESS, 21)
+    recovery_t, recovery_r = line.apply_trace(
+        units.minutes(args.recovery_min), PAPER_EM_RECOVERY, 17)
+    print(format_series(
+        "Fig. 5 stress (230C, +7.96 MA/cm2)",
+        [units.to_minutes(t) for t in stress_t], stress_r,
+        x_label="min", y_label="ohm", precision=4))
+    print()
+    print(format_series(
+        "Fig. 5 recovery (-7.96 MA/cm2)",
+        [args.stress_min + units.to_minutes(t) for t in recovery_t],
+        recovery_r, x_label="min", y_label="ohm", precision=4))
+
+
+def _cmd_fig7(args: argparse.Namespace) -> None:
+    from repro.em.line import PAPER_EM_STRESS
+    from repro.em.lumped import LumpedEmModel
+    model = LumpedEmModel()
+    t_nuc = model.nucleation_time(PAPER_EM_STRESS)
+    estimate = model.nucleation_under_periodic_recovery(
+        units.minutes(args.stress_min), units.minutes(args.recovery_min),
+        PAPER_EM_STRESS)
+    print(format_table(("quantity", "value"), [
+        ("continuous nucleation",
+         f"{units.to_minutes(t_nuc):.0f} min"),
+        (f"scheduled ({args.stress_min:g}:{args.recovery_min:g} min)",
+         f"{units.to_minutes(estimate.time_s):.0f} min"),
+        ("delay factor", f"{estimate.time_s / t_nuc:.2f}x"),
+    ], title="Fig. 7: periodic recovery during nucleation"))
+
+
+def _cmd_fig9(args: argparse.Namespace) -> None:
+    from repro.assist.circuitry import AssistCircuit
+    from repro.assist.modes import AssistMode
+    circuit = AssistCircuit()
+    rows = []
+    for mode in AssistMode:
+        op = circuit.solve_mode(mode)
+        rows.append((mode.value, f"{op.load_vdd_v:.3f} V",
+                     f"{op.load_vss_v:.3f} V",
+                     f"{op.vdd_grid_current_a * 1e3:+.3f} mA"))
+    print(format_table(
+        ("mode", "load VDD", "load VSS", "grid current"), rows,
+        title="Fig. 9: assist-circuit operating points"))
+
+
+def _cmd_fig10(args: argparse.Namespace) -> None:
+    from repro.assist.sizing import sweep_load_size
+    rows = [(p.n_loads, f"{p.delay_normalized:.3f}",
+             f"{p.switching_time_normalized:.3f}")
+            for p in sweep_load_size()]
+    print(format_table(
+        ("loads", "norm. delay", "norm. switching time"), rows,
+        title="Fig. 10: load size sweep"))
+
+
+def _cmd_margins(args: argparse.Namespace) -> None:
+    from repro.bti.conditions import BtiStressCondition
+    from repro.core.margins import GuardbandModel
+    stress = BtiStressCondition(
+        voltage=args.stress_voltage,
+        temperature_k=units.celsius_to_kelvin(args.temperature_c),
+        name="use")
+    comparison = GuardbandModel().compare(units.years(args.years),
+                                          stress)
+    print(comparison.describe())
+
+
+def _cmd_blech(args: argparse.Namespace) -> None:
+    from repro.em.blech import assess, critical_length_m
+    from repro.em.line import EmStressCondition
+    from repro.em.wire import PAPER_TEST_WIRE
+    condition = EmStressCondition(
+        units.ma_per_cm2(args.density_ma_cm2),
+        units.celsius_to_kelvin(args.temperature_c),
+        name="cli condition")
+    audit = assess(PAPER_TEST_WIRE, condition)
+    print(audit.describe())
+    l_crit = critical_length_m(PAPER_TEST_WIRE.material,
+                               condition.current_density_a_m2,
+                               condition.temperature_k)
+    print(f"critical (immortal) segment length: {l_crit * 1e6:.1f} um")
+
+
+def _cmd_plan(args: argparse.Namespace) -> None:
+    from repro.bti.conditions import BtiStressCondition
+    from repro.core.planner import RecoveryPlanner
+    from repro.em.line import EmStressCondition
+    stress = BtiStressCondition(
+        voltage=args.stress_voltage,
+        temperature_k=units.celsius_to_kelvin(args.temperature_c),
+        name="use")
+    grid = EmStressCondition(
+        units.ma_per_cm2(args.grid_density_ma_cm2),
+        units.celsius_to_kelvin(args.grid_temperature_c),
+        name="grid")
+    plan = RecoveryPlanner().plan(units.years(args.years), stress,
+                                  grid,
+                                  min_availability=args.availability)
+    print(plan.describe())
+
+
+def _cmd_system(args: argparse.Namespace) -> None:
+    from repro.system.chip import Chip
+    from repro.system.scheduler import (NoRecoveryPolicy,
+                                        RoundRobinRecoveryPolicy)
+    from repro.system.simulator import SystemSimulator
+    from repro.system.workload import ConstantWorkload
+    rows = []
+    for name, policy in (
+            ("no recovery", NoRecoveryPolicy()),
+            ("round-robin healing",
+             RoundRobinRecoveryPolicy(recovery_slots=2,
+                                      em_alternate_every=2))):
+        chip = Chip(4, 4)
+        result = SystemSimulator(chip).run(
+            args.epochs,
+            ConstantWorkload(n_cores=chip.n_cores,
+                             utilization=args.utilization),
+            policy, record_every=max(args.epochs // 40, 1))
+        rows.append((name, f"{result.guardband:.2%}",
+                     f"{result.final_permanent_vth_v.max() * 1e3:.2f}"
+                     " mV"))
+    print(format_table(
+        ("policy", "guardband", "worst permanent dVth"), rows,
+        title=f"System comparison over {args.epochs} epochs"))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Deep-healing paper experiments from the shell")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    table1 = sub.add_parser("table1", help="Table I recovery fractions")
+    table1.add_argument("--stress-hours", type=float, default=24.0)
+    table1.add_argument("--recovery-hours", type=float, default=6.0)
+    table1.set_defaults(func=_cmd_table1)
+
+    fig4 = sub.add_parser("fig4", help="Fig. 4 permanent accumulation")
+    fig4.add_argument("--cycles", type=int, default=5)
+    fig4.set_defaults(func=_cmd_fig4)
+
+    fig5 = sub.add_parser("fig5", help="Fig. 5 EM stress/recovery trace")
+    fig5.add_argument("--stress-min", type=float, default=600.0)
+    fig5.add_argument("--recovery-min", type=float, default=480.0)
+    fig5.set_defaults(func=_cmd_fig5)
+
+    fig7 = sub.add_parser("fig7", help="Fig. 7 nucleation delay")
+    fig7.add_argument("--stress-min", type=float, default=15.0)
+    fig7.add_argument("--recovery-min", type=float, default=5.0)
+    fig7.set_defaults(func=_cmd_fig7)
+
+    fig9 = sub.add_parser("fig9", help="Fig. 9 assist-circuit modes")
+    fig9.set_defaults(func=_cmd_fig9)
+
+    fig10 = sub.add_parser("fig10", help="Fig. 10 load-size sweep")
+    fig10.set_defaults(func=_cmd_fig10)
+
+    margins = sub.add_parser("margins", help="Fig. 12b margin savings")
+    margins.add_argument("--years", type=float, default=10.0)
+    margins.add_argument("--stress-voltage", type=float, default=0.45)
+    margins.add_argument("--temperature-c", type=float, default=60.0)
+    margins.set_defaults(func=_cmd_margins)
+
+    system = sub.add_parser("system", help="multicore policy study")
+    system.add_argument("--epochs", type=int, default=336)
+    system.add_argument("--utilization", type=float, default=0.6)
+    system.set_defaults(func=_cmd_system)
+
+    blech = sub.add_parser("blech", help="Blech immortality audit")
+    blech.add_argument("--density-ma-cm2", type=float, default=7.96)
+    blech.add_argument("--temperature-c", type=float, default=230.0)
+    blech.set_defaults(func=_cmd_blech)
+
+    plan = sub.add_parser("plan", help="mission recovery plan")
+    plan.add_argument("--years", type=float, default=10.0)
+    plan.add_argument("--stress-voltage", type=float, default=0.45)
+    plan.add_argument("--temperature-c", type=float, default=60.0)
+    plan.add_argument("--grid-density-ma-cm2", type=float, default=6.0)
+    plan.add_argument("--grid-temperature-c", type=float,
+                      default=105.0)
+    plan.add_argument("--availability", type=float, default=0.5)
+    plan.set_defaults(func=_cmd_plan)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    args.func(args)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,97 @@
+"""The paper's core contribution: deep healing by scheduled recovery.
+
+This package turns the recovery *capabilities* demonstrated by the
+substrates into a design/runtime *methodology*:
+
+* :mod:`~repro.core.schedule` -- stress/recovery schedules and runners
+  that drive the BTI and EM models through them, recording per-cycle
+  outcomes (the Fig. 4 / Fig. 7 experiments).
+* :mod:`~repro.core.balance` -- the "push-pull" balancer: search for
+  the stress:recovery balance that keeps the permanent component at
+  zero (the paper's 1 h : 1 h result) or maximizes EM nucleation delay.
+* :mod:`~repro.core.lifetime` -- lifetime analysis under schedules,
+  including Black's-equation projection to use conditions.
+* :mod:`~repro.core.margins` -- wearout guardband arithmetic: the
+  worst-case margin a no-recovery design needs vs the "new design
+  margin" of Fig. 12(b).
+* :mod:`~repro.core.controller` -- a sensor-driven runtime controller
+  that inserts BTI/EM active-recovery intervals (Fig. 12b).
+* :mod:`~repro.core.engine` -- the :class:`DeepHealingEngine` facade
+  that wires calibrated models, sensors and policies together.
+"""
+
+from repro.core.schedule import (
+    PeriodicSchedule,
+    BtiCycleRecord,
+    BtiScheduleOutcome,
+    EmCycleRecord,
+    EmScheduleOutcome,
+    run_bti_schedule,
+    run_em_schedule,
+)
+from repro.core.balance import (
+    BalanceResult,
+    PushPullBalancer,
+)
+from repro.core.lifetime import (
+    LifetimeAnalyzer,
+    LifetimeEstimate,
+)
+from repro.core.margins import (
+    GuardbandModel,
+    MarginComparison,
+)
+from repro.core.controller import (
+    ControllerPolicy,
+    PeriodicPolicy,
+    ThresholdPolicy,
+    RuntimeController,
+    ControlAction,
+    ControlLogEntry,
+)
+from repro.core.engine import DeepHealingEngine, HealingReport
+from repro.core.compensation import (
+    FrequencyDeratingCompensation,
+    StrategySnapshot,
+    StrategyTimeline,
+    VddBoostCompensation,
+    compare_strategies,
+)
+from repro.core.planner import RecoveryPlan, RecoveryPlanner
+from repro.core.design_space import (
+    DesignCandidate,
+    DesignSpaceExplorer,
+)
+
+__all__ = [
+    "DesignCandidate",
+    "DesignSpaceExplorer",
+    "RecoveryPlan",
+    "RecoveryPlanner",
+    "FrequencyDeratingCompensation",
+    "VddBoostCompensation",
+    "StrategySnapshot",
+    "StrategyTimeline",
+    "compare_strategies",
+    "PeriodicSchedule",
+    "BtiCycleRecord",
+    "BtiScheduleOutcome",
+    "EmCycleRecord",
+    "EmScheduleOutcome",
+    "run_bti_schedule",
+    "run_em_schedule",
+    "BalanceResult",
+    "PushPullBalancer",
+    "LifetimeAnalyzer",
+    "LifetimeEstimate",
+    "GuardbandModel",
+    "MarginComparison",
+    "ControllerPolicy",
+    "PeriodicPolicy",
+    "ThresholdPolicy",
+    "RuntimeController",
+    "ControlAction",
+    "ControlLogEntry",
+    "DeepHealingEngine",
+    "HealingReport",
+]

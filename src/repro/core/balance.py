@@ -1,0 +1,192 @@
+"""The "push-pull" stress/recovery balancer.
+
+Section III-E of the paper: *"both share common recovery behaviors --
+the 'Push-Pull' stress/active recovery compensation where in-time
+scheduled periodic recovery intervals are able to fully eliminate the
+permanent wearout component"*, and Section III-C: *"there is a balance
+of stress and recovery (e.g. 1hr vs. 1hr in Fig. 4) which can bring the
+aged system back to almost fresh status"*.
+
+The balancer answers the two design questions that follow:
+
+* **BTI**: given a stress-interval length, how much active+accelerated
+  recovery per cycle keeps the device at a bounded, non-accumulating
+  shift -- and is the stress interval short enough that nothing locks
+  in?
+* **EM**: given a required stress duty cycle, which periodic
+  reverse-current schedule maximizes the nucleation delay?
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.bti.calibration import BtiCalibration, default_calibration
+from repro.bti.conditions import (
+    ACTIVE_ACCELERATED_RECOVERY,
+    BtiRecoveryCondition,
+)
+from repro.core.schedule import PeriodicSchedule, run_bti_schedule
+from repro.em.line import EmStressCondition
+from repro.em.lumped import LumpedEmModel
+from repro.errors import ScheduleError
+
+
+@dataclass(frozen=True)
+class BalanceResult:
+    """A balanced stress/recovery operating point.
+
+    Attributes:
+        schedule: the balanced periodic schedule (representative cycle
+            count for verification runs).
+        residual_vth_v: end-of-schedule total shift of the
+            verification run (BTI) or None for EM results.
+        permanent_vth_v: end-of-schedule permanent component (BTI) or
+            None for EM results.
+        nucleation_delay_factor: nucleation-time gain over continuous
+            stress (EM) or None for BTI results.
+    """
+
+    schedule: PeriodicSchedule
+    residual_vth_v: Optional[float] = None
+    permanent_vth_v: Optional[float] = None
+    nucleation_delay_factor: Optional[float] = None
+
+
+class PushPullBalancer:
+    """Search for balanced stress/recovery schedules."""
+
+    def __init__(self, calibration: Optional[BtiCalibration] = None,
+                 em_model: Optional[LumpedEmModel] = None):
+        self.calibration = calibration or default_calibration()
+        self.em_model = em_model or LumpedEmModel()
+
+    # -- BTI ---------------------------------------------------------------
+
+    def lock_safe_stress_interval_s(self) -> float:
+        """Longest stress interval that cannot create permanent wearout.
+
+        Traps convert to the permanent component only after staying
+        occupied longer than the lock-in age, so any stress interval
+        below it (with recovery that empties the traps in between) is
+        "in time" in the paper's sense.
+        """
+        return self.calibration.model_config.population.lock_age_s
+
+    def balance_bti(self, stress_interval_s: float,
+                    recovery: BtiRecoveryCondition =
+                    ACTIVE_ACCELERATED_RECOVERY,
+                    stress=None,
+                    verification_cycles: int = 6,
+                    residual_tolerance: float = 0.02,
+                    max_ratio: float = 4.0) -> BalanceResult:
+        """Find the smallest recovery interval that balances a stress
+        interval.
+
+        The search looks for the smallest recovery:stress ratio whose
+        end-of-schedule shift (after ``verification_cycles`` cycles)
+        stays below ``residual_tolerance`` of the end-of-stress shift
+        -- i.e. every cycle returns the device to "almost fresh".
+
+        Args:
+            stress_interval_s: the per-cycle stress length.
+            recovery: recovery condition to balance against.
+            stress: stress condition of the operation intervals;
+                defaults to the calibration's accelerated reference.
+            verification_cycles: cycles used to check accumulation.
+            residual_tolerance: allowed residual shift, relative to
+                the per-cycle peak shift.
+            max_ratio: give up beyond this recovery:stress ratio.
+
+        Raises:
+            ScheduleError: if no ratio up to ``max_ratio`` balances
+                the schedule (e.g. passive recovery can never keep up).
+        """
+        if stress_interval_s <= 0.0:
+            raise ScheduleError("stress interval must be positive")
+
+        def residual_fraction(ratio: float) -> float:
+            schedule = PeriodicSchedule(
+                stress_interval_s, ratio * stress_interval_s,
+                verification_cycles)
+            model = self.calibration.build_model()
+            outcome = run_bti_schedule(model, schedule, recovery,
+                                       stress=stress)
+            peak = max(record.vth_after_stress_v
+                       for record in outcome.records)
+            if peak <= 0.0:
+                return 0.0
+            return outcome.final_vth_v / peak
+
+        low, high = 0.0, 1.0
+        while residual_fraction(high) > residual_tolerance:
+            high *= 2.0
+            if high > max_ratio:
+                raise ScheduleError(
+                    f"no recovery:stress ratio up to {max_ratio} "
+                    f"balances {stress_interval_s:.0f}s stress under "
+                    f"condition {recovery.name!r}")
+        for _ in range(30):
+            mid = 0.5 * (low + high)
+            if residual_fraction(mid) > residual_tolerance:
+                low = mid
+            else:
+                high = mid
+        schedule = PeriodicSchedule(
+            stress_interval_s, high * stress_interval_s,
+            verification_cycles)
+        model = self.calibration.build_model()
+        outcome = run_bti_schedule(model, schedule, recovery,
+                                   stress=stress)
+        return BalanceResult(
+            schedule=schedule,
+            residual_vth_v=outcome.final_vth_v,
+            permanent_vth_v=outcome.final_permanent_v)
+
+    # -- EM ----------------------------------------------------------------
+
+    def balance_em(self, condition: EmStressCondition,
+                   duty_cycle: float = 0.75,
+                   interval_fractions: Sequence[float] =
+                   (0.02, 0.05, 0.1, 0.15, 0.25, 0.4),
+                   verification_cycles: int = 8) -> BalanceResult:
+        """Find the periodic reverse-current schedule that most delays
+        nucleation at a given stress duty cycle.
+
+        The duty cycle (stress fraction of wall-clock time) is fixed by
+        the workload; the free variable is the interval granularity.
+        Shorter intervals track the paper's "multiple short recovery
+        intervals ... in the early phase" recipe; the sweep finds the
+        granularity with the largest nucleation-delay factor.
+
+        Args:
+            condition: the forward stress condition.
+            duty_cycle: stress fraction of each cycle, in (0, 1].
+            interval_fractions: candidate stress-interval lengths, as
+                fractions of the continuous-stress nucleation time.
+            verification_cycles: cycle count stored on the returned
+                schedule (for later mechanistic verification).
+        """
+        if not 0.0 < duty_cycle <= 1.0:
+            raise ScheduleError("duty cycle must be in (0, 1]")
+        t_nuc = self.em_model.nucleation_time(condition)
+        if math.isinf(t_nuc):
+            raise ScheduleError("condition never nucleates; nothing to "
+                                "balance")
+        best_schedule: Optional[PeriodicSchedule] = None
+        best_factor = 0.0
+        for fraction in interval_fractions:
+            stress_s = fraction * t_nuc
+            recovery_s = stress_s * (1.0 - duty_cycle) / duty_cycle
+            factor = self.em_model.nucleation_delay_factor(
+                stress_s, recovery_s, condition)
+            if factor > best_factor:
+                best_factor = factor
+                best_schedule = PeriodicSchedule(stress_s, recovery_s,
+                                                 verification_cycles)
+        assert best_schedule is not None
+        return BalanceResult(
+            schedule=best_schedule,
+            nucleation_delay_factor=best_factor)

@@ -1,0 +1,209 @@
+"""Adaptive compensation vs deep healing (the paper's Section I contrast).
+
+The conventional post-silicon answer to wearout is *compensation*:
+sensors track the degradation and a knob -- supply voltage, clock
+frequency, body bias -- is adjusted so the circuit still meets timing.
+The paper's critique: "the wearout itself means that the
+power/performance metrics will be degraded and the system runs sluggish
+or burns more power gradually.  Thus, a solution that can fundamentally
+fix wearout instead of compensating for its effects would be clearly
+preferable."
+
+This module quantifies that argument.  Both compensators restore
+*function* but pay a running cost:
+
+* :class:`FrequencyDeratingCompensation` slows the clock to track the
+  aged critical path -- the cost is throughput;
+* :class:`VddBoostCompensation` raises the supply to restore the fresh
+  delay -- the cost is power (~quadratic in VDD for dynamic power);
+
+while :func:`compare_strategies` puts them side by side with a deep
+healing schedule, whose cost is the recovery downtime (and whose
+wearout simply does not accumulate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.bti.analytic import AnalyticBtiModel
+from repro.bti.conditions import (
+    ACTIVE_ACCELERATED_RECOVERY,
+    BtiRecoveryCondition,
+    BtiStressCondition,
+)
+from repro.errors import SimulationError
+from repro.sensors.ring_oscillator import RingOscillator
+
+
+@dataclass(frozen=True)
+class FrequencyDeratingCompensation:
+    """Track wearout by stretching the clock.
+
+    Attributes:
+        oscillator: delay model translating threshold shift to delay.
+    """
+
+    oscillator: RingOscillator = field(default_factory=RingOscillator)
+
+    def throughput_factor(self, delta_vth_v: float) -> float:
+        """Remaining throughput relative to fresh (1.0 = no loss)."""
+        degradation = self.oscillator.delay_degradation(delta_vth_v)
+        return 1.0 / (1.0 + degradation)
+
+    def power_factor(self, delta_vth_v: float) -> float:
+        """Relative power (frequency scales power down equally)."""
+        return self.throughput_factor(delta_vth_v)
+
+
+@dataclass(frozen=True)
+class VddBoostCompensation:
+    """Restore the fresh delay by raising the supply voltage.
+
+    Attributes:
+        oscillator: delay model at the *fresh* supply.
+        max_boost_v: upper bound on the allowed supply increase
+            (reliability/EM of the boosted supply caps this knob --
+            and the boost itself accelerates further wearout).
+    """
+
+    oscillator: RingOscillator = field(default_factory=RingOscillator)
+    max_boost_v: float = 0.2
+
+    def required_supply_v(self, delta_vth_v: float) -> float:
+        """Supply that restores the fresh stage delay.
+
+        With the alpha-power delay ``d ~ V / (V - Vth)^alpha`` the
+        required boost solves ``d(V', Vth0 + dVth) = d(V0, Vth0)``;
+        found by bisection (monotone in V').
+        """
+        if delta_vth_v < 0.0:
+            raise SimulationError("delta_vth_v must be non-negative")
+        ro = self.oscillator
+        fresh_delay = self._delay(ro.supply_v, ro.fresh_vth_v)
+        target_vth = ro.fresh_vth_v + delta_vth_v
+        low = ro.supply_v
+        high = ro.supply_v + self.max_boost_v
+        if self._delay(high, target_vth) > fresh_delay:
+            return high  # knob saturated
+        for _ in range(60):
+            mid = 0.5 * (low + high)
+            if self._delay(mid, target_vth) > fresh_delay:
+                low = mid
+            else:
+                high = mid
+        return 0.5 * (low + high)
+
+    def _delay(self, supply_v: float, vth_v: float) -> float:
+        overdrive = supply_v - vth_v
+        if overdrive <= 0.0:
+            return float("inf")
+        return supply_v / overdrive ** self.oscillator.alpha
+
+    def power_factor(self, delta_vth_v: float) -> float:
+        """Relative dynamic power of the boosted design (CV^2f)."""
+        boosted = self.required_supply_v(delta_vth_v)
+        return (boosted / self.oscillator.supply_v) ** 2
+
+    def is_saturated(self, delta_vth_v: float) -> bool:
+        """True when even the maximum boost cannot restore timing."""
+        ro = self.oscillator
+        fresh_delay = self._delay(ro.supply_v, ro.fresh_vth_v)
+        worst = self._delay(ro.supply_v + self.max_boost_v,
+                            ro.fresh_vth_v + delta_vth_v)
+        return worst > fresh_delay
+
+
+@dataclass(frozen=True)
+class StrategySnapshot:
+    """State of one mitigation strategy at one point in the lifetime.
+
+    Attributes:
+        time_s: lifetime position.
+        throughput_factor: delivered throughput relative to a fresh,
+            always-on system (frequency x availability).
+        power_factor: power relative to the fresh system.
+        residual_shift_v: threshold shift still present.
+    """
+
+    time_s: float
+    throughput_factor: float
+    power_factor: float
+    residual_shift_v: float
+
+
+@dataclass(frozen=True)
+class StrategyTimeline:
+    """A named series of snapshots over the design lifetime."""
+
+    name: str
+    snapshots: List[StrategySnapshot]
+
+    @property
+    def final(self) -> StrategySnapshot:
+        """The end-of-life snapshot."""
+        return self.snapshots[-1]
+
+    def mean_throughput(self) -> float:
+        """Average delivered throughput over the lifetime."""
+        values = [snapshot.throughput_factor
+                  for snapshot in self.snapshots]
+        return sum(values) / len(values)
+
+
+def compare_strategies(lifetime_s: float,
+                       stress: BtiStressCondition,
+                       bti_model: AnalyticBtiModel = None,
+                       oscillator: RingOscillator = None,
+                       healing_stress_interval_s: float = 3600.0,
+                       healing_recovery_interval_s: float = 3600.0,
+                       healing_recovery: BtiRecoveryCondition =
+                       ACTIVE_ACCELERATED_RECOVERY,
+                       n_points: int = 20) -> List[StrategyTimeline]:
+    """Derating vs VDD boost vs deep healing over one lifetime.
+
+    Returns three :class:`StrategyTimeline` objects ("derating",
+    "vdd-boost", "deep-healing").  Throughput folds in the healing
+    downtime (a healed system is off during its recovery intervals but
+    runs at fresh speed otherwise); power folds in the VDD boost.
+    """
+    if lifetime_s <= 0.0:
+        raise SimulationError("lifetime must be positive")
+    if n_points < 2:
+        raise SimulationError("n_points must be at least 2")
+    bti_model = bti_model or AnalyticBtiModel()
+    oscillator = oscillator or RingOscillator()
+    derating = FrequencyDeratingCompensation(oscillator)
+    boosting = VddBoostCompensation(oscillator)
+    healing_duty = healing_stress_interval_s / (
+        healing_stress_interval_s + healing_recovery_interval_s)
+
+    times = [lifetime_s * (i + 1) / n_points for i in range(n_points)]
+    derate_snapshots, boost_snapshots, heal_snapshots = [], [], []
+    for t in times:
+        shift = bti_model.stress_model.shift(t, stress)
+        derate_snapshots.append(StrategySnapshot(
+            time_s=t,
+            throughput_factor=derating.throughput_factor(shift),
+            power_factor=derating.power_factor(shift),
+            residual_shift_v=shift))
+        boost_snapshots.append(StrategySnapshot(
+            time_s=t,
+            throughput_factor=1.0,
+            power_factor=boosting.power_factor(shift),
+            residual_shift_v=shift))
+        healed_shift = bti_model.duty_cycled_shift(
+            t, healing_stress_interval_s, healing_recovery_interval_s,
+            healing_recovery, stress)
+        heal_snapshots.append(StrategySnapshot(
+            time_s=t,
+            throughput_factor=healing_duty
+            * derating.throughput_factor(healed_shift),
+            power_factor=derating.power_factor(healed_shift),
+            residual_shift_v=healed_shift))
+    return [
+        StrategyTimeline("derating", derate_snapshots),
+        StrategyTimeline("vdd-boost", boost_snapshots),
+        StrategyTimeline("deep-healing", heal_snapshots),
+    ]

@@ -1,0 +1,232 @@
+"""Sensor-driven runtime controller for scheduled deep healing.
+
+Implements the control loop sketched in the paper's Fig. 12(b): BTI
+and EM sensors track wearout at run time; short BTI active-recovery
+intervals are inserted "to bring the chip back to the fresh status in
+time" (the load is idle during them), and EM active-recovery intervals
+reverse the grid current "alternately with normal operation" (the load
+keeps running).
+
+The controller is policy-driven: a :class:`ControllerPolicy` maps
+sensor readings to the next epoch's :class:`ControlAction`.  Two
+policies are provided -- a fixed-cadence :class:`PeriodicPolicy` and a
+reactive :class:`ThresholdPolicy` -- and custom policies only need to
+implement ``decide``.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Protocol
+
+from repro import units
+from repro.bti.conditions import (
+    ACTIVE_ACCELERATED_RECOVERY,
+    BtiRecoveryCondition,
+    BtiStressCondition,
+)
+from repro.bti.model import BtiModel
+from repro.em.line import EmLine, EmStressCondition
+from repro.errors import SimulationError
+from repro.sensors.bti_sensor import BtiSensor
+from repro.sensors.em_sensor import EmResistanceSensor
+
+
+class ControlAction(enum.Enum):
+    """What the controller schedules for the next epoch."""
+
+    #: Load operates; both mechanisms accumulate stress.
+    RUN_NORMAL = "run-normal"
+    #: Load idles with reversed rails; BTI heals, EM rests.
+    BTI_RECOVERY = "bti-recovery"
+    #: Load operates with reversed grid current; EM heals, BTI
+    #: continues to stress (the load is still powered).
+    EM_RECOVERY = "em-recovery"
+
+
+@dataclass(frozen=True)
+class ControlLogEntry:
+    """One epoch of controller history.
+
+    Attributes:
+        time_s: epoch start time.
+        action: what was scheduled.
+        bti_degradation: sensed fractional frequency degradation.
+        em_drift_ohm: sensed resistance drift.
+    """
+
+    time_s: float
+    action: ControlAction
+    bti_degradation: float
+    em_drift_ohm: float
+
+
+class ControllerPolicy(Protocol):
+    """Maps sensor state to the next epoch's action."""
+
+    def decide(self, epoch: int, bti_degradation: float,
+               em_drift_ohm: float, em_slope_ohm_per_s: float
+               ) -> ControlAction:
+        """Choose the action for the coming epoch."""
+        ...
+
+
+@dataclass(frozen=True)
+class PeriodicPolicy:
+    """Fixed-cadence recovery insertion.
+
+    Attributes:
+        bti_every: insert one BTI recovery epoch every N epochs.
+        em_every: insert one EM recovery epoch every M epochs (checked
+            after the BTI cadence; 0 disables).
+    """
+
+    bti_every: int = 2
+    em_every: int = 0
+
+    def __post_init__(self) -> None:
+        if self.bti_every < 0 or self.em_every < 0:
+            raise SimulationError("cadences must be non-negative")
+
+    def decide(self, epoch: int, bti_degradation: float,
+               em_drift_ohm: float, em_slope_ohm_per_s: float
+               ) -> ControlAction:
+        """Cadence-only decision; sensor values are ignored."""
+        if self.bti_every and (epoch + 1) % self.bti_every == 0:
+            return ControlAction.BTI_RECOVERY
+        if self.em_every and (epoch + 1) % self.em_every == 0:
+            return ControlAction.EM_RECOVERY
+        return ControlAction.RUN_NORMAL
+
+
+@dataclass(frozen=True)
+class ThresholdPolicy:
+    """Reactive recovery insertion from sensor feedback.
+
+    Attributes:
+        bti_degradation_threshold: sensed frequency degradation that
+            triggers a BTI recovery epoch.
+        em_drift_threshold_ohm: sensed resistance drift that triggers
+            an EM recovery epoch.
+        em_slope_threshold_ohm_per_s: alternatively, a sustained
+            resistance slope (void-growth onset) triggers EM recovery.
+    """
+
+    bti_degradation_threshold: float = 0.01
+    em_drift_threshold_ohm: float = 0.2
+    em_slope_threshold_ohm_per_s: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.bti_degradation_threshold < 1.0:
+            raise SimulationError(
+                "bti_degradation_threshold must be in [0, 1)")
+        if self.em_drift_threshold_ohm <= 0.0:
+            raise SimulationError("em_drift_threshold_ohm must be positive")
+
+    def decide(self, epoch: int, bti_degradation: float,
+               em_drift_ohm: float, em_slope_ohm_per_s: float
+               ) -> ControlAction:
+        """BTI recovery wins ties (it needs the idle window)."""
+        if bti_degradation >= self.bti_degradation_threshold:
+            return ControlAction.BTI_RECOVERY
+        if (em_drift_ohm >= self.em_drift_threshold_ohm
+                or em_slope_ohm_per_s >= self.em_slope_threshold_ohm_per_s):
+            return ControlAction.EM_RECOVERY
+        return ControlAction.RUN_NORMAL
+
+
+@dataclass
+class RuntimeController:
+    """Epoch-based runtime controller over one BTI + one EM model.
+
+    Attributes:
+        bti_model: the monitored/actuated transistor population.
+        em_line: the monitored/actuated interconnect line.
+        bti_stress: operating stress during normal epochs.
+        bti_recovery: recovery condition applied in BTI epochs.
+        em_stress: grid current/temperature during normal epochs.
+        epoch_s: control-epoch length.
+    """
+
+    bti_model: BtiModel
+    em_line: EmLine
+    bti_stress: BtiStressCondition
+    em_stress: EmStressCondition
+    bti_recovery: BtiRecoveryCondition = ACTIVE_ACCELERATED_RECOVERY
+    epoch_s: float = units.minutes(30.0)
+    log: List[ControlLogEntry] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.epoch_s <= 0.0:
+            raise SimulationError("epoch_s must be positive")
+        self._bti_sensor = BtiSensor(self.bti_model)
+        self._em_sensor = EmResistanceSensor(
+            self.em_line, self.em_stress.temperature_k)
+
+    @property
+    def bti_sensor(self) -> BtiSensor:
+        """The attached BTI sensor."""
+        return self._bti_sensor
+
+    @property
+    def em_sensor(self) -> EmResistanceSensor:
+        """The attached EM sensor."""
+        return self._em_sensor
+
+    def run(self, duration_s: float, policy: ControllerPolicy
+            ) -> List[ControlLogEntry]:
+        """Run the control loop for ``duration_s`` under a policy.
+
+        Returns the log entries appended during this call.
+        """
+        if duration_s <= 0.0:
+            raise SimulationError("duration must be positive")
+        n_epochs = max(int(round(duration_s / self.epoch_s)), 1)
+        start_index = len(self.log)
+        for epoch in range(n_epochs):
+            time_s = (len(self.log)) * self.epoch_s
+            bti_reading = self._bti_sensor.read()
+            em_reading = self._em_sensor.read(time_s)
+            action = policy.decide(
+                epoch, bti_reading.degradation, em_reading.drift_ohm,
+                self._em_sensor.slope_ohm_per_s())
+            self._apply(action)
+            self.log.append(ControlLogEntry(
+                time_s=time_s, action=action,
+                bti_degradation=bti_reading.degradation,
+                em_drift_ohm=em_reading.drift_ohm))
+        return self.log[start_index:]
+
+    def _apply(self, action: ControlAction) -> None:
+        if action is ControlAction.RUN_NORMAL:
+            self.bti_model.apply_stress(self.epoch_s, self.bti_stress)
+            self.em_line.apply(self.epoch_s, self.em_stress)
+        elif action is ControlAction.BTI_RECOVERY:
+            # Load idles: transistors heal actively, the grid carries
+            # no current (EM rests passively).
+            self.bti_model.apply_recovery(self.epoch_s, self.bti_recovery)
+            rest = EmStressCondition(
+                current_density_a_m2=0.0,
+                temperature_k=self.em_stress.temperature_k,
+                name="idle (no grid current)")
+            self.em_line.apply(self.epoch_s, rest)
+        elif action is ControlAction.EM_RECOVERY:
+            # Load keeps operating on reversed grid current: EM heals
+            # while BTI continues to stress.
+            self.bti_model.apply_stress(self.epoch_s, self.bti_stress)
+            self.em_line.apply(self.epoch_s, self.em_stress.reversed())
+        else:  # pragma: no cover - exhaustive enum
+            raise SimulationError(f"unknown action {action!r}")
+
+    def availability(self) -> float:
+        """Fraction of epochs in which the load was operating.
+
+        BTI recovery epochs take the load offline (or require work
+        migration); EM recovery epochs do not.
+        """
+        if not self.log:
+            return 1.0
+        offline = sum(1 for entry in self.log
+                      if entry.action is ControlAction.BTI_RECOVERY)
+        return 1.0 - offline / len(self.log)

@@ -1,0 +1,147 @@
+"""Design-space exploration: active recovery as a design knob.
+
+The paper's future-work statement: the compact recovery models "will
+enable an enhanced design methodology that integrates active recovery
+as an effective design knob for system-level design".  This module is
+that methodology's core step: sweep the recovery knobs (healing
+temperature, bias, schedule cadence), evaluate each candidate on the
+axes a system designer trades (wearout margin, availability, heater
+power), and return the Pareto-optimal set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro import units
+from repro.bti.calibration import BtiCalibration, default_calibration
+from repro.bti.conditions import BtiRecoveryCondition, \
+    BtiStressCondition
+from repro.core.balance import PushPullBalancer
+from repro.core.margins import GuardbandModel
+from repro.errors import ScheduleError, SimulationError
+from repro.thermal.floorplan import Floorplan
+from repro.thermal.network import ThermalRCNetwork
+
+
+@dataclass(frozen=True)
+class DesignCandidate:
+    """One evaluated recovery design point.
+
+    Attributes:
+        recovery: the healing condition of this candidate.
+        stress_interval_s / recovery_interval_s: the balanced schedule.
+        margin: required delay guardband over the mission.
+        availability: operating fraction of wall-clock time.
+        heater_power_w: average extra power to keep the healing block
+            at the recovery temperature during its healing intervals
+            (0 when ambient/neighbour heat suffices), amortized over
+            the whole cycle.
+        feasible: whether a balancing schedule exists at all.
+    """
+
+    recovery: BtiRecoveryCondition
+    stress_interval_s: float
+    recovery_interval_s: float
+    margin: float
+    availability: float
+    heater_power_w: float
+    feasible: bool
+
+    def dominates(self, other: "DesignCandidate") -> bool:
+        """Pareto dominance: no worse on all axes, better on one."""
+        if not (self.feasible and other.feasible):
+            return self.feasible and not other.feasible
+        at_least = (self.margin <= other.margin
+                    and self.availability >= other.availability
+                    and self.heater_power_w <= other.heater_power_w)
+        strictly = (self.margin < other.margin
+                    or self.availability > other.availability
+                    or self.heater_power_w < other.heater_power_w)
+        return at_least and strictly
+
+
+class DesignSpaceExplorer:
+    """Sweeps recovery conditions and reports the Pareto frontier."""
+
+    def __init__(self, calibration: Optional[BtiCalibration] = None,
+                 thermal: Optional[ThermalRCNetwork] = None,
+                 heater_block: str = "core00"):
+        self.calibration = calibration or default_calibration()
+        self.balancer = PushPullBalancer(self.calibration)
+        self.guardband = GuardbandModel()
+        self.thermal = thermal or ThermalRCNetwork(Floorplan.grid(1, 1))
+        self.heater_block = heater_block
+
+    def evaluate(self, lifetime_s: float,
+                 stress: BtiStressCondition,
+                 recovery: BtiRecoveryCondition,
+                 max_ratio: float = 4.0) -> DesignCandidate:
+        """Evaluate one recovery condition at a lock-safe cadence."""
+        if lifetime_s <= 0.0:
+            raise SimulationError("lifetime must be positive")
+        accel = stress.capture_acceleration(
+            self.calibration.model_config.reference_stress)
+        stress_interval_s = 0.9 \
+            * self.calibration.model_config.population.lock_age_s \
+            / max(accel, 1e-12)
+        try:
+            balance = self.balancer.balance_bti(
+                stress_interval_s, recovery=recovery, stress=stress,
+                max_ratio=max_ratio)
+        except ScheduleError:
+            return DesignCandidate(
+                recovery=recovery,
+                stress_interval_s=stress_interval_s,
+                recovery_interval_s=float("inf"),
+                margin=float("inf"), availability=0.0,
+                heater_power_w=float("inf"), feasible=False)
+        recovery_interval_s = balance.schedule.recovery_interval_s
+        margin = self.guardband.margin_with_schedule(
+            lifetime_s, stress, stress_interval_s,
+            recovery_interval_s, recovery)
+        availability = stress_interval_s / (
+            stress_interval_s + recovery_interval_s)
+        heater = self.thermal.heating_power_w(
+            self.heater_block, recovery.temperature_k,
+            np.zeros(len(self.thermal.floorplan)))
+        duty = recovery_interval_s / (stress_interval_s
+                                      + recovery_interval_s)
+        return DesignCandidate(
+            recovery=recovery,
+            stress_interval_s=stress_interval_s,
+            recovery_interval_s=recovery_interval_s,
+            margin=margin,
+            availability=availability,
+            heater_power_w=heater * duty,
+            feasible=True)
+
+    def sweep(self, lifetime_s: float, stress: BtiStressCondition,
+              temperatures_c: Sequence[float] = (60.0, 90.0, 110.0,
+                                                 125.0),
+              biases_v: Sequence[float] = (0.0, -0.15, -0.3),
+              ) -> List[DesignCandidate]:
+        """Evaluate the temperature x bias recovery-knob grid."""
+        candidates = []
+        for temp_c in temperatures_c:
+            for bias in biases_v:
+                recovery = BtiRecoveryCondition(
+                    gate_bias_v=bias,
+                    temperature_k=units.celsius_to_kelvin(temp_c),
+                    name=f"{bias:+.2f} V at {temp_c:.0f} C")
+                candidates.append(self.evaluate(lifetime_s, stress,
+                                                recovery))
+        return candidates
+
+    @staticmethod
+    def pareto_front(candidates: Sequence[DesignCandidate]
+                     ) -> List[DesignCandidate]:
+        """The non-dominated feasible subset, sorted by margin."""
+        feasible = [c for c in candidates if c.feasible]
+        front = [c for c in feasible
+                 if not any(other.dominates(c) for other in feasible)]
+        front.sort(key=lambda c: c.margin)
+        return front

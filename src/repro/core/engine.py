@@ -1,0 +1,144 @@
+"""The :class:`DeepHealingEngine` facade.
+
+Bundles a Table-I-calibrated BTI model, the Fig. 3 EM test wire, the
+assist circuitry and a runtime controller into one object, so that the
+typical "how much does deep healing buy me?" study is a few lines::
+
+    engine = DeepHealingEngine.with_defaults()
+    report = engine.simulate(units.days(2), PeriodicPolicy(bti_every=2))
+    print(report.describe())
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import units
+from repro.assist.circuitry import AssistCircuit
+from repro.assist.modes import AssistMode
+from repro.bti.calibration import BtiCalibration, default_calibration
+from repro.bti.conditions import (
+    ACTIVE_ACCELERATED_RECOVERY,
+    BtiRecoveryCondition,
+    BtiStressCondition,
+    TABLE1_STRESS,
+)
+from repro.core.controller import (
+    ControlAction,
+    ControllerPolicy,
+    RuntimeController,
+)
+from repro.em.line import EmLine, EmStressCondition, PAPER_EM_STRESS
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class HealingReport:
+    """Summary of one engine simulation.
+
+    Attributes:
+        duration_s: simulated wall-clock time.
+        final_delta_vth_v: BTI shift at the end of the run.
+        final_permanent_vth_v: locked-in BTI component at the end.
+        final_em_drift_ohm: EM resistance drift at the end.
+        locked_void_fraction: permanent share of the EM void.
+        availability: fraction of epochs with the load operating.
+        normal_epochs / bti_epochs / em_epochs: action counts.
+    """
+
+    duration_s: float
+    final_delta_vth_v: float
+    final_permanent_vth_v: float
+    final_em_drift_ohm: float
+    locked_void_fraction: float
+    availability: float
+    normal_epochs: int
+    bti_epochs: int
+    em_epochs: int
+
+    def describe(self) -> str:
+        """Multi-line human-readable report."""
+        return "\n".join([
+            f"simulated {units.to_hours(self.duration_s):.1f} h "
+            f"({self.normal_epochs} normal / {self.bti_epochs} BTI / "
+            f"{self.em_epochs} EM epochs)",
+            f"  BTI shift: {self.final_delta_vth_v * 1e3:.2f} mV "
+            f"(permanent {self.final_permanent_vth_v * 1e3:.2f} mV)",
+            f"  EM drift:  {self.final_em_drift_ohm:.3f} ohm "
+            f"(locked fraction {self.locked_void_fraction:.1%})",
+            f"  availability: {self.availability:.1%}",
+        ])
+
+
+class DeepHealingEngine:
+    """Calibrated models + assist circuit + controller in one object."""
+
+    def __init__(self, calibration: Optional[BtiCalibration] = None,
+                 em_line: Optional[EmLine] = None,
+                 assist: Optional[AssistCircuit] = None,
+                 bti_stress: BtiStressCondition = TABLE1_STRESS,
+                 em_stress: EmStressCondition = PAPER_EM_STRESS,
+                 bti_recovery: BtiRecoveryCondition =
+                 ACTIVE_ACCELERATED_RECOVERY,
+                 epoch_s: float = units.minutes(30.0)):
+        self.calibration = calibration or default_calibration()
+        self.bti_model = self.calibration.build_model()
+        self.em_line = em_line or EmLine()
+        self.assist = assist or AssistCircuit()
+        self.bti_stress = bti_stress
+        self.em_stress = em_stress
+        self.bti_recovery = bti_recovery
+        self.controller = RuntimeController(
+            bti_model=self.bti_model,
+            em_line=self.em_line,
+            bti_stress=bti_stress,
+            em_stress=em_stress,
+            bti_recovery=bti_recovery,
+            epoch_s=epoch_s)
+
+    @classmethod
+    def with_defaults(cls) -> "DeepHealingEngine":
+        """An engine at the paper's accelerated-test operating point."""
+        return cls()
+
+    def verify_assist_modes(self) -> bool:
+        """Check the assist circuit delivers all three mode behaviours.
+
+        Returns True when (a) EM mode reverses the grid current at
+        equal magnitude (within 1 %) and (b) BTI mode swaps the load
+        rails with at least a threshold of reverse bias available.
+        """
+        normal = self.assist.solve_mode(AssistMode.NORMAL)
+        em = self.assist.solve_mode(AssistMode.EM_RECOVERY)
+        bti = self.assist.solve_mode(AssistMode.BTI_RECOVERY)
+        reversed_ok = (em.vdd_grid_current_a < 0.0
+                       and abs(abs(em.vdd_grid_current_a)
+                               - abs(normal.vdd_grid_current_a))
+                       <= 0.01 * abs(normal.vdd_grid_current_a))
+        swap_ok = bti.load_vss_v - bti.load_vdd_v >= 0.3
+        return reversed_ok and swap_ok
+
+    def simulate(self, duration_s: float,
+                 policy: ControllerPolicy) -> HealingReport:
+        """Run the controller for ``duration_s`` and summarize."""
+        if duration_s <= 0.0:
+            raise SimulationError("duration must be positive")
+        entries = self.controller.run(duration_s, policy)
+        actions = [entry.action for entry in entries]
+        read_t = self.em_stress.temperature_k
+        drift = (self.em_line.resistance_ohm(read_t)
+                 - self.em_line.wire.resistance_at(read_t))
+        total_void = self.em_line.total_void_length_m
+        locked_fraction = (self.em_line.locked_void_length_m / total_void
+                           if total_void > 0.0 else 0.0)
+        return HealingReport(
+            duration_s=duration_s,
+            final_delta_vth_v=self.bti_model.delta_vth_v,
+            final_permanent_vth_v=self.bti_model.permanent_vth_v,
+            final_em_drift_ohm=drift,
+            locked_void_fraction=locked_fraction,
+            availability=self.controller.availability(),
+            normal_epochs=actions.count(ControlAction.RUN_NORMAL),
+            bti_epochs=actions.count(ControlAction.BTI_RECOVERY),
+            em_epochs=actions.count(ControlAction.EM_RECOVERY))

@@ -1,0 +1,161 @@
+"""Recovery planning: from a lifetime target to schedule parameters.
+
+The deliverable of the paper's methodology is ultimately a *plan*: how
+long may a block stress before it must heal, how much healing per
+cycle, and how should the grid current alternate -- such that a
+mission-lifetime target is met with a chosen margin.  This module
+wraps the push-pull balancer, the lock-in analysis and the guardband
+model into that single designer-facing step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import units
+from repro.bti.calibration import BtiCalibration, default_calibration
+from repro.bti.conditions import (
+    ACTIVE_ACCELERATED_RECOVERY,
+    BtiRecoveryCondition,
+    BtiStressCondition,
+)
+from repro.core.balance import PushPullBalancer
+from repro.core.margins import GuardbandModel
+from repro.em.line import EmStressCondition
+from repro.em.lumped import LumpedEmModel
+from repro.errors import ScheduleError
+
+
+@dataclass(frozen=True)
+class RecoveryPlan:
+    """A complete deep-healing operating plan for one block.
+
+    Attributes:
+        bti_stress_interval_s: longest allowed continuous-operation
+            interval (bounded by the lock-in deadline).
+        bti_recovery_interval_s: healing time inserted after each
+            operation interval.
+        bti_recovery: the recovery condition the plan assumes.
+        em_stress_interval_s / em_recovery_interval_s: grid-current
+            alternation pattern.
+        expected_margin: delay guardband the design must still budget
+            (the within-cycle envelope).
+        margin_without_plan: guardband a no-recovery design would need
+            over the same lifetime.
+        availability: fraction of wall-clock time the block operates.
+        em_nucleation_delay: nucleation-time gain of the EM pattern.
+    """
+
+    bti_stress_interval_s: float
+    bti_recovery_interval_s: float
+    bti_recovery: BtiRecoveryCondition
+    em_stress_interval_s: float
+    em_recovery_interval_s: float
+    expected_margin: float
+    margin_without_plan: float
+    availability: float
+    em_nucleation_delay: float
+
+    @property
+    def margin_reduction(self) -> float:
+        """Guardband saved relative to the no-recovery design."""
+        if self.margin_without_plan <= 0.0:
+            return 0.0
+        return 1.0 - self.expected_margin / self.margin_without_plan
+
+    def describe(self) -> str:
+        """Multi-line human-readable plan summary."""
+        return "\n".join([
+            "deep-healing plan:",
+            f"  operate {units.to_minutes(self.bti_stress_interval_s):.0f}"
+            f" min, heal {units.to_minutes(self.bti_recovery_interval_s):.0f}"
+            f" min ({self.bti_recovery.name})",
+            f"  alternate grid current every "
+            f"{units.to_minutes(self.em_stress_interval_s):.1f} min "
+            f"(reverse for "
+            f"{units.to_minutes(self.em_recovery_interval_s):.1f} min)",
+            f"  availability {self.availability:.1%}, EM nucleation "
+            f"delayed {self.em_nucleation_delay:.1f}x",
+            f"  margin {self.expected_margin:.2%} instead of "
+            f"{self.margin_without_plan:.2%} "
+            f"({self.margin_reduction:.0%} saved)",
+        ])
+
+
+class RecoveryPlanner:
+    """Builds :class:`RecoveryPlan` objects from mission requirements."""
+
+    def __init__(self, calibration: Optional[BtiCalibration] = None,
+                 em_model: Optional[LumpedEmModel] = None):
+        self.calibration = calibration or default_calibration()
+        self.em_model = em_model or LumpedEmModel()
+        self.balancer = PushPullBalancer(self.calibration,
+                                         self.em_model)
+        self.guardband = GuardbandModel()
+
+    def plan(self, lifetime_s: float,
+             stress: BtiStressCondition,
+             em_condition: EmStressCondition,
+             recovery: BtiRecoveryCondition =
+             ACTIVE_ACCELERATED_RECOVERY,
+             min_availability: float = 0.5,
+             em_duty_cycle: float = 0.75) -> RecoveryPlan:
+        """Produce a plan meeting a lifetime target.
+
+        Args:
+            lifetime_s: mission length.
+            stress: the block's operating stress condition.
+            em_condition: the local grid's stress condition.
+            recovery: healing condition available on this design
+                (e.g. limited reverse bias or temperature).
+            min_availability: the largest healing duty the system can
+                tolerate; the plan fails loudly if balance needs more.
+            em_duty_cycle: fraction of time the grid must carry
+                forward current.
+
+        Raises:
+            ScheduleError: if no balanced schedule satisfies the
+                availability floor under the given recovery condition.
+        """
+        if lifetime_s <= 0.0:
+            raise ScheduleError("lifetime must be positive")
+        if not 0.0 < min_availability < 1.0:
+            raise ScheduleError("min_availability must be in (0, 1)")
+        # The lock-in deadline caps the BTI stress interval.  The
+        # deadline is expressed in equivalent accelerated-stress time,
+        # so a milder use condition stretches it by 1/acceleration.
+        accel = stress.capture_acceleration(
+            self.calibration.model_config.reference_stress)
+        lock_safe_s = (self.balancer.lock_safe_stress_interval_s()
+                       / max(accel, 1e-12))
+        stress_interval_s = 0.9 * lock_safe_s
+        balance = self.balancer.balance_bti(stress_interval_s,
+                                            recovery=recovery,
+                                            stress=stress)
+        recovery_interval_s = balance.schedule.recovery_interval_s
+        availability = stress_interval_s / (
+            stress_interval_s + recovery_interval_s)
+        if availability < min_availability:
+            raise ScheduleError(
+                f"balancing {recovery.name!r} needs availability "
+                f"{availability:.1%} < floor {min_availability:.1%}; "
+                "use a stronger recovery condition or more redundancy")
+        em_balance = self.balancer.balance_em(em_condition,
+                                              duty_cycle=em_duty_cycle)
+        expected = self.guardband.margin_with_schedule(
+            lifetime_s, stress, stress_interval_s, recovery_interval_s,
+            recovery)
+        baseline = self.guardband.margin_without_recovery(
+            lifetime_s, stress)
+        return RecoveryPlan(
+            bti_stress_interval_s=stress_interval_s,
+            bti_recovery_interval_s=recovery_interval_s,
+            bti_recovery=recovery,
+            em_stress_interval_s=em_balance.schedule.stress_interval_s,
+            em_recovery_interval_s=(
+                em_balance.schedule.recovery_interval_s),
+            expected_margin=expected,
+            margin_without_plan=baseline,
+            availability=availability,
+            em_nucleation_delay=em_balance.nucleation_delay_factor)

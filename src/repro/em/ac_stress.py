@@ -1,0 +1,114 @@
+"""Frequency and duty-cycle dependence of EM under AC / pulsed current.
+
+The paper's related-work section leans on two experimental facts (its
+refs [21] Tao et al. 1996 and [22] Abella & Vera 2010):
+
+* under **bidirectional (AC)** stress the EM lifetime *increases with
+  frequency*, because each reverse half-cycle heals part of the damage
+  done by the forward half-cycle, and the healing becomes more complete
+  as the half-cycles get shorter;
+* the healing can extend the lifetime by **orders of magnitude**
+  depending on the metal.
+
+The standard compact description is an *effective DC current density*::
+
+    j_eff = j_plus * d_plus - gamma(f) * j_minus * d_minus
+
+where ``d_plus``/``d_minus`` are the time fractions of forward and
+reverse current and ``gamma(f)`` is the frequency-dependent recovery
+efficiency, rising from ``gamma_0`` at DC towards 1 at high frequency.
+The lifetime enhancement relative to DC follows from Black's equation:
+``(j_dc / j_eff) ** n``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def effective_current_density(forward_density_a_m2: float,
+                              forward_duty: float,
+                              reverse_density_a_m2: float = 0.0,
+                              reverse_duty: float = 0.0,
+                              recovery_efficiency: float = 1.0) -> float:
+    """EM-effective DC-equivalent current density of a periodic waveform.
+
+    Args:
+        forward_density_a_m2: magnitude of the forward (stress) phase.
+        forward_duty: fraction of the period spent in the forward phase.
+        reverse_density_a_m2: magnitude of the reverse phase.
+        reverse_duty: fraction of the period spent in the reverse phase.
+        recovery_efficiency: ``gamma`` -- how completely reverse flow
+            undoes forward damage (1 = perfect healing).
+
+    Returns:
+        The DC current density with the same nucleation-phase damage
+        rate; clipped at zero (a net-healing waveform cannot do
+        negative damage to a fresh wire).
+    """
+    if not 0.0 <= forward_duty <= 1.0 or not 0.0 <= reverse_duty <= 1.0:
+        raise ValueError("duty factors must be within [0, 1]")
+    if forward_duty + reverse_duty > 1.0 + 1e-12:
+        raise ValueError("duty factors must sum to at most 1")
+    if not 0.0 <= recovery_efficiency <= 1.0:
+        raise ValueError("recovery_efficiency must be within [0, 1]")
+    effective = (forward_density_a_m2 * forward_duty
+                 - recovery_efficiency * reverse_density_a_m2 * reverse_duty)
+    return max(effective, 0.0)
+
+
+@dataclass(frozen=True)
+class AcStressModel:
+    """Frequency-dependent EM healing under bidirectional stress.
+
+    Attributes:
+        dc_recovery_efficiency: healing efficiency ``gamma_0`` in the
+            quasi-DC limit, where long forward half-cycles let damage
+            consolidate before the reverse half-cycle arrives.
+        corner_frequency_hz: frequency at which the efficiency is
+            halfway between ``gamma_0`` and 1.
+        current_exponent: Black's exponent used for the lifetime ratio.
+    """
+
+    dc_recovery_efficiency: float = 0.7
+    corner_frequency_hz: float = 1.0
+    current_exponent: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.dc_recovery_efficiency < 1.0:
+            raise ValueError("dc_recovery_efficiency must be in [0, 1)")
+        if self.corner_frequency_hz <= 0.0:
+            raise ValueError("corner_frequency_hz must be positive")
+        if self.current_exponent <= 0.0:
+            raise ValueError("current_exponent must be positive")
+
+    def recovery_efficiency(self, frequency_hz: float) -> float:
+        """Healing efficiency ``gamma(f)``; monotone rising to 1."""
+        if frequency_hz < 0.0:
+            raise ValueError("frequency must be non-negative")
+        blend = frequency_hz / (frequency_hz + self.corner_frequency_hz)
+        return (self.dc_recovery_efficiency
+                + (1.0 - self.dc_recovery_efficiency) * blend)
+
+    def effective_density(self, density_a_m2: float,
+                          frequency_hz: float) -> float:
+        """Effective DC density of a symmetric 50 % bipolar square wave."""
+        gamma = self.recovery_efficiency(frequency_hz)
+        return effective_current_density(
+            density_a_m2, 0.5, density_a_m2, 0.5, gamma)
+
+    def lifetime_enhancement(self, density_a_m2: float,
+                             frequency_hz: float) -> float:
+        """TTF(AC at f) / TTF(DC at the same amplitude).
+
+        Diverges as ``gamma -> 1`` (complete per-cycle healing), which
+        reproduces the "orders of magnitude" improvements reported for
+        high-frequency bipolar stress.
+        """
+        if density_a_m2 <= 0.0:
+            raise ValueError("density must be positive")
+        effective = self.effective_density(density_a_m2, frequency_hz)
+        if effective <= 0.0:
+            return float("inf")
+        return (density_a_m2 / effective) ** self.current_exponent

@@ -1,0 +1,85 @@
+"""Black's-equation lifetime extrapolation.
+
+Accelerated EM tests (like the paper's 230 degC, 7.96 MA/cm^2 runs)
+are projected to use conditions with Black's equation::
+
+    TTF = A * j^(-n) * exp(Ea / kT)
+
+with ``n ~ 2`` in the nucleation-limited regime and ``n ~ 1`` in the
+growth-limited regime.  The model here is the standard bridge between
+the mechanistic simulators in this package and the lifetime/guardband
+arithmetic in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro import units
+
+
+@dataclass(frozen=True)
+class BlacksModel:
+    """Black's equation with an explicit prefactor.
+
+    Attributes:
+        prefactor: the constant ``A`` in ``TTF = A j^-n exp(Ea/kT)``;
+            its unit makes TTF come out in seconds for ``j`` in A/m^2.
+        current_exponent: the exponent ``n``.
+        activation_energy_ev: the EM activation energy ``Ea``.
+    """
+
+    prefactor: float
+    current_exponent: float = 2.0
+    activation_energy_ev: float = 1.10
+
+    def __post_init__(self) -> None:
+        if self.prefactor <= 0.0:
+            raise ValueError("prefactor must be positive")
+        if self.current_exponent <= 0.0:
+            raise ValueError("current_exponent must be positive")
+        if self.activation_energy_ev <= 0.0:
+            raise ValueError("activation_energy_ev must be positive")
+
+    @classmethod
+    def from_reference(cls, ttf_s: float, current_density_a_m2: float,
+                       temperature_k: float, current_exponent: float = 2.0,
+                       activation_energy_ev: float = 1.10) -> "BlacksModel":
+        """Anchor the prefactor to one measured/simulated TTF point.
+
+        This is how the accelerated-test result of
+        :class:`~repro.em.line.EmLine` is turned into a use-condition
+        lifetime estimate.
+        """
+        if ttf_s <= 0.0:
+            raise ValueError("reference TTF must be positive")
+        if current_density_a_m2 <= 0.0:
+            raise ValueError("reference current density must be positive")
+        boltzmann_term = math.exp(
+            activation_energy_ev / (units.BOLTZMANN_EV * temperature_k))
+        prefactor = (ttf_s * current_density_a_m2 ** current_exponent
+                     / boltzmann_term)
+        return cls(prefactor=prefactor, current_exponent=current_exponent,
+                   activation_energy_ev=activation_energy_ev)
+
+    def ttf_s(self, current_density_a_m2: float,
+              temperature_k: float) -> float:
+        """Median time to failure at the given operating point."""
+        if current_density_a_m2 <= 0.0:
+            return float("inf")
+        if temperature_k <= 0.0:
+            raise ValueError("temperature must be positive (kelvin)")
+        return (self.prefactor
+                * current_density_a_m2 ** (-self.current_exponent)
+                * math.exp(self.activation_energy_ev
+                           / (units.BOLTZMANN_EV * temperature_k)))
+
+    def acceleration_factor(self, stress_density_a_m2: float,
+                            stress_temperature_k: float,
+                            use_density_a_m2: float,
+                            use_temperature_k: float) -> float:
+        """TTF(use) / TTF(stress) -- how much longer the part lives in
+        the field than in the accelerated test."""
+        return (self.ttf_s(use_density_a_m2, use_temperature_k)
+                / self.ttf_s(stress_density_a_m2, stress_temperature_k))

@@ -1,0 +1,114 @@
+"""The Blech (short-length) immortality criterion.
+
+The paper notes that EM is conventionally "addressed by design rules
+(e.g. metal width requirement) during the physical design phase".  The
+most fundamental such rule is Blech's: in a confined line the back
+stress that the electron wind builds up saturates at
+``sigma = G * L / 2``; if that saturation stress stays below the void
+nucleation threshold, the wire is *immortal* -- no void can ever
+nucleate, no matter how long the current flows::
+
+    j * L  <  (jL)_crit  =  2 * sigma_c * Omega / (e |Z*| rho)
+
+This module provides the criterion, consistent with the same Korhonen
+physics used by the solvers in this package (the steady state of
+:class:`repro.em.korhonen.KorhonenSolver` *is* the Blech back-stress
+profile).  It lets the benchmarks compare the design-rule approach
+(keep segments short/wide enough to be immortal) against the paper's
+active-recovery approach on the same footing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import units
+from repro.em.line import EmStressCondition
+from repro.em.wire import Material, Wire
+from repro.errors import SimulationError
+
+
+def blech_product_a_per_m(material: Material,
+                          temperature_k: float) -> float:
+    """The critical current-density x length product (A/m).
+
+    Temperature enters through the resistivity in the wind force; the
+    critical stress is treated as temperature independent (standard
+    practice over normal operating ranges).
+    """
+    if temperature_k <= 0.0:
+        raise SimulationError("temperature must be positive (kelvin)")
+    wind_per_j = (units.ELEMENTARY_CHARGE * material.effective_charge
+                  * material.resistivity_at(temperature_k)
+                  / material.atomic_volume_m3)
+    return 2.0 * material.critical_stress_pa / wind_per_j
+
+
+def critical_length_m(material: Material,
+                      current_density_a_m2: float,
+                      temperature_k: float) -> float:
+    """Longest immortal segment at a given current density."""
+    if current_density_a_m2 == 0.0:
+        return float("inf")
+    return blech_product_a_per_m(material, temperature_k) \
+        / abs(current_density_a_m2)
+
+
+def saturation_stress_pa(wire: Wire,
+                         condition: EmStressCondition) -> float:
+    """Blocked-end stress after infinite time: ``|G| * L / 2``."""
+    gradient = wire.material.wind_stress_gradient(
+        abs(condition.current_density_a_m2), condition.temperature_k)
+    return gradient * wire.length_m / 2.0
+
+
+def is_immortal(wire: Wire, condition: EmStressCondition) -> bool:
+    """True when the wire can never nucleate a void (Blech criterion)."""
+    return saturation_stress_pa(wire, condition) \
+        < wire.material.critical_stress_pa
+
+
+@dataclass(frozen=True)
+class BlechAssessment:
+    """Immortality audit of one wire at one operating point.
+
+    Attributes:
+        wire: the assessed wire.
+        condition: the operating point.
+        jl_product_a_per_m: the wire's actual ``j * L`` product.
+        jl_critical_a_per_m: the critical product at this temperature.
+        immortal: whether the wire satisfies the criterion.
+        stress_margin: ``1 - sigma_sat / sigma_c`` (negative when
+            mortal; how far past the rule the wire operates).
+    """
+
+    wire: Wire
+    condition: EmStressCondition
+    jl_product_a_per_m: float
+    jl_critical_a_per_m: float
+    immortal: bool
+    stress_margin: float
+
+    def describe(self) -> str:
+        """One-line summary for reports."""
+        verdict = "immortal" if self.immortal else "mortal"
+        return (f"{self.wire.name}: jL = "
+                f"{self.jl_product_a_per_m:.3g} A/m vs critical "
+                f"{self.jl_critical_a_per_m:.3g} A/m -> {verdict} "
+                f"(stress margin {self.stress_margin:+.1%})")
+
+
+def assess(wire: Wire, condition: EmStressCondition) -> BlechAssessment:
+    """Full Blech audit of a wire at an operating point."""
+    critical = blech_product_a_per_m(wire.material,
+                                     condition.temperature_k)
+    product = abs(condition.current_density_a_m2) * wire.length_m
+    saturation = saturation_stress_pa(wire, condition)
+    sigma_c = wire.material.critical_stress_pa
+    return BlechAssessment(
+        wire=wire,
+        condition=condition,
+        jl_product_a_per_m=product,
+        jl_critical_a_per_m=critical,
+        immortal=product < critical,
+        stress_margin=1.0 - saturation / sigma_c)

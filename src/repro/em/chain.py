@@ -1,0 +1,195 @@
+"""Via-separated interconnect chains (realistic PDN stripes).
+
+A physical power-grid stripe is not one continuous diffusion domain:
+vias and barrier layers segment it into independent EM domains (each
+via is a blocking boundary).  That segmentation is exactly what the
+Blech design rule exploits -- and what a deep-healing deployment has
+to reason about, because a chain fails when its *weakest segment*
+fails while short segments may be immortal outright.
+
+:class:`InterconnectChain` composes per-segment lumped EM states into
+one series element: shared current, summed resistance, first-segment
+failure.  It supports the same signed-current stepping as
+:class:`repro.em.line.EmLine`, so recovery schedules apply unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.em.blech import is_immortal
+from repro.em.line import EmLineConfig, EmStressCondition
+from repro.em.lumped import LumpedEmModel
+from repro.em.wire import Wire
+from repro.errors import SimulationError
+
+
+@dataclass
+class _SegmentState:
+    """Lumped EM state of one chain segment."""
+
+    wire: Wire
+    immortal: bool
+    progress_s: float = 0.0
+    nucleated: bool = False
+    void_reversible_m: float = 0.0
+    void_locked_m: float = 0.0
+
+    @property
+    def total_void_m(self) -> float:
+        return self.void_reversible_m + self.void_locked_m
+
+    def delta_resistance_ohm(self) -> float:
+        return self.wire.void_resistance_per_m * self.total_void_m
+
+
+class InterconnectChain:
+    """A series chain of via-separated EM segments.
+
+    Args:
+        segments: the wires in series (each an independent diffusion
+            domain).
+        reference: the condition whose nucleation time anchors the
+            per-segment progress bookkeeping (same scheme as
+            :class:`repro.system.aging.FleetEmState`).
+        config: shared EM behavioural parameters.
+    """
+
+    def __init__(self, segments: Sequence[Wire],
+                 reference: EmStressCondition,
+                 config: Optional[EmLineConfig] = None):
+        if not segments:
+            raise SimulationError("a chain needs at least one segment")
+        if reference.current_density_a_m2 <= 0.0:
+            raise SimulationError(
+                "reference condition must carry forward current")
+        self.config = config or EmLineConfig()
+        self.reference = reference
+        self.segments: List[_SegmentState] = []
+        material = segments[0].material
+        for wire in segments:
+            if wire.material is not material:
+                raise SimulationError(
+                    "all chain segments must share one material")
+            self.segments.append(_SegmentState(
+                wire=wire,
+                immortal=is_immortal(wire, reference)))
+        self._lumped = LumpedEmModel(segments[0],
+                                     self.config.failure_fraction)
+        self._ref_rate = (reference.current_density_a_m2 ** 2
+                          * material.stress_diffusivity_at(
+                              reference.temperature_k))
+        self.time_s = 0.0
+
+    # -- observables ----------------------------------------------------
+
+    @property
+    def n_segments(self) -> int:
+        """Number of segments in the chain."""
+        return len(self.segments)
+
+    @property
+    def n_immortal(self) -> int:
+        """Segments that satisfy the Blech criterion at the reference."""
+        return sum(1 for segment in self.segments if segment.immortal)
+
+    def fresh_resistance_ohm(self, temperature_k: float) -> float:
+        """Void-free series resistance at a temperature."""
+        return sum(segment.wire.resistance_at(temperature_k)
+                   for segment in self.segments)
+
+    def resistance_ohm(self, temperature_k: float) -> float:
+        """Series resistance including void damage."""
+        return self.fresh_resistance_ohm(temperature_k) + sum(
+            segment.delta_resistance_ohm()
+            for segment in self.segments)
+
+    def delta_resistance_ohm(self) -> float:
+        """Total void-induced resistance increase."""
+        return sum(segment.delta_resistance_ohm()
+                   for segment in self.segments)
+
+    def has_failed(self, temperature_k: float) -> bool:
+        """True when any single segment crosses its failure threshold.
+
+        Chains fail at the weakest segment: one voided segment starves
+        everything downstream, so the per-segment criterion governs.
+        """
+        fraction = self.config.failure_fraction
+        return any(
+            segment.delta_resistance_ohm()
+            >= fraction * segment.wire.resistance_at(temperature_k)
+            for segment in self.segments)
+
+    def worst_segment_index(self) -> int:
+        """Index of the most-damaged segment."""
+        damages = [segment.delta_resistance_ohm()
+                   for segment in self.segments]
+        return int(np.argmax(damages))
+
+    # -- stepping ---------------------------------------------------------
+
+    def apply(self, duration_s: float,
+              condition: EmStressCondition) -> None:
+        """Advance the whole chain under a shared signed current."""
+        if duration_s < 0.0:
+            raise SimulationError("duration must be non-negative")
+        if duration_s == 0.0:
+            return
+        material = self.segments[0].wire.material
+        j = condition.current_density_a_m2
+        temp = condition.temperature_k
+        rate = (j * j) * material.stress_diffusivity_at(temp) \
+            / self._ref_rate
+        signed_rate = rate if j >= 0.0 else -rate
+        drift = abs(material.drift_velocity(j, temp))
+        t_nuc_ref = self._lumped.nucleation_time(self.reference)
+        lock_fraction = -np.expm1(
+            -self.config.lock_rate_per_s * duration_s)
+        for segment in self.segments:
+            if segment.immortal:
+                continue
+            segment.progress_s = max(
+                segment.progress_s + signed_rate * duration_s, 0.0)
+            # Longer segments nucleate at the reference time; shorter
+            # mortal segments behave the same in the semi-infinite
+            # regime (nucleation is a boundary-layer phenomenon).
+            if segment.progress_s >= t_nuc_ref:
+                segment.nucleated = True
+            if segment.nucleated and j > 0.0:
+                segment.void_reversible_m += drift * duration_s
+            elif j < 0.0 and segment.void_reversible_m > 0.0:
+                healed = (self.config.recovery_boost * drift
+                          * duration_s)
+                segment.void_reversible_m = max(
+                    segment.void_reversible_m - healed, 0.0)
+            if segment.void_reversible_m > 0.0:
+                locked = segment.void_reversible_m * lock_fraction
+                segment.void_reversible_m -= locked
+                segment.void_locked_m += locked
+        self.time_s += duration_s
+
+
+def segment_stripe(total_length_m: float, n_segments: int,
+                   template: Wire) -> List[Wire]:
+    """Cut a stripe of a given total length into equal via-separated
+    segments with the template's cross-section and material.
+
+    The per-segment fresh resistance scales with length from the
+    template's resistance-per-length.
+    """
+    if total_length_m <= 0.0:
+        raise SimulationError("total_length_m must be positive")
+    if n_segments < 1:
+        raise SimulationError("n_segments must be at least 1")
+    from dataclasses import replace
+    segment_length = total_length_m / n_segments
+    resistance = (template.fresh_resistance_ohm
+                  * segment_length / template.length_m)
+    return [replace(template, length_m=segment_length,
+                    fresh_resistance_ohm=resistance,
+                    name=f"{template.name} [{index}]")
+            for index in range(n_segments)]

@@ -1,0 +1,229 @@
+"""Fast closed-form EM models for scheduling search and system simulation.
+
+While :class:`~repro.em.line.EmLine` integrates the full Korhonen PDE,
+many callers (the push-pull balancer, the system-level lifetime
+simulator, wide parameter sweeps) only need the stress at the line ends.
+For times at which the diffusion length ``sqrt(kappa * t)`` is small
+compared to the line length, the line is effectively semi-infinite and
+the blocked-end stress under a *constant* wind force ``G`` has the
+classical closed form::
+
+    sigma(0, t) = 2 G sqrt(kappa t / pi)
+
+Because Korhonen's equation is linear, the response to a
+piecewise-constant current (the paper's periodic stress/recovery
+schedules) is the superposition of such square-root kernels, one per
+current step.  That makes nucleation-time prediction under arbitrary
+schedules a vectorized numpy evaluation instead of a PDE integration --
+about four orders of magnitude faster, and within a few percent of the
+PDE for the paper's accelerated conditions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.em.line import EmStressCondition
+from repro.em.wire import PAPER_TEST_WIRE, Wire
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class NucleationEstimate:
+    """Result of a nucleation-time prediction.
+
+    Attributes:
+        time_s: wall-clock time at which the critical stress is first
+            reached (``inf`` if it never is within the horizon).
+        stress_time_s: accumulated forward-stress time until then.
+        cycles: completed stress/recovery cycles until nucleation
+            (0 for constant stress).
+    """
+
+    time_s: float
+    stress_time_s: float
+    cycles: int
+
+
+class LumpedEmModel:
+    """Closed-form EM nucleation / growth / failure estimates for a wire."""
+
+    def __init__(self, wire: Wire = PAPER_TEST_WIRE,
+                 failure_fraction: float = 0.08):
+        if failure_fraction <= 0.0:
+            raise ValueError("failure_fraction must be positive")
+        self.wire = wire
+        self.failure_fraction = failure_fraction
+
+    # -- constant-stress forms -------------------------------------------
+
+    def cathode_stress(self, time_s: float,
+                       condition: EmStressCondition) -> float:
+        """Blocked-end tension after ``time_s`` of constant stress."""
+        if time_s < 0.0:
+            raise SimulationError("time must be non-negative")
+        material = self.wire.material
+        kappa = material.stress_diffusivity_at(condition.temperature_k)
+        gradient = material.wind_stress_gradient(
+            condition.current_density_a_m2, condition.temperature_k)
+        return 2.0 * gradient * math.sqrt(kappa * time_s / math.pi)
+
+    def nucleation_time(self, condition: EmStressCondition) -> float:
+        """Time to reach the critical stress under constant stress.
+
+        Inverts the square-root kernel:
+        ``t_nuc = (pi / 4 kappa) * (sigma_c / G)^2``.
+        """
+        material = self.wire.material
+        gradient = material.wind_stress_gradient(
+            condition.current_density_a_m2, condition.temperature_k)
+        if gradient <= 0.0:
+            return float("inf")
+        kappa = material.stress_diffusivity_at(condition.temperature_k)
+        ratio = material.critical_stress_pa / (2.0 * gradient)
+        return math.pi * ratio * ratio / kappa
+
+    def resistance_growth_rate(self, condition: EmStressCondition) -> float:
+        """Post-nucleation resistance slope dR/dt (ohm/s)."""
+        drift = abs(self.wire.material.drift_velocity(
+            condition.current_density_a_m2, condition.temperature_k))
+        return self.wire.void_resistance_per_m * drift
+
+    def time_to_failure(self, condition: EmStressCondition) -> float:
+        """Nucleation time plus void growth to the failure threshold."""
+        t_nuc = self.nucleation_time(condition)
+        if math.isinf(t_nuc):
+            return float("inf")
+        rate = self.resistance_growth_rate(condition)
+        if rate <= 0.0:
+            return float("inf")
+        fail_delta = (self.failure_fraction
+                      * self.wire.resistance_at(condition.temperature_k))
+        return t_nuc + fail_delta / rate
+
+    # -- piecewise-constant schedules --------------------------------------
+
+    def stress_under_schedule(self, eval_times_s: Sequence[float],
+                              step_times_s: Sequence[float],
+                              gradients_pa_m: Sequence[float],
+                              kappa_m2_s: float) -> np.ndarray:
+        """Blocked-end stress under a piecewise-constant wind force.
+
+        Args:
+            eval_times_s: times at which to evaluate the stress.
+            step_times_s: start time of each constant-force segment
+                (must be increasing, starting at 0).
+            gradients_pa_m: the signed wind force of each segment.
+            kappa_m2_s: stress diffusivity (constant temperature).
+
+        Returns:
+            Stress values at ``eval_times_s`` (semi-infinite line).
+        """
+        steps = np.asarray(step_times_s, dtype=float)
+        grads = np.asarray(gradients_pa_m, dtype=float)
+        if steps.shape != grads.shape:
+            raise ValueError("step_times_s and gradients_pa_m must match")
+        if steps.size == 0 or steps[0] != 0.0:
+            raise ValueError("the first segment must start at t = 0")
+        if np.any(np.diff(steps) <= 0.0):
+            raise ValueError("step times must be strictly increasing")
+        deltas = np.concatenate(([grads[0]], np.diff(grads)))
+        times = np.asarray(eval_times_s, dtype=float)[:, None]
+        lag = np.clip(times - steps[None, :], 0.0, None)
+        kernel = 2.0 * np.sqrt(kappa_m2_s * lag / math.pi)
+        return (kernel * deltas[None, :]).sum(axis=1)
+
+    def nucleation_under_periodic_recovery(
+            self, stress_interval_s: float, recovery_interval_s: float,
+            condition: EmStressCondition,
+            max_cycles: int = 100000,
+            samples_per_interval: int = 8) -> NucleationEstimate:
+        """Nucleation time when short reverse-current intervals are
+        scheduled periodically during the nucleation phase (Fig. 7).
+
+        The schedule alternates ``stress_interval_s`` of forward
+        current with ``recovery_interval_s`` of reversed current of the
+        same magnitude, starting with stress.  The stress at the
+        blocked cathode is evaluated by square-root-kernel
+        superposition at several points inside every stress interval
+        (the within-interval peak is at the interval end).
+        """
+        if stress_interval_s <= 0.0 or recovery_interval_s < 0.0:
+            raise ValueError("require stress interval > 0 and "
+                             "recovery interval >= 0")
+        material = self.wire.material
+        kappa = material.stress_diffusivity_at(condition.temperature_k)
+        gradient = material.wind_stress_gradient(
+            condition.current_density_a_m2, condition.temperature_k)
+        if gradient <= 0.0:
+            return NucleationEstimate(float("inf"), 0.0, 0)
+        critical = material.critical_stress_pa
+
+        # Analytic short-circuits keep the superposition loop (which
+        # costs O(cycles^2)) away from schedules that either never
+        # nucleate or would take astronomically many cycles.
+        cycle_len = stress_interval_s + recovery_interval_s
+        first_peak = 2.0 * gradient * math.sqrt(
+            kappa * stress_interval_s / math.pi)
+        mean_gradient = gradient * (
+            (stress_interval_s - recovery_interval_s) / cycle_len)
+        if first_peak < critical and mean_gradient <= 0.0:
+            # Zero or negative mean drift and no single interval can
+            # reach the critical stress: the envelope is bounded below
+            # sigma_c forever.
+            return NucleationEstimate(float("inf"), 0.0, 0)
+        if mean_gradient > 0.0:
+            mean_t_nuc = math.pi * (critical
+                                    / (2.0 * mean_gradient)) ** 2 \
+                / kappa
+            predicted_cycles = mean_t_nuc / cycle_len
+            if predicted_cycles > max_cycles:
+                # The mean-drift estimate already tells the answer to
+                # within the (small) ripple; return it instead of
+                # grinding through millions of superposition terms.
+                return NucleationEstimate(
+                    time_s=mean_t_nuc,
+                    stress_time_s=mean_t_nuc * stress_interval_s
+                    / cycle_len,
+                    cycles=int(predicted_cycles))
+
+        step_times: List[float] = []
+        gradients: List[float] = []
+        for cycle in range(max_cycles):
+            start = cycle * cycle_len
+            step_times.append(start)
+            gradients.append(gradient)
+            if recovery_interval_s > 0.0:
+                step_times.append(start + stress_interval_s)
+                gradients.append(-gradient)
+            probes = start + np.linspace(
+                stress_interval_s / samples_per_interval,
+                stress_interval_s, samples_per_interval)
+            stress = self.stress_under_schedule(
+                probes, step_times, gradients, kappa)
+            above = np.nonzero(stress >= critical)[0]
+            if above.size:
+                t_hit = float(probes[above[0]])
+                stress_time = cycle * stress_interval_s \
+                    + (t_hit - start)
+                return NucleationEstimate(t_hit, stress_time, cycle)
+        return NucleationEstimate(float("inf"),
+                                  max_cycles * stress_interval_s,
+                                  max_cycles)
+
+    def nucleation_delay_factor(self, stress_interval_s: float,
+                                recovery_interval_s: float,
+                                condition: EmStressCondition) -> float:
+        """How much later nucleation happens with periodic recovery.
+
+        Returns ``t_nuc(schedule) / t_nuc(continuous)`` -- the paper
+        measures "almost 3x" for its Fig. 7 schedule.
+        """
+        continuous = self.nucleation_time(condition)
+        scheduled = self.nucleation_under_periodic_recovery(
+            stress_interval_s, recovery_interval_s, condition).time_s
+        return scheduled / continuous

@@ -1,0 +1,188 @@
+"""Interconnect geometry and material description for the EM models.
+
+The paper's EM experiments run on a dedicated on-chip test structure
+(Fig. 3): a "long and narrow" copper wire in the top metal layer (M6) of
+a 0.18 um dual-damascene process -- 2.673 mm long, 1.57 um wide, 0.8 um
+thick, 35.76 ohm at room temperature.  :data:`PAPER_TEST_WIRE` encodes
+exactly that structure; its temperature coefficient is calibrated so the
+fresh resistance at the 230 degC stress temperature matches the ~72.8
+ohm starting point of the paper's Fig. 5.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro import units
+
+
+@dataclass(frozen=True)
+class Material:
+    """EM-relevant material parameters of an interconnect metal.
+
+    Attributes:
+        name: label used in reports.
+        resistivity_ohm_m: electrical resistivity at the reference
+            temperature (ohm*m).
+        tcr_per_k: linear temperature coefficient of resistance (1/K).
+        reference_temperature_k: temperature of ``resistivity_ohm_m``.
+        diffusivity_prefactor_m2_s: ``D0`` of the atomic diffusivity
+            ``D = D0 * exp(-Ea / kT)``.
+        activation_energy_ev: ``Ea`` of the dominant diffusion path
+            (grain boundary / interface for damascene Cu).
+        effective_charge: absolute effective charge number ``|Z*|`` of
+            the electron-wind force.
+        atomic_volume_m3: atomic volume ``Omega``.
+        effective_modulus_pa: effective bulk modulus ``B`` relating
+            atomic concentration changes to hydrostatic stress.
+        critical_stress_pa: tensile stress at which a void nucleates.
+    """
+
+    name: str
+    resistivity_ohm_m: float
+    tcr_per_k: float
+    reference_temperature_k: float
+    diffusivity_prefactor_m2_s: float
+    activation_energy_ev: float
+    effective_charge: float
+    atomic_volume_m3: float
+    effective_modulus_pa: float
+    critical_stress_pa: float
+
+    def __post_init__(self) -> None:
+        positive = {
+            "resistivity_ohm_m": self.resistivity_ohm_m,
+            "reference_temperature_k": self.reference_temperature_k,
+            "diffusivity_prefactor_m2_s": self.diffusivity_prefactor_m2_s,
+            "activation_energy_ev": self.activation_energy_ev,
+            "effective_charge": self.effective_charge,
+            "atomic_volume_m3": self.atomic_volume_m3,
+            "effective_modulus_pa": self.effective_modulus_pa,
+            "critical_stress_pa": self.critical_stress_pa,
+        }
+        for field_name, value in positive.items():
+            if value <= 0.0:
+                raise ValueError(f"{field_name} must be positive")
+
+    def resistivity_at(self, temperature_k: float) -> float:
+        """Resistivity at ``temperature_k`` with the linear TCR law."""
+        delta = temperature_k - self.reference_temperature_k
+        return self.resistivity_ohm_m * (1.0 + self.tcr_per_k * delta)
+
+    def diffusivity_at(self, temperature_k: float) -> float:
+        """Atomic diffusivity ``D(T)`` in m^2/s."""
+        if temperature_k <= 0.0:
+            raise ValueError("temperature must be positive (kelvin)")
+        return self.diffusivity_prefactor_m2_s * math.exp(
+            -self.activation_energy_ev
+            / (units.BOLTZMANN_EV * temperature_k))
+
+    def stress_diffusivity_at(self, temperature_k: float) -> float:
+        """Korhonen stress diffusivity ``kappa = D * B * Omega / kT``."""
+        kt_joule = units.BOLTZMANN_J * temperature_k
+        return (self.diffusivity_at(temperature_k)
+                * self.effective_modulus_pa * self.atomic_volume_m3
+                / kt_joule)
+
+    def wind_stress_gradient(self, current_density_a_m2: float,
+                             temperature_k: float) -> float:
+        """Electron-wind driving force ``G = e |Z*| rho j / Omega``.
+
+        Units are Pa/m; the sign follows the sign of the current
+        density (positive drives tension build-up at x = 0).
+        """
+        return (units.ELEMENTARY_CHARGE * self.effective_charge
+                * self.resistivity_at(temperature_k)
+                * current_density_a_m2 / self.atomic_volume_m3)
+
+    def drift_velocity(self, current_density_a_m2: float,
+                       temperature_k: float) -> float:
+        """Electron-wind atomic drift velocity ``v_d = D F / kT``.
+
+        This is the rate at which a fully developed void lengthens
+        under a constant current density (m/s, signed like ``j``).
+        """
+        kt_joule = units.BOLTZMANN_J * temperature_k
+        force = (units.ELEMENTARY_CHARGE * self.effective_charge
+                 * self.resistivity_at(temperature_k)
+                 * current_density_a_m2)
+        return self.diffusivity_at(temperature_k) * force / kt_joule
+
+
+#: Dual-damascene copper, calibrated to the paper's accelerated test:
+#: ~113 min to void nucleation and ~1.8 ohm of void-growth resistance
+#: gain over ~8 h at 230 degC and 7.96 MA/cm^2 (Fig. 5).
+COPPER = Material(
+    name="dual-damascene Cu",
+    resistivity_ohm_m=1.72e-8,
+    tcr_per_k=0.00493,
+    reference_temperature_k=units.celsius_to_kelvin(20.0),
+    diffusivity_prefactor_m2_s=7.8e-5,
+    activation_energy_ev=1.10,
+    effective_charge=1.0,
+    atomic_volume_m3=1.18e-29,
+    effective_modulus_pa=2.8e10,
+    critical_stress_pa=6.5e8,
+)
+
+
+@dataclass(frozen=True)
+class Wire:
+    """A straight interconnect segment subject to EM.
+
+    Attributes:
+        material: the interconnect metal.
+        length_m / width_m / thickness_m: geometry.
+        fresh_resistance_ohm: measured fresh resistance at the
+            material's reference temperature.  The paper's probe-pad
+            structure makes this slightly different from the pure
+            geometric value, so it is specified, not derived.
+        void_resistance_per_m: effective resistance added per metre of
+            void length.  This is the slit-void/liner-shunt effective
+            value; the default is calibrated so the Fig. 5 growth phase
+            gains ~1.8 ohm over ~1.24 um of void.
+        name: label used in reports.
+    """
+
+    material: Material = COPPER
+    length_m: float = 2.673e-3
+    width_m: float = 1.57e-6
+    thickness_m: float = 0.8e-6
+    fresh_resistance_ohm: float = 35.76
+    void_resistance_per_m: float = 1.45e6
+    name: str = "wire"
+
+    def __post_init__(self) -> None:
+        for field_name, value in {
+                "length_m": self.length_m, "width_m": self.width_m,
+                "thickness_m": self.thickness_m,
+                "fresh_resistance_ohm": self.fresh_resistance_ohm,
+                "void_resistance_per_m": self.void_resistance_per_m,
+        }.items():
+            if value <= 0.0:
+                raise ValueError(f"{field_name} must be positive")
+
+    @property
+    def cross_section_m2(self) -> float:
+        """Current-carrying cross-section area."""
+        return self.width_m * self.thickness_m
+
+    def resistance_at(self, temperature_k: float) -> float:
+        """Fresh (void-free) wire resistance at a temperature."""
+        delta = temperature_k - self.material.reference_temperature_k
+        return self.fresh_resistance_ohm * (
+            1.0 + self.material.tcr_per_k * delta)
+
+    def current_for_density(self, current_density_a_m2: float) -> float:
+        """Terminal current (A) that produces a given density (A/m^2)."""
+        return current_density_a_m2 * self.cross_section_m2
+
+    def density_for_current(self, current_a: float) -> float:
+        """Current density (A/m^2) produced by a terminal current (A)."""
+        return current_a / self.cross_section_m2
+
+
+#: The paper's Fig. 3 test structure: M6 copper, 0.18 um process,
+#: 2.673 mm x 1.57 um x 0.8 um, 35.76 ohm at room temperature.
+PAPER_TEST_WIRE = Wire(name="Fig.3 M6 test wire (0.18um, Cu)")

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the deep-healing library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the deep-healing library."""
+
+
+class CalibrationError(ReproError):
+    """A model calibration could not be fit to the supplied measurements."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative solver (Newton, bisection, PDE step) failed to converge."""
+
+
+class NetlistError(ReproError):
+    """A circuit netlist is malformed (unknown node, duplicate name, ...)."""
+
+
+class ScheduleError(ReproError):
+    """A recovery schedule is malformed (non-positive interval, overlap, ...)."""
+
+
+class SimulationError(ReproError):
+    """A simulation was driven into an invalid state."""
+
+
+class SensorError(ReproError):
+    """A wearout sensor was misconfigured or read out of range."""

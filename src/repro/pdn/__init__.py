@@ -1,0 +1,24 @@
+"""Power-delivery-network (PDN) substrate.
+
+The paper singles out the PDN as the EM-critical structure ("EM is
+especially critical for power delivery networks in modern ICs") and
+its Fig. 11 shows the assist circuitry protecting the *local* VDD/VSS
+grids, which use thin lower-level metal and carry unidirectional DC
+current.  This package provides:
+
+* :class:`~repro.pdn.grid.PdnGrid` -- a rectangular resistive power
+  grid with pads (voltage sources) and block load currents;
+* IR-drop solving and per-segment current densities
+  (:mod:`repro.pdn.irdrop`), which feed the EM models to find the
+  segments that need recovery first.
+"""
+
+from repro.pdn.grid import GridSegment, PdnGrid
+from repro.pdn.irdrop import IrDropSolution, solve_ir_drop
+
+__all__ = [
+    "PdnGrid",
+    "GridSegment",
+    "IrDropSolution",
+    "solve_ir_drop",
+]

@@ -1,0 +1,151 @@
+"""Rectangular resistive power-grid model.
+
+A :class:`PdnGrid` is a ``rows x cols`` mesh of nodes connected by
+metal segments (horizontal and vertical stripes).  Pads tie selected
+nodes to the supply voltage; logic blocks draw load currents from
+nodes.  Solving the grid (see :mod:`repro.pdn.irdrop`) yields node
+voltages (IR drop) and per-segment currents, whose densities drive the
+EM models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+from repro.em.wire import COPPER, Material
+from repro.errors import SimulationError
+
+#: A grid node address (row, col).
+NodeAddress = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class GridSegment:
+    """One metal segment between two adjacent grid nodes.
+
+    Attributes:
+        a / b: node addresses of the endpoints.
+        resistance_ohm: segment electrical resistance.
+        width_m / thickness_m: cross-section of the stripe.
+        length_m: segment length.
+    """
+
+    a: NodeAddress
+    b: NodeAddress
+    resistance_ohm: float
+    width_m: float
+    thickness_m: float
+    length_m: float
+
+    @property
+    def cross_section_m2(self) -> float:
+        """Current-carrying cross section."""
+        return self.width_m * self.thickness_m
+
+    def current_density(self, current_a: float) -> float:
+        """Current density (A/m^2) for a given segment current."""
+        return current_a / self.cross_section_m2
+
+
+class PdnGrid:
+    """A rectangular power grid with pads and load currents."""
+
+    def __init__(self, rows: int, cols: int,
+                 pitch_m: float = 100e-6,
+                 stripe_width_m: float = 2e-6,
+                 stripe_thickness_m: float = 0.5e-6,
+                 material: Material = COPPER,
+                 supply_v: float = 1.0):
+        if rows < 2 or cols < 2:
+            raise SimulationError("grid needs at least 2x2 nodes")
+        if pitch_m <= 0.0 or stripe_width_m <= 0.0 \
+                or stripe_thickness_m <= 0.0:
+            raise SimulationError("grid geometry must be positive")
+        if supply_v <= 0.0:
+            raise SimulationError("supply voltage must be positive")
+        self.rows = rows
+        self.cols = cols
+        self.pitch_m = pitch_m
+        self.stripe_width_m = stripe_width_m
+        self.stripe_thickness_m = stripe_thickness_m
+        self.material = material
+        self.supply_v = supply_v
+        self.pads: List[NodeAddress] = []
+        self.loads_a: Dict[NodeAddress, float] = {}
+        resistivity = material.resistivity_ohm_m
+        self._segment_resistance = (
+            resistivity * pitch_m / (stripe_width_m * stripe_thickness_m))
+
+    # -- construction -------------------------------------------------------
+
+    def add_pad(self, row: int, col: int) -> None:
+        """Tie node (row, col) to the supply (a C4 bump / via tower)."""
+        address = self._check_address(row, col)
+        if address not in self.pads:
+            self.pads.append(address)
+
+    def add_load(self, row: int, col: int, amps: float) -> None:
+        """Attach (add) a DC load current at node (row, col)."""
+        if amps < 0.0:
+            raise SimulationError("load current must be non-negative")
+        address = self._check_address(row, col)
+        self.loads_a[address] = self.loads_a.get(address, 0.0) + amps
+
+    def add_uniform_load(self, total_amps: float) -> None:
+        """Spread a total load current uniformly over all nodes."""
+        per_node = total_amps / (self.rows * self.cols)
+        for row in range(self.rows):
+            for col in range(self.cols):
+                self.add_load(row, col, per_node)
+
+    @classmethod
+    def with_corner_pads(cls, rows: int, cols: int,
+                         **kwargs) -> "PdnGrid":
+        """A grid with pads at its four corners."""
+        grid = cls(rows, cols, **kwargs)
+        for row in (0, rows - 1):
+            for col in (0, cols - 1):
+                grid.add_pad(row, col)
+        return grid
+
+    # -- topology -----------------------------------------------------------
+
+    def node_index(self, row: int, col: int) -> int:
+        """Linear index of a node."""
+        self._check_address(row, col)
+        return row * self.cols + col
+
+    @property
+    def n_nodes(self) -> int:
+        """Total node count."""
+        return self.rows * self.cols
+
+    def segments(self) -> Iterator[GridSegment]:
+        """All metal segments (right-going then up-going per node)."""
+        for row in range(self.rows):
+            for col in range(self.cols):
+                if col + 1 < self.cols:
+                    yield GridSegment(
+                        a=(row, col), b=(row, col + 1),
+                        resistance_ohm=self._segment_resistance,
+                        width_m=self.stripe_width_m,
+                        thickness_m=self.stripe_thickness_m,
+                        length_m=self.pitch_m)
+                if row + 1 < self.rows:
+                    yield GridSegment(
+                        a=(row, col), b=(row + 1, col),
+                        resistance_ohm=self._segment_resistance,
+                        width_m=self.stripe_width_m,
+                        thickness_m=self.stripe_thickness_m,
+                        length_m=self.pitch_m)
+
+    def total_load_a(self) -> float:
+        """Sum of all attached load currents."""
+        return sum(self.loads_a.values())
+
+    def _check_address(self, row: int, col: int) -> NodeAddress:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise SimulationError(
+                f"node ({row}, {col}) outside {self.rows}x{self.cols} grid")
+        return (row, col)

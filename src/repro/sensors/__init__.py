@@ -1,0 +1,27 @@
+"""On-chip wearout sensors.
+
+The paper's Fig. 12(b) scheduling loop is closed by "novel BTI and EM
+sensors ... employed to track wearout and feed back the run-time
+degradation information".  This package models those sensors:
+
+* :class:`~repro.sensors.ring_oscillator.RingOscillator` -- the
+  BTI-sensitive structure the paper itself measured (a 75-stage
+  LUT-mapped RO on a 40 nm FPGA): threshold shift -> frequency shift.
+* :class:`~repro.sensors.bti_sensor.BtiSensor` -- an RO-based sensor
+  with counter quantization and noise.
+* :class:`~repro.sensors.em_sensor.EmResistanceSensor` -- a
+  resistance-tracking EM sensor with ADC quantization and slope-based
+  nucleation detection.
+"""
+
+from repro.sensors.ring_oscillator import RingOscillator
+from repro.sensors.bti_sensor import BtiSensor, BtiSensorReading
+from repro.sensors.em_sensor import EmResistanceSensor, EmSensorReading
+
+__all__ = [
+    "RingOscillator",
+    "BtiSensor",
+    "BtiSensorReading",
+    "EmResistanceSensor",
+    "EmSensorReading",
+]

@@ -1,0 +1,96 @@
+"""RO-based BTI sensor with counter quantization and noise.
+
+A real BTI monitor counts ring-oscillator edges in a fixed gate window,
+so the measured frequency is quantized to ``1 / window`` and carries
+jitter.  The sensor wraps a :class:`~repro.bti.model.BtiModel` (or any
+object exposing ``delta_vth_v``) and reports calibrated threshold-shift
+estimates the runtime controller can act on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol
+
+import numpy as np
+
+from repro.errors import SensorError
+from repro.sensors.ring_oscillator import RingOscillator
+
+
+class _HasDeltaVth(Protocol):
+    @property
+    def delta_vth_v(self) -> float: ...
+
+
+@dataclass(frozen=True)
+class BtiSensorReading:
+    """One sensor read-out.
+
+    Attributes:
+        frequency_hz: quantized, noisy frequency measurement.
+        delta_vth_v: threshold shift inferred from the measurement.
+        degradation: fractional frequency loss vs fresh.
+    """
+
+    frequency_hz: float
+    delta_vth_v: float
+    degradation: float
+
+
+class BtiSensor:
+    """A BTI wearout monitor attached to a device model.
+
+    Attributes:
+        target: object whose ``delta_vth_v`` is being monitored.
+        oscillator: the sensing RO.
+        gate_window_s: edge-counting window; sets the frequency
+            quantum ``1 / gate_window_s``.
+        jitter_hz_rms: RMS measurement noise added before quantization.
+        seed: RNG seed for reproducible noise.
+    """
+
+    def __init__(self, target: _HasDeltaVth,
+                 oscillator: Optional[RingOscillator] = None,
+                 gate_window_s: float = 1e-3,
+                 jitter_hz_rms: float = 0.0,
+                 seed: int = 0):
+        if gate_window_s <= 0.0:
+            raise SensorError("gate_window_s must be positive")
+        if jitter_hz_rms < 0.0:
+            raise SensorError("jitter_hz_rms must be non-negative")
+        self.target = target
+        self.oscillator = oscillator or RingOscillator()
+        self.gate_window_s = gate_window_s
+        self.jitter_hz_rms = jitter_hz_rms
+        self._rng = np.random.default_rng(seed)
+
+    @property
+    def frequency_quantum_hz(self) -> float:
+        """Smallest resolvable frequency step of the edge counter."""
+        return 1.0 / self.gate_window_s
+
+    def read(self) -> BtiSensorReading:
+        """Take one measurement of the attached target."""
+        true_frequency = self.oscillator.frequency_hz(
+            self.target.delta_vth_v)
+        noisy = true_frequency
+        if self.jitter_hz_rms > 0.0:
+            noisy += self._rng.normal(0.0, self.jitter_hz_rms)
+        quantum = self.frequency_quantum_hz
+        quantized = max(round(noisy / quantum) * quantum, quantum)
+        return BtiSensorReading(
+            frequency_hz=quantized,
+            delta_vth_v=self.oscillator.infer_delta_vth_v(quantized),
+            degradation=max(
+                0.0, 1.0 - quantized / self.oscillator.fresh_frequency_hz))
+
+    def exceeds(self, degradation_threshold: float) -> bool:
+        """True when measured degradation crosses a scheduling threshold.
+
+        This is the trigger the paper's Fig. 12(b) controller uses to
+        insert a BTI active-recovery interval.
+        """
+        if not 0.0 <= degradation_threshold < 1.0:
+            raise SensorError("threshold must be within [0, 1)")
+        return self.read().degradation >= degradation_threshold

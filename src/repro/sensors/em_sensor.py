@@ -1,0 +1,114 @@
+"""Resistance-tracking EM sensor with quantization and slope detection.
+
+EM monitors measure the resistance of a victim (or replica) wire; the
+interesting events are (a) the onset of void growth -- a sustained
+upward resistance slope after the flat nucleation phase -- and (b) the
+approach to the failure threshold.  The sensor wraps an
+:class:`~repro.em.line.EmLine` (or any object exposing
+``resistance_ohm(temperature_k)``) and keeps a short history so it can
+estimate slopes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Protocol
+
+import numpy as np
+
+from repro.errors import SensorError
+
+
+class _HasResistance(Protocol):
+    def resistance_ohm(self, temperature_k: float) -> float: ...
+
+
+@dataclass(frozen=True)
+class EmSensorReading:
+    """One sensor read-out.
+
+    Attributes:
+        time_s: time stamp supplied by the caller.
+        resistance_ohm: quantized resistance measurement.
+        drift_ohm: measured increase over the first (fresh) reading.
+    """
+
+    time_s: float
+    resistance_ohm: float
+    drift_ohm: float
+
+
+class EmResistanceSensor:
+    """An EM wearout monitor attached to a wire model.
+
+    Attributes:
+        target: object whose resistance is being monitored.
+        temperature_k: read-out temperature passed to the target.
+        quantum_ohm: ADC resolution of the resistance measurement.
+        noise_ohm_rms: RMS measurement noise added before quantization.
+        seed: RNG seed for reproducible noise.
+    """
+
+    def __init__(self, target: _HasResistance, temperature_k: float,
+                 quantum_ohm: float = 0.01,
+                 noise_ohm_rms: float = 0.0,
+                 seed: int = 0):
+        if temperature_k <= 0.0:
+            raise SensorError("temperature must be positive (kelvin)")
+        if quantum_ohm <= 0.0:
+            raise SensorError("quantum_ohm must be positive")
+        if noise_ohm_rms < 0.0:
+            raise SensorError("noise_ohm_rms must be non-negative")
+        self.target = target
+        self.temperature_k = temperature_k
+        self.quantum_ohm = quantum_ohm
+        self.noise_ohm_rms = noise_ohm_rms
+        self._rng = np.random.default_rng(seed)
+        self.history: List[EmSensorReading] = []
+
+    def read(self, time_s: float) -> EmSensorReading:
+        """Take one measurement, appending it to the history."""
+        true_value = self.target.resistance_ohm(self.temperature_k)
+        noisy = true_value
+        if self.noise_ohm_rms > 0.0:
+            noisy += self._rng.normal(0.0, self.noise_ohm_rms)
+        quantized = round(noisy / self.quantum_ohm) * self.quantum_ohm
+        baseline = (self.history[0].resistance_ohm
+                    if self.history else quantized)
+        reading = EmSensorReading(time_s=time_s,
+                                  resistance_ohm=quantized,
+                                  drift_ohm=quantized - baseline)
+        self.history.append(reading)
+        return reading
+
+    def drift_fraction(self) -> float:
+        """Latest relative drift over the fresh reading (0 if unread)."""
+        if len(self.history) < 2:
+            return 0.0
+        fresh = self.history[0].resistance_ohm
+        return self.history[-1].drift_ohm / fresh
+
+    def slope_ohm_per_s(self, window: int = 5) -> float:
+        """Least-squares resistance slope over the last ``window`` reads.
+
+        A sustained positive slope marks the onset of void growth --
+        the trigger for scheduling EM active recovery (Fig. 12b).
+        """
+        if window < 2:
+            raise SensorError("window must be at least 2")
+        if len(self.history) < 2:
+            return 0.0
+        recent = self.history[-window:]
+        times = np.array([reading.time_s for reading in recent])
+        values = np.array([reading.resistance_ohm for reading in recent])
+        if np.ptp(times) <= 0.0:
+            return 0.0
+        slope, _intercept = np.polyfit(times, values, 1)
+        return float(slope)
+
+    def growth_detected(self, slope_threshold_ohm_per_s: float,
+                        window: int = 5) -> bool:
+        """True when the resistance slope crosses a trigger threshold."""
+        if slope_threshold_ohm_per_s <= 0.0:
+            raise SensorError("slope threshold must be positive")
+        return self.slope_ohm_per_s(window) >= slope_threshold_ohm_per_s

@@ -1,0 +1,80 @@
+"""Ring-oscillator frequency model under BTI wearout.
+
+The paper measures BTI through the oscillation frequency of a 75-stage
+LUT-mapped ring oscillator.  The stage delay follows the alpha-power
+law ``delay ~ C V / (V - Vth)^alpha``; a BTI threshold shift
+``dVth`` therefore reduces the frequency by approximately::
+
+    f(dVth) / f0 = ((V - Vth0 - dVth) / (V - Vth0)) ** alpha
+
+which is the mapping this class provides in both directions
+(shift -> frequency for simulation, frequency -> shift for sensing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SensorError
+
+
+@dataclass(frozen=True)
+class RingOscillator:
+    """A ring oscillator used as a BTI wearout monitor.
+
+    Attributes:
+        stages: number of inverting stages (odd in real hardware; the
+            model only uses it for reporting).
+        fresh_frequency_hz: oscillation frequency of the unstressed RO.
+        supply_v: oscillator supply voltage.
+        fresh_vth_v: fresh device threshold magnitude.
+        alpha: velocity-saturation exponent of the alpha-power law
+            (2.0 = long channel, ~1.3 typical for scaled nodes).
+    """
+
+    stages: int = 75
+    fresh_frequency_hz: float = 100e6
+    supply_v: float = 1.0
+    fresh_vth_v: float = 0.30
+    alpha: float = 1.3
+
+    def __post_init__(self) -> None:
+        if self.stages < 3:
+            raise SensorError("a ring oscillator needs at least 3 stages")
+        if self.fresh_frequency_hz <= 0.0:
+            raise SensorError("fresh_frequency_hz must be positive")
+        if self.supply_v <= self.fresh_vth_v:
+            raise SensorError("supply must exceed the threshold voltage")
+        if self.alpha <= 0.0:
+            raise SensorError("alpha must be positive")
+
+    def frequency_hz(self, delta_vth_v: float) -> float:
+        """Oscillation frequency at a given BTI threshold shift."""
+        if delta_vth_v < 0.0:
+            raise SensorError("delta_vth_v must be non-negative")
+        overdrive = self.supply_v - self.fresh_vth_v
+        remaining = overdrive - delta_vth_v
+        if remaining <= 0.0:
+            return 0.0
+        return self.fresh_frequency_hz * (remaining / overdrive) ** self.alpha
+
+    def frequency_degradation(self, delta_vth_v: float) -> float:
+        """Fractional frequency loss ``(f0 - f) / f0``."""
+        return 1.0 - self.frequency_hz(delta_vth_v) / self.fresh_frequency_hz
+
+    def infer_delta_vth_v(self, measured_frequency_hz: float) -> float:
+        """Invert the frequency model back to a threshold shift."""
+        if measured_frequency_hz <= 0.0:
+            raise SensorError("measured frequency must be positive")
+        if measured_frequency_hz > self.fresh_frequency_hz:
+            return 0.0
+        overdrive = self.supply_v - self.fresh_vth_v
+        ratio = measured_frequency_hz / self.fresh_frequency_hz
+        return overdrive * (1.0 - ratio ** (1.0 / self.alpha))
+
+    def delay_degradation(self, delta_vth_v: float) -> float:
+        """Fractional stage-delay increase ``(d - d0) / d0``."""
+        frequency = self.frequency_hz(delta_vth_v)
+        if frequency <= 0.0:
+            return float("inf")
+        return self.fresh_frequency_hz / frequency - 1.0

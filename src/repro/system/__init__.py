@@ -1,0 +1,48 @@
+"""System-level deep healing: multicore chips, workloads, schedulers.
+
+Implements Section IV-B of the paper: localized active recovery at the
+core/block level, dark-silicon-aware rotation that lets idle cores be
+healed by the heat of their active neighbours, and the run-time
+scheduling loop of Fig. 12(b) evaluated over long horizons.
+
+The aging state of the whole core fleet is vectorized
+(:mod:`repro.system.aging`), so simulating years of epoch-by-epoch
+operation for tens of cores stays fast.
+"""
+
+from repro.system.aging import FleetBtiState, FleetEmState
+from repro.system.chip import Chip, CoreSpec
+from repro.system.workload import (
+    ConstantWorkload,
+    DiurnalWorkload,
+    RandomWorkload,
+    TraceWorkload,
+)
+from repro.system.scheduler import (
+    CoreAssignment,
+    NoRecoveryPolicy,
+    RoundRobinRecoveryPolicy,
+)
+from repro.system.dark_silicon import DarkSiliconRotationPolicy
+from repro.system.simulator import SystemResult, SystemSimulator
+from repro.system.reliability import ReliabilityReport, \
+    reliability_report
+
+__all__ = [
+    "ReliabilityReport",
+    "reliability_report",
+    "FleetBtiState",
+    "FleetEmState",
+    "Chip",
+    "CoreSpec",
+    "ConstantWorkload",
+    "RandomWorkload",
+    "DiurnalWorkload",
+    "TraceWorkload",
+    "CoreAssignment",
+    "NoRecoveryPolicy",
+    "RoundRobinRecoveryPolicy",
+    "DarkSiliconRotationPolicy",
+    "SystemResult",
+    "SystemSimulator",
+]

@@ -1,0 +1,249 @@
+"""Vectorized per-core aging states for system-level simulation.
+
+The mechanistic models in :mod:`repro.bti` and :mod:`repro.em` track a
+single device/wire with high fidelity.  A system simulation needs the
+same dynamics for every core of a fleet over years of epochs, so this
+module re-expresses them with the unit (core) dimension vectorized in
+numpy:
+
+* :class:`FleetBtiState` -- the trap-population dynamics of
+  :class:`repro.bti.traps.TrapPopulation` batched over cores, with the
+  same capture/emission/lock-in behaviour (and therefore the same
+  Table I / Fig. 4 calibration).
+* :class:`FleetEmState` -- a lumped per-core EM state built on the
+  square-root stress kernel of :mod:`repro.em.lumped`: nucleation
+  progress accumulates at a rate proportional to ``j^2 * kappa(T)``
+  (the inverse of the closed-form nucleation time), reverses under
+  reverse current, and post-nucleation void growth/refill/lock-in
+  follows the same rates as :class:`repro.em.line.EmLine`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.bti.conditions import RecoveryAccelerationParams
+from repro.bti.traps import TrapPopulationConfig
+from repro.em.line import EmLineConfig, EmStressCondition
+from repro.em.lumped import LumpedEmModel
+from repro.em.wire import PAPER_TEST_WIRE, Wire
+from repro.errors import SimulationError
+
+
+class FleetBtiState:
+    """Batched trap-population state for ``n_units`` cores.
+
+    The per-bin dynamics are identical to
+    :class:`repro.bti.traps.TrapPopulation`; every step takes
+    *per-unit* boolean stress masks and rate multipliers, so different
+    cores can stress, idle and heal in the same epoch.
+    """
+
+    def __init__(self, n_units: int,
+                 config: Optional[TrapPopulationConfig] = None):
+        if n_units < 1:
+            raise SimulationError("n_units must be at least 1")
+        self.n_units = n_units
+        self.config = config or TrapPopulationConfig(n_bins=64)
+        cfg = self.config
+        self.tau_c = np.logspace(math.log10(cfg.tau_min_s),
+                                 math.log10(cfg.tau_max_s), cfg.n_bins)
+        fresh_weight = cfg.vth_full_shift_v / cfg.n_bins
+        self.weights = np.full((n_units, cfg.n_bins), fresh_weight)
+        self.occupancy = np.zeros((n_units, cfg.n_bins))
+        self.age_s = np.zeros((n_units, cfg.n_bins))
+        self.permanent_v = np.zeros(n_units)
+        self.time_s = 0.0
+
+    # -- observables ----------------------------------------------------
+
+    def delta_vth_v(self) -> np.ndarray:
+        """Per-unit total threshold shift (volts)."""
+        return self.recoverable_vth_v() + self.permanent_v
+
+    def recoverable_vth_v(self) -> np.ndarray:
+        """Per-unit recoverable shift (volts)."""
+        return (self.occupancy * self.weights).sum(axis=1)
+
+    def step(self, dt_s: float, stressing: np.ndarray,
+             capture_acceleration: np.ndarray,
+             recovery_acceleration: np.ndarray) -> None:
+        """Advance every unit by ``dt_s``.
+
+        Args:
+            dt_s: epoch length.
+            stressing: boolean (n_units,) -- True = unit under stress,
+                False = unit recovering.
+            capture_acceleration: (n_units,) capture-rate multipliers
+                for the stressing units.
+            recovery_acceleration: (n_units,) de-trapping multipliers
+                for the recovering units.
+        """
+        if dt_s < 0.0:
+            raise SimulationError("dt_s must be non-negative")
+        stressing = np.asarray(stressing, dtype=bool)
+        capture = np.asarray(capture_acceleration, dtype=float)
+        recovery = np.asarray(recovery_acceleration, dtype=float)
+        for array in (stressing, capture, recovery):
+            if array.shape != (self.n_units,):
+                raise SimulationError(
+                    f"per-unit arrays must have shape ({self.n_units},)")
+        cfg = self.config
+        # Ageing/lock-in advance in equivalent stress time (dt scaled
+        # by the per-unit capture acceleration), mirroring
+        # TrapPopulation.stress() -- including its bounded sub-step
+        # count for extreme accelerations.
+        peak_accel = float(capture[stressing].max()) \
+            if np.any(stressing) else 1.0
+        n_steps = int(np.ceil(dt_s * max(peak_accel, 1e-12)
+                              / max(cfg.lock_age_s / 8.0, 1e-9)))
+        n_steps = min(max(n_steps, 1), 64)
+        step = dt_s / n_steps
+        tau_e = cfg.emission_scale * self.tau_c
+        for _ in range(n_steps):
+            equivalent = np.where(stressing, capture * step, 0.0)
+            # Stress update for stressing units.
+            if np.any(stressing):
+                fill = -np.expm1(-equivalent[stressing, None]
+                                 / self.tau_c[None, :])
+                self.occupancy[stressing] += (
+                    (1.0 - self.occupancy[stressing]) * fill)
+            # Recovery update for the rest.
+            resting = ~stressing
+            if np.any(resting):
+                drain = np.exp(-step * recovery[resting, None]
+                               / tau_e[None, :])
+                self.occupancy[resting] *= drain
+            # Age bookkeeping and lock-in (stress only).
+            occupied = self.occupancy >= cfg.age_on_occupancy
+            emptied = self.occupancy <= cfg.age_off_occupancy
+            self.age_s += np.where(occupied, equivalent[:, None], 0.0)
+            self.age_s[emptied] = 0.0
+            if cfg.lock_rate_per_s > 0.0 and np.any(stressing):
+                aged = (self.age_s > cfg.lock_age_s) \
+                    & stressing[:, None]
+                if np.any(aged):
+                    fraction = -np.expm1(
+                        -cfg.lock_rate_per_s * equivalent)[:, None]
+                    converted_v = np.where(
+                        aged, self.weights * self.occupancy * fraction,
+                        0.0)
+                    self.permanent_v += converted_v.sum(axis=1)
+                    new_weights = np.where(
+                        aged,
+                        self.weights * (1.0 - self.occupancy * fraction),
+                        self.weights)
+                    remaining_charge = self.weights * self.occupancy \
+                        - converted_v
+                    self.occupancy = np.where(
+                        aged & (new_weights > 0.0),
+                        remaining_charge / np.maximum(new_weights, 1e-300),
+                        self.occupancy)
+                    self.weights = new_weights
+            self.time_s += step
+
+
+class FleetEmState:
+    """Batched lumped EM state for the local grid of each core.
+
+    Nucleation progress is tracked as the *equivalent stress time at a
+    reference condition*: a unit accrues progress at the rate
+    ``j^2 kappa(T) / (j_ref^2 kappa(T_ref))`` (forward current),
+    unwinds it under reverse current, and nucleates when the progress
+    reaches the closed-form nucleation time of the reference
+    condition.  After nucleation the void grows at the drift velocity,
+    refills at ``recovery_boost`` times it under reverse current, and
+    immobilizes at the calibrated lock rate.
+    """
+
+    def __init__(self, n_units: int,
+                 reference: EmStressCondition,
+                 wire: Wire = PAPER_TEST_WIRE,
+                 config: Optional[EmLineConfig] = None):
+        if n_units < 1:
+            raise SimulationError("n_units must be at least 1")
+        if reference.current_density_a_m2 <= 0.0:
+            raise SimulationError(
+                "reference condition must carry forward current")
+        self.n_units = n_units
+        self.wire = wire
+        self.config = config or EmLineConfig()
+        self.reference = reference
+        self._lumped = LumpedEmModel(wire, self.config.failure_fraction)
+        self.nucleation_time_ref_s = self._lumped.nucleation_time(reference)
+        material = wire.material
+        self._ref_rate = (reference.current_density_a_m2 ** 2
+                          * material.stress_diffusivity_at(
+                              reference.temperature_k))
+        if self._ref_rate <= 0.0:
+            raise SimulationError(
+                "reference condition must carry forward current")
+        self.progress_s = np.zeros(n_units)
+        self.nucleated = np.zeros(n_units, dtype=bool)
+        self.void_reversible_m = np.zeros(n_units)
+        self.void_locked_m = np.zeros(n_units)
+        self.time_s = 0.0
+
+    # -- observables ----------------------------------------------------
+
+    def total_void_m(self) -> np.ndarray:
+        """Per-unit total void length."""
+        return self.void_reversible_m + self.void_locked_m
+
+    def delta_resistance_ohm(self) -> np.ndarray:
+        """Per-unit resistance drift from voiding."""
+        return self.wire.void_resistance_per_m * self.total_void_m()
+
+    def failed(self, temperature_k: float) -> np.ndarray:
+        """Per-unit hard-failure flags at a read-out temperature."""
+        fresh = self.wire.resistance_at(temperature_k)
+        return self.delta_resistance_ohm() >= \
+            self.config.failure_fraction * fresh
+
+    def step(self, dt_s: float, current_density_a_m2: np.ndarray,
+             temperature_k: np.ndarray) -> None:
+        """Advance every unit by ``dt_s``.
+
+        Args:
+            dt_s: epoch length.
+            current_density_a_m2: signed per-unit grid current density
+                (negative = active EM recovery).
+            temperature_k: per-unit grid temperature.
+        """
+        if dt_s < 0.0:
+            raise SimulationError("dt_s must be non-negative")
+        j = np.asarray(current_density_a_m2, dtype=float)
+        temp = np.asarray(temperature_k, dtype=float)
+        if j.shape != (self.n_units,) or temp.shape != (self.n_units,):
+            raise SimulationError(
+                f"per-unit arrays must have shape ({self.n_units},)")
+        if np.any(temp <= 0.0):
+            raise SimulationError("temperatures must be positive")
+        material = self.wire.material
+        kappa = np.array([material.stress_diffusivity_at(t) for t in temp])
+        rate = (j * j) * kappa / self._ref_rate
+        signed_rate = np.where(j >= 0.0, rate, -rate)
+        # Nucleation progress: accrues forward, unwinds in reverse.
+        self.progress_s = np.maximum(
+            self.progress_s + signed_rate * dt_s, 0.0)
+        self.nucleated |= self.progress_s >= self.nucleation_time_ref_s
+        # Void dynamics for nucleated units.
+        drift = np.array([
+            abs(material.drift_velocity(float(ji), float(ti)))
+            for ji, ti in zip(j, temp)])
+        growing = self.nucleated & (j > 0.0)
+        self.void_reversible_m[growing] += drift[growing] * dt_s
+        refilling = (j < 0.0) & (self.void_reversible_m > 0.0)
+        healed = self.config.recovery_boost * drift * dt_s
+        self.void_reversible_m[refilling] = np.maximum(
+            self.void_reversible_m[refilling] - healed[refilling], 0.0)
+        # Lock-in of existing reversible void volume.
+        if self.config.lock_rate_per_s > 0.0:
+            locked = self.void_reversible_m * (
+                -math.expm1(-self.config.lock_rate_per_s * dt_s))
+            self.void_reversible_m -= locked
+            self.void_locked_m += locked
+        self.time_s += dt_s

@@ -1,0 +1,108 @@
+"""Dark-silicon-aware healing rotation (Section IV-B of the paper).
+
+"The 'dark' parts of the chip usually lead to some 'redundant'
+resources which have intrinsic OFF periods ... if these redundant
+resources can be scheduled and allocated in such a way that they can be
+healed by the generated heat from the neighboring active elements, the
+recovery can be further sped up."
+
+The policy keeps ``n_dark`` cores dark each epoch.  Dark cores are in
+BTI active recovery; which cores go dark is chosen by a score that
+prefers (a) the most-aged cores -- they need healing most -- and,
+optionally, (b) cores with many *loaded* neighbours -- they will sit in
+the hottest spot of the floorplan, and heat accelerates recovery.
+A dwell counter prevents thrashing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.system.chip import Chip
+from repro.system.scheduler import CoreAssignment, _spread
+
+
+@dataclass
+class DarkSiliconRotationPolicy:
+    """Heal the most-aged cores in the warmest dark slots.
+
+    Attributes:
+        chip: the chip (needed for neighbour lookups).
+        n_dark: cores kept dark (healing) each epoch.
+        heat_aware: prefer dark slots adjacent to loaded cores, so
+            neighbour heat accelerates the recovery.
+        dwell_epochs: minimum epochs a core stays dark once selected.
+        em_alternate_every: period of EM reverse-current epochs for
+            the active cores; 0 disables.
+        age_weight: relative weight of wearout vs neighbour heat in
+            the dark-slot score.
+    """
+
+    chip: Chip
+    n_dark: int = 1
+    heat_aware: bool = True
+    dwell_epochs: int = 4
+    em_alternate_every: int = 2
+    age_weight: float = 1.0
+    _dark_set: List[int] = field(default_factory=list, repr=False)
+    _dwell_left: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.n_dark < self.chip.n_cores:
+            raise SimulationError(
+                "n_dark must leave at least one active core")
+        if self.dwell_epochs < 1:
+            raise SimulationError("dwell_epochs must be at least 1")
+        if self.age_weight < 0.0:
+            raise SimulationError("age_weight must be non-negative")
+
+    def _score(self, delta_vth_v: np.ndarray,
+               previous_utilization: Optional[np.ndarray]) -> np.ndarray:
+        scale = max(float(delta_vth_v.max()), 1e-12)
+        score = self.age_weight * delta_vth_v / scale
+        if self.heat_aware and previous_utilization is not None:
+            for index in range(self.chip.n_cores):
+                neighbours = self.chip.neighbours_of(index)
+                if neighbours:
+                    heat = float(np.mean(
+                        previous_utilization[neighbours]))
+                    score[index] += 0.5 * heat
+        return score
+
+    def assign(self, epoch: int, demand: float,
+               delta_vth_v: np.ndarray,
+               previous_utilization: Optional[np.ndarray] = None
+               ) -> CoreAssignment:
+        """Pick the dark set, then spread the demand over the rest."""
+        n = self.chip.n_cores
+        delta_vth_v = np.asarray(delta_vth_v, dtype=float)
+        if delta_vth_v.shape != (n,):
+            raise SimulationError(
+                f"delta_vth_v must have shape ({n},)")
+        if self.n_dark == 0:
+            dark = np.zeros(n, dtype=bool)
+        else:
+            if self._dwell_left <= 0 or not self._dark_set:
+                score = self._score(delta_vth_v, previous_utilization)
+                self._dark_set = list(
+                    np.argsort(score)[::-1][:self.n_dark])
+                self._dwell_left = self.dwell_epochs
+            self._dwell_left -= 1
+            dark = np.zeros(n, dtype=bool)
+            dark[self._dark_set] = True
+        available = ~dark
+        utilization = _spread(demand, available)
+        placed = float(utilization.sum())
+        em = np.zeros(n, dtype=bool)
+        if self.em_alternate_every and \
+                epoch % self.em_alternate_every == 0:
+            em = available & (utilization > 0.0)
+        return CoreAssignment(
+            utilization=utilization,
+            bti_recovering=dark,
+            em_recovering=em,
+            dropped_demand=max(demand - placed, 0.0))

@@ -1,0 +1,135 @@
+"""Scheduling policies: which cores run, which cores heal.
+
+A policy turns (epoch, demand, aging observables) into a
+:class:`CoreAssignment`: per-core utilizations plus per-core recovery
+flags.  The baseline :class:`NoRecoveryPolicy` never heals;
+:class:`RoundRobinRecoveryPolicy` rotates short BTI recovery intervals
+through the fleet and alternates EM recovery epochs on the active
+cores (the "EM active period can be scheduled alternately with normal
+operation" recipe of Section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class CoreAssignment:
+    """One epoch's scheduling decision.
+
+    Attributes:
+        utilization: per-core utilization in [0, 1].
+        bti_recovering: per-core flags -- core idles with swapped rails
+            (BTI active recovery; contributes no compute).
+        em_recovering: per-core flags -- core runs with reversed grid
+            current (EM active recovery; still contributes compute).
+        dropped_demand: demand (core-equivalents) that could not be
+            placed this epoch because too few cores were available.
+    """
+
+    utilization: np.ndarray
+    bti_recovering: np.ndarray
+    em_recovering: np.ndarray
+    dropped_demand: float = 0.0
+
+    def __post_init__(self) -> None:
+        n = len(self.utilization)
+        if len(self.bti_recovering) != n or len(self.em_recovering) != n:
+            raise SimulationError("assignment arrays must align")
+        if np.any((self.utilization < 0.0) | (self.utilization > 1.0)):
+            raise SimulationError("utilizations must be within [0, 1]")
+        if np.any(self.bti_recovering & (self.utilization > 0.0)):
+            raise SimulationError(
+                "a BTI-recovering core cannot carry load")
+
+
+def _spread(demand: float, available: np.ndarray) -> np.ndarray:
+    """Distribute demand evenly over the available cores (capped at 1)."""
+    n = len(available)
+    utilization = np.zeros(n)
+    idx = np.nonzero(available)[0]
+    if idx.size == 0:
+        return utilization
+    per_core = min(demand / idx.size, 1.0)
+    utilization[idx] = per_core
+    return utilization
+
+
+@dataclass(frozen=True)
+class NoRecoveryPolicy:
+    """Baseline: spread the demand, never heal."""
+
+    def assign(self, epoch: int, demand: float,
+               delta_vth_v: np.ndarray,
+               previous_utilization: Optional[np.ndarray] = None
+               ) -> CoreAssignment:
+        """Evenly load all cores; no recovery epochs ever."""
+        n = len(delta_vth_v)
+        available = np.ones(n, dtype=bool)
+        utilization = _spread(demand, available)
+        placed = float(utilization.sum())
+        return CoreAssignment(
+            utilization=utilization,
+            bti_recovering=np.zeros(n, dtype=bool),
+            em_recovering=np.zeros(n, dtype=bool),
+            dropped_demand=max(demand - placed, 0.0))
+
+
+@dataclass
+class RoundRobinRecoveryPolicy:
+    """Rotating BTI recovery plus alternating EM recovery.
+
+    Every epoch, ``recovery_slots`` cores (a rotating window) go into
+    BTI active recovery; their share of the demand migrates to the
+    remaining cores.  Independently, every ``em_alternate_every``
+    epochs the *active* cores run one epoch with reversed grid
+    current -- EM active recovery costs no compute, so it can simply
+    alternate with normal polarity.
+
+    Attributes:
+        recovery_slots: cores in BTI recovery per epoch.
+        em_alternate_every: period (in epochs) of EM reverse-current
+            epochs for the active cores; 0 disables EM recovery.
+    """
+
+    recovery_slots: int = 1
+    em_alternate_every: int = 2
+    _cursor: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.recovery_slots < 0:
+            raise SimulationError("recovery_slots must be >= 0")
+        if self.em_alternate_every < 0:
+            raise SimulationError("em_alternate_every must be >= 0")
+
+    def assign(self, epoch: int, demand: float,
+               delta_vth_v: np.ndarray,
+               previous_utilization: Optional[np.ndarray] = None
+               ) -> CoreAssignment:
+        """Rotate the healing window and spread demand over the rest."""
+        n = len(delta_vth_v)
+        if self.recovery_slots >= n:
+            raise SimulationError(
+                "recovery_slots must leave at least one active core")
+        healing = np.zeros(n, dtype=bool)
+        for slot in range(self.recovery_slots):
+            healing[(self._cursor + slot) % n] = True
+        self._cursor = (self._cursor + self.recovery_slots) % n
+        available = ~healing
+        utilization = _spread(demand, available)
+        placed = float(utilization.sum())
+        em = np.zeros(n, dtype=bool)
+        if self.em_alternate_every and \
+                epoch % self.em_alternate_every == 0:
+            em = available & (utilization > 0.0)
+        return CoreAssignment(
+            utilization=utilization,
+            bti_recovering=healing,
+            em_recovering=em,
+            dropped_demand=max(demand - placed, 0.0))

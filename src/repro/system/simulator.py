@@ -1,0 +1,260 @@
+"""Epoch-driven system-level lifetime simulator.
+
+Each epoch the simulator:
+
+1. asks the workload for the compute demand,
+2. asks the policy which cores run, which heal, and how the demand is
+   spread (migrating work away from healing cores),
+3. solves the thermal network for per-core temperatures,
+4. advances the vectorized BTI and EM fleet states under the resulting
+   per-core stress/recovery conditions, and
+5. records the fleet's performance envelope.
+
+The output exposes the Fig. 12(b) observables directly: the worst-core
+performance degradation over time with and without scheduled recovery,
+the implied guardband, and EM failure times of the local grids.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Protocol
+
+import numpy as np
+
+from repro import units
+from repro.bti.calibration import BtiCalibration, default_calibration
+from repro.bti.conditions import (
+    ACTIVE_RECOVERY_BIAS_V,
+    BtiRecoveryCondition,
+    BtiStressCondition,
+)
+from repro.em.line import EmStressCondition
+from repro.errors import SimulationError
+from repro.system.aging import FleetBtiState, FleetEmState
+from repro.system.chip import Chip
+from repro.system.scheduler import CoreAssignment
+
+
+class SchedulingPolicy(Protocol):
+    """Interface every scheduling policy implements."""
+
+    def assign(self, epoch: int, demand: float,
+               delta_vth_v: np.ndarray,
+               previous_utilization: Optional[np.ndarray] = None
+               ) -> CoreAssignment:
+        """Produce the epoch's core assignment."""
+        ...
+
+
+class Workload(Protocol):
+    """Interface every workload generator implements."""
+
+    def demand(self, epoch: int) -> float:
+        """Compute demand (core-equivalents) for an epoch."""
+        ...
+
+
+@dataclass(frozen=True)
+class SystemResult:
+    """Timeline and summary of one system simulation.
+
+    Attributes:
+        times_s: end-of-epoch time stamps.
+        worst_degradation: per-epoch worst-core fractional delay
+            degradation (the Fig. 12(b) performance envelope, flipped).
+        mean_degradation: per-epoch fleet-average degradation.
+        dropped_demand: per-epoch unplaced demand (core-equivalents).
+        final_delta_vth_v: per-core BTI shift at the end.
+        final_permanent_vth_v: per-core permanent component at the end.
+        final_em_drift_ohm: per-core grid resistance drift at the end.
+        em_failures: per-core hard-failure flags at the end.
+        migration_events: number of core transitions into BTI recovery
+            over the run; each one implies a state-retention or
+            workload-migration action (Section IV-B: "certain states
+            need to be in retention mode, alternatively, workload can
+            be shifted to other redundant resources").
+        n_epochs: simulated epoch count (for overhead normalization).
+    """
+
+    times_s: np.ndarray
+    worst_degradation: np.ndarray
+    mean_degradation: np.ndarray
+    dropped_demand: np.ndarray
+    final_delta_vth_v: np.ndarray
+    final_permanent_vth_v: np.ndarray
+    final_em_drift_ohm: np.ndarray
+    em_failures: np.ndarray
+    migration_events: int = 0
+    n_epochs: int = 0
+
+    @property
+    def guardband(self) -> float:
+        """Delay margin this run would require (peak worst-core
+        degradation over the horizon)."""
+        return float(self.worst_degradation.max(initial=0.0))
+
+    @property
+    def lost_demand_fraction(self) -> float:
+        """Unplaced fraction of total demanded compute."""
+        total = self.dropped_demand.sum()
+        return float(total / max(len(self.times_s), 1))
+
+    def migration_overhead(self, cost_epoch_fraction: float = 0.01
+                           ) -> float:
+        """Compute overhead of recovery-entry migrations.
+
+        Each transition into BTI recovery costs
+        ``cost_epoch_fraction`` of one core-epoch (state save +
+        workload shift); returns the total as a fraction of the
+        simulated core-epochs.  The paper expects this to be "a small
+        switching overhead" -- typically well under a percent.
+        """
+        if cost_epoch_fraction < 0.0:
+            raise SimulationError(
+                "cost_epoch_fraction must be non-negative")
+        core_epochs = max(self.n_epochs, 1) \
+            * max(len(self.final_delta_vth_v), 1)
+        return self.migration_events * cost_epoch_fraction \
+            / core_epochs
+
+    def describe(self) -> str:
+        """One-line summary used by examples and benches."""
+        return (f"guardband {self.guardband:.2%}, "
+                f"final worst dVth "
+                f"{self.final_delta_vth_v.max() * 1e3:.2f} mV "
+                f"(permanent {self.final_permanent_vth_v.max() * 1e3:.2f}"
+                f" mV), EM failures {int(self.em_failures.sum())}")
+
+
+class SystemSimulator:
+    """Drives a chip + workload + policy through its lifetime."""
+
+    def __init__(self, chip: Chip,
+                 calibration: Optional[BtiCalibration] = None,
+                 em_reference: Optional[EmStressCondition] = None,
+                 epoch_s: float = units.hours(1.0)):
+        if epoch_s <= 0.0:
+            raise SimulationError("epoch_s must be positive")
+        self.chip = chip
+        self.calibration = calibration or default_calibration()
+        self.epoch_s = epoch_s
+        n = chip.n_cores
+        population = self.calibration.model_config.population
+        # Fewer bins per core: system horizons don't need the full
+        # Table-I resolution, and the dynamics are identical.
+        from dataclasses import replace
+        self.bti = FleetBtiState(
+            n, replace(population, n_bins=64))
+        self.em_reference = em_reference or EmStressCondition(
+            current_density_a_m2=chip.core.grid_current_density_a_m2,
+            temperature_k=units.celsius_to_kelvin(85.0),
+            name="grid reference")
+        self.em = FleetEmState(n, self.em_reference)
+        self._accel_params = self.calibration.model_config.acceleration
+        self._reference_stress = \
+            self.calibration.model_config.reference_stress
+
+    # -- per-epoch condition helpers -----------------------------------
+
+    def _capture_acceleration(self, utilization: np.ndarray,
+                              temps_k: np.ndarray) -> np.ndarray:
+        accel = np.zeros(len(utilization))
+        for i, (util, temp) in enumerate(zip(utilization, temps_k)):
+            if util <= 0.0:
+                continue
+            condition = BtiStressCondition(
+                voltage=self.chip.core.stress_voltage_v,
+                temperature_k=float(temp))
+            accel[i] = util * condition.capture_acceleration(
+                self._reference_stress)
+        return accel
+
+    def _recovery_acceleration(self, bti_recovering: np.ndarray,
+                               temps_k: np.ndarray) -> np.ndarray:
+        accel = np.ones(len(bti_recovering))
+        for i, temp in enumerate(temps_k):
+            bias = ACTIVE_RECOVERY_BIAS_V if bti_recovering[i] else 0.0
+            condition = BtiRecoveryCondition(
+                gate_bias_v=bias, temperature_k=float(temp))
+            accel[i] = condition.acceleration(self._accel_params)
+        return accel
+
+    # -- main loop -------------------------------------------------------
+
+    def run(self, n_epochs: int, workload: Workload,
+            policy: SchedulingPolicy,
+            record_every: int = 1) -> SystemResult:
+        """Simulate ``n_epochs`` epochs and collect the timeline.
+
+        Args:
+            n_epochs: horizon in epochs.
+            workload: demand generator.
+            policy: scheduling policy.
+            record_every: decimation factor of the recorded timeline.
+        """
+        if n_epochs < 1:
+            raise SimulationError("n_epochs must be at least 1")
+        if record_every < 1:
+            raise SimulationError("record_every must be at least 1")
+        n = self.chip.n_cores
+        oscillator = self.chip.core.oscillator
+        previous_utilization: Optional[np.ndarray] = None
+        previous_recovering = np.zeros(n, dtype=bool)
+        migration_events = 0
+        times: List[float] = []
+        worst: List[float] = []
+        mean: List[float] = []
+        dropped: List[float] = []
+        for epoch in range(n_epochs):
+            demand = workload.demand(epoch)
+            assignment = policy.assign(
+                epoch, demand, self.bti.delta_vth_v(),
+                previous_utilization)
+            powers = np.array([
+                self.chip.core.recovery_power_w
+                if assignment.bti_recovering[i]
+                else self.chip.core.power_w(
+                    float(assignment.utilization[i]))
+                for i in range(n)])
+            temps = self.chip.thermal.steady_state(powers)
+            stressing = ~assignment.bti_recovering
+            capture = self._capture_acceleration(
+                assignment.utilization, temps)
+            # Cores that are "stressing" but idle (zero utilization)
+            # accumulate nothing and recover passively; model that by
+            # marking them as recovering at bias 0.
+            active = stressing & (assignment.utilization > 0.0)
+            recovery = self._recovery_acceleration(
+                assignment.bti_recovering, temps)
+            capture_safe = np.where(capture > 0.0, capture, 1.0)
+            self.bti.step(self.epoch_s, active, capture_safe, recovery)
+            j = (self.chip.core.grid_current_density_a_m2
+                 * assignment.utilization)
+            j = np.where(assignment.em_recovering, -j, j)
+            self.em.step(self.epoch_s, j, temps)
+            migration_events += int(np.count_nonzero(
+                assignment.bti_recovering & ~previous_recovering))
+            previous_recovering = assignment.bti_recovering
+            previous_utilization = assignment.utilization
+            if (epoch + 1) % record_every == 0 or epoch == n_epochs - 1:
+                degradation = np.array([
+                    oscillator.delay_degradation(float(dv))
+                    for dv in self.bti.delta_vth_v()])
+                times.append((epoch + 1) * self.epoch_s)
+                worst.append(float(degradation.max()))
+                mean.append(float(degradation.mean()))
+                dropped.append(assignment.dropped_demand)
+        read_t = float(np.max(self.chip.thermal.temperatures_k))
+        return SystemResult(
+            times_s=np.array(times),
+            worst_degradation=np.array(worst),
+            mean_degradation=np.array(mean),
+            dropped_demand=np.array(dropped),
+            final_delta_vth_v=self.bti.delta_vth_v(),
+            final_permanent_vth_v=self.bti.permanent_v.copy(),
+            final_em_drift_ohm=self.em.delta_resistance_ohm(),
+            em_failures=self.em.failed(read_t),
+            migration_events=migration_events,
+            n_epochs=n_epochs)

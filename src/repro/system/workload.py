@@ -1,0 +1,161 @@
+"""Workload generators for the system-level simulator.
+
+A workload maps an epoch index to a total compute demand expressed in
+core-equivalents (0 .. n_cores); the scheduling policy then distributes
+that demand over the cores it keeps active.  The three generators cover
+the scenarios the paper's introduction motivates: steady server-style
+load, bursty/random load, and duty-cycled (day/night or IoT
+sense-sleep) load with intrinsic OFF periods that deep healing can
+exploit.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class ConstantWorkload:
+    """A steady demand at a fixed fraction of total capacity.
+
+    Attributes:
+        n_cores: chip capacity in cores.
+        utilization: demanded fraction of total capacity, in [0, 1].
+    """
+
+    n_cores: int
+    utilization: float = 0.6
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise SimulationError("n_cores must be at least 1")
+        if not 0.0 <= self.utilization <= 1.0:
+            raise SimulationError("utilization must be within [0, 1]")
+
+    def demand(self, epoch: int) -> float:
+        """Demand in core-equivalents for an epoch."""
+        return self.n_cores * self.utilization
+
+
+@dataclass
+class RandomWorkload:
+    """AR(1) random demand (bursty but correlated across epochs).
+
+    Attributes:
+        n_cores: chip capacity in cores.
+        mean_utilization: long-run demanded fraction of capacity.
+        volatility: standard deviation of the per-epoch innovation,
+            as a fraction of capacity.
+        correlation: AR(1) coefficient in [0, 1).
+        seed: RNG seed for reproducibility.
+    """
+
+    n_cores: int
+    mean_utilization: float = 0.6
+    volatility: float = 0.15
+    correlation: float = 0.9
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise SimulationError("n_cores must be at least 1")
+        if not 0.0 <= self.mean_utilization <= 1.0:
+            raise SimulationError("mean_utilization must be in [0, 1]")
+        if self.volatility < 0.0:
+            raise SimulationError("volatility must be non-negative")
+        if not 0.0 <= self.correlation < 1.0:
+            raise SimulationError("correlation must be in [0, 1)")
+        self._rng = np.random.default_rng(self.seed)
+        self._state = 0.0
+        self._last_epoch = -1
+
+    def demand(self, epoch: int) -> float:
+        """Demand in core-equivalents for an epoch.
+
+        Epochs must be queried in non-decreasing order; re-querying
+        the last epoch returns the same value.
+        """
+        if epoch < self._last_epoch:
+            raise SimulationError("epochs must be non-decreasing")
+        while self._last_epoch < epoch:
+            innovation = self._rng.normal(0.0, self.volatility)
+            self._state = self.correlation * self._state + innovation
+            self._last_epoch += 1
+        utilization = min(max(self.mean_utilization + self._state, 0.0),
+                          1.0)
+        return self.n_cores * utilization
+
+
+@dataclass(frozen=True)
+class TraceWorkload:
+    """Replay a recorded demand trace (datacenter logs, test vectors).
+
+    Attributes:
+        n_cores: chip capacity in cores.
+        utilizations: per-epoch demanded fractions of capacity; epochs
+            beyond the trace wrap around (periodic replay).
+    """
+
+    n_cores: int
+    utilizations: tuple
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise SimulationError("n_cores must be at least 1")
+        if not self.utilizations:
+            raise SimulationError("trace must not be empty")
+        for value in self.utilizations:
+            if not 0.0 <= value <= 1.0:
+                raise SimulationError(
+                    "trace utilizations must be within [0, 1]")
+
+    @classmethod
+    def from_sequence(cls, n_cores: int, values) -> "TraceWorkload":
+        """Build from any iterable of per-epoch utilizations."""
+        return cls(n_cores=n_cores, utilizations=tuple(values))
+
+    def demand(self, epoch: int) -> float:
+        """Demand in core-equivalents for an epoch (trace wraps)."""
+        value = self.utilizations[epoch % len(self.utilizations)]
+        return self.n_cores * value
+
+
+@dataclass(frozen=True)
+class DiurnalWorkload:
+    """Sinusoidal day/night demand (or IoT duty cycling).
+
+    Attributes:
+        n_cores: chip capacity in cores.
+        peak_utilization: demanded fraction at the daily peak.
+        trough_utilization: demanded fraction at the nightly trough.
+        period_epochs: epochs per day (e.g. 48 with 30-min epochs).
+    """
+
+    n_cores: int
+    peak_utilization: float = 0.9
+    trough_utilization: float = 0.2
+    period_epochs: int = 48
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 1:
+            raise SimulationError("n_cores must be at least 1")
+        if not (0.0 <= self.trough_utilization
+                <= self.peak_utilization <= 1.0):
+            raise SimulationError(
+                "require 0 <= trough <= peak <= 1 utilization")
+        if self.period_epochs < 2:
+            raise SimulationError("period_epochs must be at least 2")
+
+    def demand(self, epoch: int) -> float:
+        """Demand in core-equivalents for an epoch."""
+        phase = 2.0 * math.pi * (epoch % self.period_epochs) \
+            / self.period_epochs
+        mid = 0.5 * (self.peak_utilization + self.trough_utilization)
+        amplitude = 0.5 * (self.peak_utilization
+                           - self.trough_utilization)
+        return self.n_cores * (mid - amplitude * math.cos(phase))

@@ -1,0 +1,18 @@
+"""Lumped thermal substrate: floorplans and RC thermal networks.
+
+Replaces the paper's thermal chamber and supplies the temperature
+inputs of the wearout/recovery models.  It also implements the paper's
+dark-silicon observation (Section IV-B): an idle core surrounded by hot
+active neighbours is *heated for free*, which accelerates its BTI/EM
+recovery -- the heat-flow arrows of Fig. 12(a).
+"""
+
+from repro.thermal.floorplan import Block, Floorplan
+from repro.thermal.network import ThermalRCNetwork, ThermalNetworkConfig
+
+__all__ = [
+    "Block",
+    "Floorplan",
+    "ThermalRCNetwork",
+    "ThermalNetworkConfig",
+]

@@ -1,0 +1,130 @@
+"""Chip floorplans for the lumped thermal model.
+
+A floorplan is a set of rectangular, axis-aligned, non-overlapping
+blocks (cores, caches, accelerators).  Lateral heat spreading couples
+blocks through their shared edges, so the floorplan computes edge
+adjacency; vertical heat removal couples every block to the ambient
+through its area.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Block:
+    """One rectangular floorplan block.
+
+    Attributes:
+        name: unique block name.
+        x_m / y_m: lower-left corner in metres.
+        width_m / height_m: extents in metres.
+    """
+
+    name: str
+    x_m: float
+    y_m: float
+    width_m: float
+    height_m: float
+
+    def __post_init__(self) -> None:
+        if self.width_m <= 0.0 or self.height_m <= 0.0:
+            raise ValueError("block dimensions must be positive")
+
+    @property
+    def area_m2(self) -> float:
+        """Block area."""
+        return self.width_m * self.height_m
+
+    def shared_edge_m(self, other: "Block") -> float:
+        """Length of the edge shared with ``other`` (0 if not adjacent).
+
+        Two blocks share an edge when they touch along a vertical or
+        horizontal boundary with a positive overlap length.
+        """
+        tolerance = 1e-12
+        # Vertical contact: my right edge is their left edge (or vice versa).
+        if (abs(self.x_m + self.width_m - other.x_m) < tolerance
+                or abs(other.x_m + other.width_m - self.x_m) < tolerance):
+            overlap = (min(self.y_m + self.height_m,
+                           other.y_m + other.height_m)
+                       - max(self.y_m, other.y_m))
+            return max(overlap, 0.0)
+        # Horizontal contact: my top edge is their bottom edge (or vice versa).
+        if (abs(self.y_m + self.height_m - other.y_m) < tolerance
+                or abs(other.y_m + other.height_m - self.y_m) < tolerance):
+            overlap = (min(self.x_m + self.width_m,
+                           other.x_m + other.width_m)
+                       - max(self.x_m, other.x_m))
+            return max(overlap, 0.0)
+        return 0.0
+
+
+class Floorplan:
+    """An ordered collection of named blocks with adjacency queries."""
+
+    def __init__(self, blocks: Sequence[Block]):
+        if not blocks:
+            raise ValueError("a floorplan needs at least one block")
+        names = [block.name for block in blocks]
+        if len(set(names)) != len(names):
+            raise ValueError("block names must be unique")
+        self.blocks: Tuple[Block, ...] = tuple(blocks)
+        self._index: Dict[str, int] = {
+            block.name: i for i, block in enumerate(self.blocks)}
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def __iter__(self) -> Iterable[Block]:
+        return iter(self.blocks)
+
+    def index_of(self, name: str) -> int:
+        """Index of the block with the given name."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(f"no block named {name!r}") from None
+
+    def block(self, name: str) -> Block:
+        """The block with the given name."""
+        return self.blocks[self.index_of(name)]
+
+    def adjacency(self) -> List[Tuple[int, int, float]]:
+        """All adjacent block pairs as ``(i, j, shared_edge_m)``."""
+        pairs = []
+        for i, a in enumerate(self.blocks):
+            for j in range(i + 1, len(self.blocks)):
+                edge = a.shared_edge_m(self.blocks[j])
+                if edge > 0.0:
+                    pairs.append((i, j, edge))
+        return pairs
+
+    def neighbours_of(self, name: str) -> List[str]:
+        """Names of all blocks sharing an edge with ``name``."""
+        me = self.index_of(name)
+        result = []
+        for i, j, _edge in self.adjacency():
+            if i == me:
+                result.append(self.blocks[j].name)
+            elif j == me:
+                result.append(self.blocks[i].name)
+        return result
+
+    @classmethod
+    def grid(cls, rows: int, cols: int, core_width_m: float = 2e-3,
+             core_height_m: float = 2e-3,
+             name_format: str = "core{row}{col}") -> "Floorplan":
+        """A regular rows x cols many-core floorplan (Fig. 12a style)."""
+        if rows < 1 or cols < 1:
+            raise ValueError("grid dimensions must be positive")
+        blocks = []
+        for row in range(rows):
+            for col in range(cols):
+                blocks.append(Block(
+                    name=name_format.format(row=row, col=col),
+                    x_m=col * core_width_m, y_m=row * core_height_m,
+                    width_m=core_width_m, height_m=core_height_m))
+        return cls(blocks)

@@ -1,0 +1,191 @@
+"""Lumped RC thermal network over a floorplan.
+
+One thermal node per block plus an implicit ambient node.  Each block
+is coupled:
+
+* vertically to the ambient with conductance ``g_amb = area / r_vertical``
+  (heat sink / package path), and
+* laterally to each adjacent block with conductance
+  ``g_lat = shared_edge * k_lateral`` (silicon spreading).
+
+Steady state solves ``G * T = P + g_amb * T_amb``; the transient form
+uses backward Euler on ``C * dT/dt = -G * T + P + g_amb * T_amb``.
+The network is what lets the system scheduler reason about *heat-assisted
+recovery*: a dark core's temperature is set by its active neighbours.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro import units
+from repro.errors import SimulationError
+from repro.thermal.floorplan import Floorplan
+
+
+@dataclass(frozen=True)
+class ThermalNetworkConfig:
+    """Material/package parameters of the thermal network.
+
+    Attributes:
+        vertical_resistance_km2_w: area-specific vertical thermal
+            resistance to ambient (K*m^2/W).  The default gives a
+            ~56 degC rise for a 2x2 mm core dissipating 1.5 W.
+        lateral_conductance_w_mk: lateral conductance per metre of
+            shared edge (W/(m*K)).
+        heat_capacity_j_km2: area-specific heat capacity (J/(K*m^2)),
+            silicon plus package mass attributed to the die area.
+        ambient_k: ambient (heat-sink) temperature.
+    """
+
+    vertical_resistance_km2_w: float = 1.5e-4
+    lateral_conductance_w_mk: float = 15.0
+    heat_capacity_j_km2: float = 7e3
+    ambient_k: float = units.celsius_to_kelvin(45.0)
+
+    def __post_init__(self) -> None:
+        if self.vertical_resistance_km2_w <= 0.0:
+            raise ValueError("vertical_resistance_km2_w must be positive")
+        if self.lateral_conductance_w_mk < 0.0:
+            raise ValueError("lateral_conductance_w_mk must be >= 0")
+        if self.heat_capacity_j_km2 <= 0.0:
+            raise ValueError("heat_capacity_j_km2 must be positive")
+        if self.ambient_k <= 0.0:
+            raise ValueError("ambient_k must be positive (kelvin)")
+
+
+class ThermalRCNetwork:
+    """Thermal solver bound to one floorplan."""
+
+    def __init__(self, floorplan: Floorplan,
+                 config: Optional[ThermalNetworkConfig] = None):
+        self.floorplan = floorplan
+        self.config = config or ThermalNetworkConfig()
+        n = len(floorplan)
+        cfg = self.config
+        areas = np.array([block.area_m2 for block in floorplan])
+        self.g_ambient = areas / cfg.vertical_resistance_km2_w
+        self.capacity = areas * cfg.heat_capacity_j_km2
+        conductance = np.diag(self.g_ambient.copy())
+        for i, j, edge in floorplan.adjacency():
+            g = edge * cfg.lateral_conductance_w_mk
+            conductance[i, i] += g
+            conductance[j, j] += g
+            conductance[i, j] -= g
+            conductance[j, i] -= g
+        self._conductance = conductance
+        self.temperatures_k = np.full(n, cfg.ambient_k)
+
+    # -- queries ----------------------------------------------------------
+
+    def temperature_of(self, name: str) -> float:
+        """Current temperature of a named block (kelvin)."""
+        return float(self.temperatures_k[self.floorplan.index_of(name)])
+
+    def temperature_map(self) -> Dict[str, float]:
+        """Current temperatures of all blocks, keyed by name."""
+        return {block.name: float(self.temperatures_k[i])
+                for i, block in enumerate(self.floorplan.blocks)}
+
+    # -- solves -----------------------------------------------------------
+
+    def steady_state(self, powers_w: Sequence[float]) -> np.ndarray:
+        """Steady-state block temperatures for the given power vector.
+
+        Also updates the stored state so subsequent transients start
+        from this operating point.
+        """
+        power = self._validate_power(powers_w)
+        rhs = power + self.g_ambient * self.config.ambient_k
+        self.temperatures_k = np.linalg.solve(self._conductance, rhs)
+        return self.temperatures_k.copy()
+
+    def steady_state_map(self, powers_w: Dict[str, float]) -> Dict[str, float]:
+        """Steady state with powers keyed by block name (0 if absent)."""
+        vector = np.zeros(len(self.floorplan))
+        for name, value in powers_w.items():
+            vector[self.floorplan.index_of(name)] = value
+        self.steady_state(vector)
+        return self.temperature_map()
+
+    def advance(self, duration_s: float,
+                powers_w: Sequence[float],
+                max_dt_s: float = 1.0) -> np.ndarray:
+        """Advance the transient state under constant powers.
+
+        Backward-Euler integration of the RC network; unconditionally
+        stable, so ``max_dt_s`` only bounds the integration error.
+        """
+        if duration_s < 0.0:
+            raise SimulationError("duration must be non-negative")
+        if max_dt_s <= 0.0:
+            raise SimulationError("max_dt_s must be positive")
+        power = self._validate_power(powers_w)
+        rhs_const = power + self.g_ambient * self.config.ambient_k
+        remaining = duration_s
+        capacity = self.capacity
+        while remaining > 1e-12:
+            dt = min(remaining, max_dt_s)
+            system = np.diag(capacity / dt) + self._conductance
+            rhs = capacity / dt * self.temperatures_k + rhs_const
+            self.temperatures_k = np.linalg.solve(system, rhs)
+            remaining -= dt
+        return self.temperatures_k.copy()
+
+    def heating_power_w(self, name: str, target_k: float,
+                        background_powers_w: Sequence[float]) -> float:
+        """Extra power needed to hold one block at a target temperature.
+
+        Accelerated recovery wants the healing block *hot* (the
+        paper's knob No. 3); when neighbour heat is not enough, a
+        heater (or deliberately scheduled hot workload nearby) must
+        supply the difference.  This solves the linear network for the
+        additional power injected at ``name`` such that its
+        steady-state temperature reaches ``target_k`` on top of the
+        given background powers.
+
+        Returns 0 when the background alone already reaches the
+        target (free heat -- the dark-silicon case).
+        """
+        if target_k <= 0.0:
+            raise SimulationError("target_k must be positive (kelvin)")
+        index = self.floorplan.index_of(name)
+        background = self._validate_power(background_powers_w)
+        rhs = background + self.g_ambient * self.config.ambient_k
+        base_temps = np.linalg.solve(self._conductance, rhs)
+        deficit_k = target_k - float(base_temps[index])
+        if deficit_k <= 0.0:
+            return 0.0
+        # Temperature response at `index` per watt injected there.
+        response = np.linalg.solve(
+            self._conductance,
+            np.eye(len(self.floorplan))[index])[index]
+        return deficit_k / float(response)
+
+    def healing_energy_j(self, name: str, target_k: float,
+                         background_powers_w: Sequence[float],
+                         interval_s: float) -> float:
+        """Heater energy for one recovery interval at a target temp."""
+        if interval_s < 0.0:
+            raise SimulationError("interval must be non-negative")
+        return self.heating_power_w(name, target_k,
+                                    background_powers_w) * interval_s
+
+    def thermal_time_constant_s(self) -> float:
+        """Slowest RC time constant of the network (for step sizing)."""
+        inv_c = np.diag(1.0 / self.capacity)
+        eigenvalues = np.linalg.eigvals(inv_c @ self._conductance)
+        return float(1.0 / np.min(np.real(eigenvalues)))
+
+    def _validate_power(self, powers_w: Sequence[float]) -> np.ndarray:
+        power = np.asarray(powers_w, dtype=float)
+        if power.shape != (len(self.floorplan),):
+            raise SimulationError(
+                f"power vector must have {len(self.floorplan)} entries, "
+                f"got shape {power.shape}")
+        if np.any(power < 0.0):
+            raise SimulationError("block powers must be non-negative")
+        return power

@@ -1,0 +1,147 @@
+"""Tests for repro.analysis (fitting, stats, reporting)."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.analysis.fitting import (
+    fit_arrhenius,
+    fit_lognormal_ttf,
+    fit_power_law,
+)
+from repro.analysis.reporting import format_series, format_table
+from repro.analysis.stats import (
+    failure_fraction,
+    monte_carlo_ttf,
+    population_percentiles,
+)
+from repro.errors import CalibrationError, SimulationError
+
+
+class TestPowerLawFit:
+    def test_recovers_exact_law(self):
+        times = np.logspace(0, 5, 20)
+        values = 2.5e-3 * times ** 0.17
+        fit = fit_power_law(times, values)
+        assert fit.prefactor == pytest.approx(2.5e-3, rel=1e-6)
+        assert fit.exponent == pytest.approx(0.17, abs=1e-6)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_power_law([1.0, 10.0, 100.0], [2.0, 20.0, 200.0])
+        assert fit.predict(50.0) == pytest.approx(100.0, rel=1e-6)
+
+    def test_bti_trace_follows_a_power_law_roughly(self, calibration):
+        model = calibration.build_model()
+        times, shifts = model.stress_trace(units.hours(24.0), 16)
+        fit = fit_power_law(times[1:], shifts[1:])
+        assert 0.02 < fit.exponent < 0.6
+        assert fit.r_squared > 0.9
+
+    def test_rejects_non_positive_data(self):
+        with pytest.raises(CalibrationError):
+            fit_power_law([1.0, 2.0], [0.0, 1.0])
+
+    def test_rejects_single_point(self):
+        with pytest.raises(CalibrationError):
+            fit_power_law([1.0], [1.0])
+
+
+class TestArrheniusFit:
+    def test_recovers_exact_law(self):
+        temps = np.array([300.0, 350.0, 400.0, 450.0])
+        rates = 1e6 * np.exp(-0.7 / (units.BOLTZMANN_EV * temps))
+        fit = fit_arrhenius(temps, rates)
+        assert fit.activation_energy_ev == pytest.approx(0.7, abs=1e-6)
+        assert fit.prefactor == pytest.approx(1e6, rel=1e-4)
+
+    def test_recovers_calibrated_recovery_energy(self, calibration):
+        """Fitting the model's own acceleration vs temperature should
+        return the calibrated activation energy."""
+        from repro.bti.conditions import BtiRecoveryCondition
+        params = calibration.model_config.acceleration
+        temps = [300.0, 330.0, 360.0, 383.0]
+        rates = [BtiRecoveryCondition(0.0, t).acceleration(params)
+                 for t in temps]
+        fit = fit_arrhenius(temps, rates)
+        assert fit.activation_energy_ev == pytest.approx(
+            params.activation_energy_ev, rel=1e-3)
+
+    def test_rejects_non_positive_rates(self):
+        with pytest.raises(CalibrationError):
+            fit_arrhenius([300.0, 400.0], [1.0, 0.0])
+
+
+class TestLognormal:
+    def test_median_of_symmetric_logs(self):
+        fit = fit_lognormal_ttf([10.0, 100.0, 1000.0])
+        assert fit.median_s == pytest.approx(100.0, rel=1e-9)
+
+    def test_quantiles_bracket_median(self):
+        fit = fit_lognormal_ttf([50.0, 100.0, 200.0, 400.0])
+        assert fit.quantile(0.01) < fit.median_s < fit.quantile(0.99)
+
+    def test_rejects_non_positive_ttf(self):
+        with pytest.raises(CalibrationError):
+            fit_lognormal_ttf([1.0, -2.0])
+
+
+class TestStats:
+    def test_failure_fraction(self):
+        assert failure_fraction([1.0, 2.0, 3.0, 4.0], 2.5) == 0.5
+
+    def test_percentiles(self):
+        result = population_percentiles(range(101), (50,))
+        assert result[50.0] == pytest.approx(50.0)
+
+    def test_monte_carlo_is_reproducible(self):
+        def sample(rng):
+            return float(rng.lognormal(5.0, 0.5))
+
+        a = monte_carlo_ttf(sample, n_samples=20, seed=9)
+        b = monte_carlo_ttf(sample, n_samples=20, seed=9)
+        assert np.allclose(a, b)
+
+    def test_monte_carlo_samples_differ(self):
+        def sample(rng):
+            return float(rng.lognormal(5.0, 0.5))
+
+        population = monte_carlo_ttf(sample, n_samples=20, seed=9)
+        assert len(set(population.tolist())) > 1
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(SimulationError):
+            failure_fraction([], 1.0)
+
+
+class TestReporting:
+    def test_table_contains_all_cells(self):
+        table = format_table(("a", "b"), [(1, 2), (3, 4)], title="T")
+        assert "T" in table
+        for cell in ("a", "b", "1", "2", "3", "4"):
+            assert cell in table
+
+    def test_table_columns_align(self):
+        table = format_table(("name", "v"), [("x", 1), ("longer", 22)])
+        lines = table.splitlines()
+        assert len({line.index("|") for line in lines
+                    if "|" in line}) == 1
+
+    def test_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+    def test_series_decimation(self):
+        xs = list(range(100))
+        ys = list(range(100))
+        text = format_series("s", xs, ys, max_points=10)
+        data_lines = [line for line in text.splitlines()[3:]]
+        assert len(data_lines) <= 10
+
+    def test_series_keeps_endpoints(self):
+        text = format_series("s", [0.0, 1.0, 2.0], [5.0, 6.0, 7.0])
+        assert "5" in text and "7" in text
+
+    def test_series_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1.0], [1.0, 2.0])

@@ -1,0 +1,83 @@
+"""Tests for repro.assist.area (area costing, optimal sharing)."""
+
+import pytest
+
+from repro.assist.area import (
+    AssistAreaModel,
+    compensated_header_scale,
+    optimal_sharing,
+)
+from repro.assist.circuitry import AssistCircuit, AssistCircuitConfig
+from repro.assist.modes import AssistMode
+from repro.errors import SimulationError
+
+
+class TestAreaModel:
+    def test_instance_area_scales_with_headers(self):
+        model = AssistAreaModel()
+        assert model.instance_area(2.0) > model.instance_area(1.0)
+
+    def test_amortization(self):
+        model = AssistAreaModel()
+        assert model.area_per_load(4, 1.0) == pytest.approx(
+            model.instance_area(1.0) / 4.0)
+
+    def test_rejects_bad_inputs(self):
+        model = AssistAreaModel()
+        with pytest.raises(SimulationError):
+            model.instance_area(0.0)
+        with pytest.raises(SimulationError):
+            model.area_per_load(0)
+
+
+class TestCompensation:
+    def test_single_load_needs_no_upsizing(self):
+        assert compensated_header_scale(1) == 1.0
+
+    def test_scale_grows_with_load(self):
+        two = compensated_header_scale(2)
+        four = compensated_header_scale(4)
+        assert 1.0 < two < four
+
+    def test_compensation_actually_restores_the_swing(self):
+        from dataclasses import replace
+        base = AssistCircuitConfig()
+        target = AssistCircuit(base).solve_mode(
+            AssistMode.NORMAL).load_swing_v
+        scale = compensated_header_scale(3, base)
+        config = replace(
+            base, n_loads=3,
+            header_params=base.header_params.scaled(scale),
+            footer_params=base.footer_params.scaled(scale))
+        swing = AssistCircuit(config).solve_mode(
+            AssistMode.NORMAL).load_swing_v
+        assert swing == pytest.approx(target, abs=0.025)
+
+    def test_impossible_target_raises(self):
+        with pytest.raises(SimulationError):
+            compensated_header_scale(5, swing_tolerance_v=1e-4,
+                                     max_scale=4.0)
+
+
+class TestOptimalSharing:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return optimal_sharing((1, 2, 3, 4, 5))
+
+    def test_one_point_per_granularity(self, points):
+        assert [p.n_loads for p in points] == [1, 2, 3, 4, 5]
+
+    def test_an_interior_optimum_exists(self, points):
+        """The paper's 'each load has its own optimal design point':
+        amortization wins first, compensation area loses later."""
+        costs = [p.cost for p in points]
+        best = costs.index(min(costs))
+        assert 0 < best < len(costs) - 1
+
+    def test_upsizing_grows_superlinearly(self, points):
+        scales = [p.header_scale for p in points]
+        assert scales[-1] > 2.0 * scales[1]
+
+    def test_rejects_empty_sweep(self):
+        with pytest.raises(SimulationError):
+            optimal_sharing(())

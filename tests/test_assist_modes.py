@@ -1,0 +1,72 @@
+"""Tests for repro.assist.modes (the Fig. 8(b) truth table)."""
+
+import pytest
+
+from repro.assist.modes import (
+    AssistMode,
+    DEVICE_NAMES,
+    DeviceState,
+    TRUTH_TABLE,
+    gate_voltage,
+    gate_voltages,
+)
+
+
+class TestTruthTable:
+    def test_covers_all_modes(self):
+        assert set(TRUTH_TABLE) == set(AssistMode)
+
+    def test_covers_all_devices(self):
+        for mode in AssistMode:
+            assert set(TRUTH_TABLE[mode]) == set(DEVICE_NAMES)
+
+    def test_normal_and_em_are_complementary_on_grid_devices(self):
+        """The H-bridge devices swap roles between Normal and EM mode."""
+        normal = TRUTH_TABLE[AssistMode.NORMAL]
+        em = TRUTH_TABLE[AssistMode.EM_RECOVERY]
+        for device in ("P1", "P2", "P3", "P4", "N1", "N2", "N3", "N4"):
+            assert normal[device] != em[device]
+
+    def test_bti_devices_off_outside_bti_mode(self):
+        for mode in (AssistMode.NORMAL, AssistMode.EM_RECOVERY):
+            assert TRUTH_TABLE[mode]["P5"] is DeviceState.OFF
+            assert TRUTH_TABLE[mode]["N5"] is DeviceState.OFF
+
+    def test_bti_mode_isolates_the_grids(self):
+        bti = TRUTH_TABLE[AssistMode.BTI_RECOVERY]
+        for device in ("P1", "P2", "P3", "P4", "N1", "N2", "N3", "N4"):
+            assert bti[device] is DeviceState.OFF
+        assert bti["P5"] is DeviceState.ON
+        assert bti["N5"] is DeviceState.ON
+
+    def test_each_mode_has_a_conducting_path(self):
+        for mode in AssistMode:
+            on_devices = [device for device, state
+                          in TRUTH_TABLE[mode].items()
+                          if state is DeviceState.ON]
+            assert len(on_devices) >= 2
+
+
+class TestGateVoltages:
+    def test_pmos_on_is_grounded_gate(self):
+        assert gate_voltage("P1", DeviceState.ON, 1.0) == 0.0
+
+    def test_pmos_off_is_supply_gate(self):
+        assert gate_voltage("P1", DeviceState.OFF, 1.0) == 1.0
+
+    def test_nmos_on_is_supply_gate(self):
+        assert gate_voltage("N1", DeviceState.ON, 1.0) == 1.0
+
+    def test_nmos_off_is_grounded_gate(self):
+        assert gate_voltage("N1", DeviceState.OFF, 1.0) == 0.0
+
+    def test_gate_voltages_cover_all_devices(self):
+        drives = gate_voltages(AssistMode.NORMAL, 1.0)
+        assert set(drives) == set(DEVICE_NAMES)
+
+    def test_gate_voltages_match_truth_table(self):
+        drives = gate_voltages(AssistMode.EM_RECOVERY, 1.0)
+        assert drives["P2"] == 0.0   # ON PMOS
+        assert drives["P1"] == 1.0   # OFF PMOS
+        assert drives["N1"] == 1.0   # ON NMOS
+        assert drives["N2"] == 0.0   # OFF NMOS

@@ -1,0 +1,51 @@
+"""Tests for repro.assist.sizing (the Fig. 10 sweep)."""
+
+import pytest
+
+from repro.assist.sizing import sweep_load_size
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    return sweep_load_size((1, 2, 3, 4, 5))
+
+
+class TestFig10Sweep:
+    def test_one_point_per_requested_size(self, sweep):
+        assert [point.n_loads for point in sweep] == [1, 2, 3, 4, 5]
+
+    def test_normalized_to_first_point(self, sweep):
+        assert sweep[0].delay_normalized == pytest.approx(1.0)
+        assert sweep[0].switching_time_normalized == pytest.approx(1.0)
+
+    def test_delay_grows_monotonically(self, sweep):
+        delays = [point.delay_normalized for point in sweep]
+        assert all(b > a for a, b in zip(delays, delays[1:]))
+
+    def test_delay_reaches_paper_magnitude(self, sweep):
+        """Fig. 10: normalized delay climbs to ~1.8 at 5 loads."""
+        assert sweep[-1].delay_normalized == pytest.approx(1.8, abs=0.25)
+
+    def test_delay_growth_is_roughly_linear(self, sweep):
+        """Consecutive increments should not explode (linear trend)."""
+        delays = [point.delay_normalized for point in sweep]
+        increments = [b - a for a, b in zip(delays, delays[1:])]
+        assert max(increments) < 3.0 * min(increments)
+
+    def test_swing_shrinks_with_load(self, sweep):
+        swings = [point.load_swing_v for point in sweep]
+        assert all(b < a for a, b in zip(swings, swings[1:]))
+
+    def test_switching_time_drops_with_load(self, sweep):
+        """Fig. 10: switching time reduces with load size..."""
+        assert sweep[-1].switching_time_normalized < 0.8
+
+    def test_switching_reduction_is_slower_than_delay_growth(self, sweep):
+        """... but at a slower rate than the delay grows."""
+        delay_change = sweep[-1].delay_normalized - 1.0
+        switching_change = 1.0 - sweep[-1].switching_time_normalized
+        assert switching_change < delay_change
+
+    def test_rejects_empty_sweep(self):
+        with pytest.raises(ValueError):
+            sweep_load_size(())

@@ -1,0 +1,142 @@
+"""Tests for repro.bti.analytic (compact BTI models)."""
+
+import pytest
+
+from repro import units
+from repro.bti.analytic import (
+    AnalyticBtiModel,
+    PowerLawStressModel,
+    UniversalRelaxationModel,
+)
+from repro.bti.conditions import (
+    ACTIVE_ACCELERATED_RECOVERY,
+    BtiStressCondition,
+    PASSIVE_RECOVERY,
+    TABLE1_STRESS,
+)
+
+
+class TestPowerLawStress:
+    def test_zero_time_gives_zero_shift(self):
+        assert PowerLawStressModel().shift(0.0) == 0.0
+
+    def test_shift_grows_sublinearly(self):
+        model = PowerLawStressModel()
+        one = model.shift(units.hours(1.0))
+        ten = model.shift(units.hours(10.0))
+        assert one < ten < 10.0 * one
+
+    def test_inversion_roundtrip(self):
+        model = PowerLawStressModel()
+        shift = model.shift(units.hours(123.0))
+        assert model.equivalent_stress_time(shift) == pytest.approx(
+            units.hours(123.0), rel=1e-9)
+
+    def test_weaker_condition_produces_less_shift(self):
+        model = PowerLawStressModel()
+        use = BtiStressCondition(voltage=0.45,
+                                 temperature_k=units.celsius_to_kelvin(
+                                     60.0))
+        assert model.shift(units.hours(10.0), use) \
+            < model.shift(units.hours(10.0), TABLE1_STRESS)
+
+    def test_rejects_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            PowerLawStressModel(exponent=1.5)
+
+    def test_rejects_negative_time(self):
+        with pytest.raises(ValueError):
+            PowerLawStressModel().shift(-1.0)
+
+
+class TestUniversalRelaxation:
+    def test_no_recovery_means_full_remainder(self):
+        model = UniversalRelaxationModel()
+        assert model.remaining_fraction(
+            0.0, units.hours(1.0), PASSIVE_RECOVERY) == 1.0
+
+    def test_remaining_decreases_with_recovery_time(self):
+        model = UniversalRelaxationModel()
+        short = model.remaining_fraction(
+            units.hours(1.0), units.hours(24.0), PASSIVE_RECOVERY)
+        long = model.remaining_fraction(
+            units.hours(12.0), units.hours(24.0), PASSIVE_RECOVERY)
+        assert long < short < 1.0
+
+    def test_stronger_condition_recovers_more(self):
+        model = UniversalRelaxationModel()
+        passive = model.recovered_fraction(
+            units.hours(6.0), units.hours(24.0), PASSIVE_RECOVERY)
+        joint = model.recovered_fraction(
+            units.hours(6.0), units.hours(24.0),
+            ACTIVE_ACCELERATED_RECOVERY)
+        assert joint > passive
+
+    def test_fractions_are_complementary(self):
+        model = UniversalRelaxationModel()
+        remaining = model.remaining_fraction(
+            units.hours(2.0), units.hours(24.0), PASSIVE_RECOVERY)
+        recovered = model.recovered_fraction(
+            units.hours(2.0), units.hours(24.0), PASSIVE_RECOVERY)
+        assert remaining + recovered == pytest.approx(1.0)
+
+    def test_rejects_zero_stress_time(self):
+        with pytest.raises(ValueError):
+            UniversalRelaxationModel().remaining_fraction(
+                1.0, 0.0, PASSIVE_RECOVERY)
+
+
+class TestAnalyticBtiModel:
+    def test_one_shot_leaves_permanent_after_long_stress(self):
+        model = AnalyticBtiModel()
+        total = model.stress_model.shift(units.hours(24.0))
+        healed = model.one_shot_shift(
+            units.hours(24.0), units.days(30.0),
+            ACTIVE_ACCELERATED_RECOVERY)
+        assert healed >= total * model.permanent_fraction * 0.99
+
+    def test_short_stress_one_shot_can_heal_fully(self):
+        model = AnalyticBtiModel()
+        healed = model.one_shot_shift(
+            units.minutes(30.0), units.days(30.0),
+            ACTIVE_ACCELERATED_RECOVERY)
+        total = model.stress_model.shift(units.minutes(30.0))
+        # Below the lock-in age nothing is permanent, so a long joint
+        # recovery removes almost everything (slow log-like tail aside).
+        assert healed < 0.15 * total
+
+    def test_balanced_duty_cycle_bounds_shift(self):
+        model = AnalyticBtiModel()
+        bounded = model.duty_cycled_shift(
+            units.years(10.0), units.hours(1.0), units.hours(1.0),
+            ACTIVE_ACCELERATED_RECOVERY)
+        unbounded = model.stress_model.shift(units.years(5.0))
+        assert bounded < 0.5 * unbounded
+
+    def test_long_stress_intervals_accumulate_permanent(self):
+        model = AnalyticBtiModel()
+        gentle = model.duty_cycled_shift(
+            units.years(1.0), units.hours(1.0), units.hours(1.0),
+            ACTIVE_ACCELERATED_RECOVERY)
+        harsh = model.duty_cycled_shift(
+            units.years(1.0), units.hours(8.0), units.hours(1.0),
+            ACTIVE_ACCELERATED_RECOVERY)
+        assert harsh > gentle
+
+    def test_duty_cycled_never_exceeds_continuous(self):
+        model = AnalyticBtiModel()
+        scheduled = model.duty_cycled_shift(
+            units.years(2.0), units.hours(4.0), units.hours(1.0),
+            PASSIVE_RECOVERY)
+        continuous = model.stress_model.shift(units.years(2.0))
+        assert scheduled <= continuous
+
+    def test_zero_time_gives_zero(self):
+        model = AnalyticBtiModel()
+        assert model.duty_cycled_shift(
+            0.0, units.hours(1.0), units.hours(1.0),
+            ACTIVE_ACCELERATED_RECOVERY) == 0.0
+
+    def test_rejects_bad_permanent_fraction(self):
+        with pytest.raises(ValueError):
+            AnalyticBtiModel(permanent_fraction=1.0)

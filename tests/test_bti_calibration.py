@@ -1,0 +1,106 @@
+"""Tests for repro.bti.calibration (the Table I fit)."""
+
+import pytest
+
+from repro import units
+from repro.bti.calibration import (
+    TABLE1_MEASUREMENTS,
+    Table1Measurement,
+    calibrate_to_table1,
+    default_calibration,
+)
+from repro.bti.conditions import (
+    ACTIVE_ACCELERATED_RECOVERY,
+    ACTIVE_RECOVERY,
+    ACCELERATED_RECOVERY,
+    PASSIVE_RECOVERY,
+)
+from repro.errors import CalibrationError
+
+
+class TestTable1Rows:
+    def test_four_rows(self):
+        assert len(TABLE1_MEASUREMENTS) == 4
+
+    def test_measured_values_match_paper(self):
+        measured = [row.measured_fraction for row in TABLE1_MEASUREMENTS]
+        assert measured == [0.0066, 0.167, 0.287, 0.724]
+
+    def test_paper_model_values_match_paper(self):
+        modeled = [row.paper_model_fraction
+                   for row in TABLE1_MEASUREMENTS]
+        assert modeled == [0.010, 0.144, 0.292, 0.727]
+
+    def test_rejects_out_of_range_fraction(self):
+        with pytest.raises(ValueError):
+            Table1Measurement(PASSIVE_RECOVERY, 1.5, 0.5)
+
+
+class TestCalibrationFit:
+    def test_reproduces_all_four_rows(self, calibration):
+        targets = {
+            PASSIVE_RECOVERY.name: 0.0066,
+            ACTIVE_RECOVERY.name: 0.167,
+            ACCELERATED_RECOVERY.name: 0.287,
+            ACTIVE_ACCELERATED_RECOVERY.name: 0.724,
+        }
+        for name, target in targets.items():
+            assert calibration.fitted_fractions[name] == pytest.approx(
+                target, abs=2e-3)
+
+    def test_permanent_residue_matches_joint_row(self, calibration):
+        # >27 % of the wearout survives even the joint condition.
+        assert calibration.permanent_fraction_after_stress \
+            == pytest.approx(0.268, abs=0.01)
+
+    def test_acceleration_factors_are_ordered(self, calibration):
+        factors = calibration.acceleration_factors
+        assert 1.0 < factors["bias"] < factors["temperature"] \
+            < factors["joint"]
+
+    def test_synergy_is_super_multiplicative(self, calibration):
+        assert calibration.acceleration_factors["synergy"] > 1.0
+
+    def test_activation_energy_is_physical(self, calibration):
+        # BTI recovery activation energies are reported ~0.5-1.5 eV.
+        ea = calibration.model_config.acceleration.activation_energy_ev
+        assert 0.3 < ea < 1.5
+
+    def test_end_to_end_model_reproduces_table1(self, calibration):
+        model = calibration.build_model()
+        fraction = model.recovery_fraction_after(
+            units.hours(24.0), units.hours(6.0),
+            ACTIVE_ACCELERATED_RECOVERY)
+        assert fraction == pytest.approx(0.724, abs=0.01)
+
+    def test_default_calibration_is_cached(self):
+        assert default_calibration() is default_calibration()
+
+
+class TestCalibrationValidation:
+    def test_rejects_wrong_row_count(self):
+        with pytest.raises(CalibrationError):
+            calibrate_to_table1(TABLE1_MEASUREMENTS[:3])
+
+    def test_rejects_inconsistent_ordering(self):
+        rows = (
+            Table1Measurement(PASSIVE_RECOVERY, 0.5, 0.5),
+            Table1Measurement(ACTIVE_RECOVERY, 0.1, 0.1),
+            Table1Measurement(ACCELERATED_RECOVERY, 0.2, 0.2),
+            Table1Measurement(ACTIVE_ACCELERATED_RECOVERY, 0.7, 0.7),
+        )
+        with pytest.raises(CalibrationError):
+            calibrate_to_table1(rows)
+
+    def test_alternative_measurements_can_be_fit(self):
+        """The calibrator generalizes beyond the exact paper numbers."""
+        rows = (
+            Table1Measurement(PASSIVE_RECOVERY, 0.01, 0.01),
+            Table1Measurement(ACTIVE_RECOVERY, 0.20, 0.20),
+            Table1Measurement(ACCELERATED_RECOVERY, 0.30, 0.30),
+            Table1Measurement(ACTIVE_ACCELERATED_RECOVERY, 0.60, 0.60),
+        )
+        calibration = calibrate_to_table1(rows)
+        for row in rows:
+            assert calibration.fitted_fractions[row.condition.name] \
+                == pytest.approx(row.measured_fraction, abs=5e-3)

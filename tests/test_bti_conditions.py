@@ -1,0 +1,134 @@
+"""Tests for repro.bti.conditions (operating points and acceleration)."""
+
+import pytest
+
+from repro import units
+from repro.bti.conditions import (
+    ACCELERATED_RECOVERY,
+    ACTIVE_ACCELERATED_RECOVERY,
+    ACTIVE_RECOVERY,
+    BtiRecoveryCondition,
+    BtiStressCondition,
+    HIGH_TEMPERATURE_K,
+    PASSIVE_RECOVERY,
+    RecoveryAccelerationParams,
+    ROOM_TEMPERATURE_K,
+    TABLE1_RECOVERY_CONDITIONS,
+    TABLE1_STRESS,
+)
+
+
+@pytest.fixture()
+def params() -> RecoveryAccelerationParams:
+    return RecoveryAccelerationParams(
+        bias_efold_volts=0.06, activation_energy_ev=0.8,
+        synergy_coefficient=6.0)
+
+
+class TestPresets:
+    def test_four_table1_conditions(self):
+        assert len(TABLE1_RECOVERY_CONDITIONS) == 4
+
+    def test_passive_is_room_and_unbiased(self):
+        assert PASSIVE_RECOVERY.gate_bias_v == 0.0
+        assert PASSIVE_RECOVERY.temperature_k == pytest.approx(
+            ROOM_TEMPERATURE_K)
+
+    def test_active_uses_minus_300mv(self):
+        assert ACTIVE_RECOVERY.gate_bias_v == pytest.approx(-0.3)
+
+    def test_accelerated_uses_110c(self):
+        assert ACCELERATED_RECOVERY.temperature_k == pytest.approx(
+            units.celsius_to_kelvin(110.0))
+
+    def test_flags(self):
+        assert not PASSIVE_RECOVERY.is_active
+        assert not PASSIVE_RECOVERY.is_accelerated
+        assert ACTIVE_RECOVERY.is_active
+        assert ACCELERATED_RECOVERY.is_accelerated
+        assert ACTIVE_ACCELERATED_RECOVERY.is_active
+        assert ACTIVE_ACCELERATED_RECOVERY.is_accelerated
+
+
+class TestRecoveryConditionValidation:
+    def test_rejects_positive_bias(self):
+        with pytest.raises(ValueError):
+            BtiRecoveryCondition(gate_bias_v=0.2,
+                                 temperature_k=ROOM_TEMPERATURE_K)
+
+    def test_rejects_non_positive_temperature(self):
+        with pytest.raises(ValueError):
+            BtiRecoveryCondition(gate_bias_v=0.0, temperature_k=0.0)
+
+
+class TestAcceleration:
+    def test_passive_acceleration_is_unity(self, params):
+        assert PASSIVE_RECOVERY.acceleration(params) == pytest.approx(1.0)
+
+    def test_ordering_matches_paper(self, params):
+        """No.1 < No.2, No.3 < No.4 (Table I ordering)."""
+        values = [condition.acceleration(params)
+                  for condition in TABLE1_RECOVERY_CONDITIONS]
+        assert values[0] < values[1] < values[3]
+        assert values[0] < values[2] < values[3]
+
+    def test_joint_exceeds_product_with_synergy(self, params):
+        """The measured joint gain is super-multiplicative."""
+        passive, active, accelerated, joint = [
+            condition.acceleration(params)
+            for condition in TABLE1_RECOVERY_CONDITIONS]
+        assert joint > active * accelerated
+
+    def test_no_synergy_reduces_to_product(self):
+        params = RecoveryAccelerationParams(
+            bias_efold_volts=0.06, activation_energy_ev=0.8,
+            synergy_coefficient=0.0)
+        active = ACTIVE_RECOVERY.acceleration(params)
+        accelerated = ACCELERATED_RECOVERY.acceleration(params)
+        joint = ACTIVE_ACCELERATED_RECOVERY.acceleration(params)
+        assert joint == pytest.approx(active * accelerated, rel=1e-9)
+
+    def test_deeper_bias_accelerates_more(self, params):
+        shallow = BtiRecoveryCondition(-0.1, ROOM_TEMPERATURE_K)
+        deep = BtiRecoveryCondition(-0.3, ROOM_TEMPERATURE_K)
+        assert deep.acceleration(params) > shallow.acceleration(params)
+
+    def test_hotter_accelerates_more(self, params):
+        warm = BtiRecoveryCondition(0.0, units.celsius_to_kelvin(60.0))
+        hot = BtiRecoveryCondition(0.0, HIGH_TEMPERATURE_K)
+        assert hot.acceleration(params) > warm.acceleration(params)
+
+
+class TestAccelerationParamsValidation:
+    def test_rejects_non_positive_efold(self):
+        with pytest.raises(ValueError):
+            RecoveryAccelerationParams(
+                bias_efold_volts=0.0, activation_energy_ev=0.5,
+                synergy_coefficient=0.0)
+
+    def test_rejects_negative_activation_energy(self):
+        with pytest.raises(ValueError):
+            RecoveryAccelerationParams(
+                bias_efold_volts=0.1, activation_energy_ev=-0.5,
+                synergy_coefficient=0.0)
+
+
+class TestStressCondition:
+    def test_reference_acceleration_is_unity(self):
+        assert TABLE1_STRESS.capture_acceleration(
+            TABLE1_STRESS) == pytest.approx(1.0)
+
+    def test_higher_voltage_stresses_faster(self):
+        harder = BtiStressCondition(voltage=0.8,
+                                    temperature_k=HIGH_TEMPERATURE_K)
+        assert harder.capture_acceleration(TABLE1_STRESS) > 1.0
+
+    def test_lower_temperature_stresses_slower(self):
+        cooler = BtiStressCondition(voltage=TABLE1_STRESS.voltage,
+                                    temperature_k=ROOM_TEMPERATURE_K)
+        assert cooler.capture_acceleration(TABLE1_STRESS) < 1.0
+
+    def test_rejects_negative_voltage(self):
+        with pytest.raises(ValueError):
+            BtiStressCondition(voltage=-0.1,
+                               temperature_k=ROOM_TEMPERATURE_K)

@@ -1,0 +1,102 @@
+"""Tests for repro.bti.duty (signal-probability stress bookkeeping)."""
+
+import pytest
+
+from repro import units
+from repro.bti.duty import (
+    DutyCycledStressModel,
+    rebalancing_gain,
+    stress_duty_from_signal_probability,
+)
+from repro.errors import SimulationError
+
+
+class TestSignalProbability:
+    def test_pmos_stressed_while_input_low(self):
+        assert stress_duty_from_signal_probability(0.0, "pmos") == 1.0
+        assert stress_duty_from_signal_probability(1.0, "pmos") == 0.0
+
+    def test_nmos_stressed_while_input_high(self):
+        assert stress_duty_from_signal_probability(1.0, "nmos") == 1.0
+        assert stress_duty_from_signal_probability(0.0, "nmos") == 0.0
+
+    def test_complementary_duties(self):
+        p = 0.3
+        assert stress_duty_from_signal_probability(p, "pmos") \
+            + stress_duty_from_signal_probability(p, "nmos") \
+            == pytest.approx(1.0)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(SimulationError):
+            stress_duty_from_signal_probability(1.5, "pmos")
+
+    def test_rejects_bad_polarity(self):
+        with pytest.raises(SimulationError):
+            stress_duty_from_signal_probability(0.5, "cmos")
+
+
+class TestDutyCycledStress:
+    def test_zero_duty_means_zero_shift(self):
+        model = DutyCycledStressModel()
+        assert model.shift(units.years(1.0), 0.0) == 0.0
+
+    def test_full_duty_matches_dc_times_attenuation(self):
+        model = DutyCycledStressModel(ac_attenuation=0.9)
+        dc = model.stress_model.shift(units.years(1.0))
+        assert model.shift(units.years(1.0), 1.0) == pytest.approx(
+            0.9 * dc)
+
+    def test_shift_monotone_in_duty(self):
+        model = DutyCycledStressModel()
+        low = model.shift(units.years(1.0), 0.2)
+        high = model.shift(units.years(1.0), 0.8)
+        assert high > low > 0.0
+
+    def test_duty_halving_is_weak(self):
+        """Power-law time dependence makes duty reduction a weak knob:
+        halving the duty removes only 1 - 0.5^n of the shift."""
+        model = DutyCycledStressModel()
+        full = model.shift(units.years(1.0), 1.0)
+        half = model.shift(units.years(1.0), 0.5)
+        exponent = model.stress_model.exponent
+        assert half / full == pytest.approx(0.5 ** exponent, rel=1e-9)
+
+    def test_signal_probability_entry_point(self):
+        model = DutyCycledStressModel()
+        direct = model.shift(units.years(1.0), 0.25)
+        via_probability = model.shift_from_signal_probability(
+            units.years(1.0), 0.75, "pmos")
+        assert via_probability == pytest.approx(direct)
+
+    def test_rejects_bad_duty(self):
+        with pytest.raises(SimulationError):
+            DutyCycledStressModel().shift(1.0, 1.5)
+
+    def test_rejects_bad_attenuation(self):
+        with pytest.raises(SimulationError):
+            DutyCycledStressModel(ac_attenuation=0.0)
+
+
+class TestRebalancingGain:
+    def test_gain_is_small_for_power_law(self):
+        """The paper's implicit argument: rebalancing alone cannot
+        match active recovery because the gain is sub-linear."""
+        model = DutyCycledStressModel()
+        gain = rebalancing_gain(model, units.years(10.0), 0.9, 0.45)
+        assert 0.0 < gain < 0.2
+
+    def test_bigger_rebalance_bigger_gain(self):
+        model = DutyCycledStressModel()
+        small = rebalancing_gain(model, units.years(1.0), 0.9, 0.6)
+        large = rebalancing_gain(model, units.years(1.0), 0.9, 0.1)
+        assert large > small
+
+    def test_no_rebalance_no_gain(self):
+        model = DutyCycledStressModel()
+        assert rebalancing_gain(model, units.years(1.0), 0.5, 0.5) \
+            == pytest.approx(0.0)
+
+    def test_rejects_zero_baseline(self):
+        model = DutyCycledStressModel()
+        with pytest.raises(SimulationError):
+            rebalancing_gain(model, units.years(1.0), 0.0, 0.5)

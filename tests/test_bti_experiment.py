@@ -1,0 +1,82 @@
+"""Tests for repro.bti.experiment (frequency-domain harness)."""
+
+import pytest
+
+from repro import units
+from repro.bti.conditions import (
+    ACTIVE_ACCELERATED_RECOVERY,
+    PASSIVE_RECOVERY,
+    TABLE1_RECOVERY_CONDITIONS,
+)
+from repro.bti.experiment import FrequencyDomainExperiment
+from repro.errors import SensorError
+from repro.sensors.ring_oscillator import RingOscillator
+
+
+def make_experiment(calibration, **kwargs) -> FrequencyDomainExperiment:
+    return FrequencyDomainExperiment(
+        model=calibration.build_model(), **kwargs)
+
+
+class TestProtocol:
+    def test_frequency_drops_under_stress(self, calibration):
+        experiment = make_experiment(calibration)
+        experiment.run_table1_protocol(PASSIVE_RECOVERY)
+        fresh, stressed, recovered = [m.frequency_hz
+                                      for m in experiment.log]
+        assert stressed < fresh
+        assert stressed <= recovered <= fresh
+
+    def test_frequency_recovery_tracks_shift_recovery(self, calibration):
+        """Table I in the frequency domain lands close to the
+        shift-domain calibration (the mapping is locally linear)."""
+        experiment = make_experiment(calibration)
+        fraction = experiment.run_table1_protocol(
+            ACTIVE_ACCELERATED_RECOVERY)
+        assert fraction == pytest.approx(0.724, abs=0.04)
+
+    def test_condition_ordering_survives_the_mapping(self, calibration):
+        fractions = []
+        for condition in TABLE1_RECOVERY_CONDITIONS:
+            experiment = make_experiment(calibration)
+            fractions.append(
+                experiment.run_table1_protocol(condition))
+        assert fractions[0] < fractions[1] < fractions[3]
+        assert fractions[0] < fractions[2] < fractions[3]
+
+    def test_log_records_all_phases(self, calibration):
+        experiment = make_experiment(calibration)
+        experiment.run_table1_protocol(PASSIVE_RECOVERY)
+        assert [m.phase for m in experiment.log] == [
+            "fresh", "stress", "recovery"]
+
+    def test_quantization_limits_resolution(self, calibration):
+        experiment = make_experiment(calibration, gate_window_s=1e-3)
+        measurement = experiment.measure("fresh")
+        assert measurement.frequency_hz % 1000.0 == pytest.approx(0.0)
+
+    def test_recovery_trace_is_monotone(self, calibration):
+        experiment = make_experiment(calibration)
+        experiment.model.apply_stress(units.hours(24.0))
+        samples = experiment.frequency_recovery_trace(
+            ACTIVE_ACCELERATED_RECOVERY, units.hours(6.0), n_points=7)
+        frequencies = [s.frequency_hz for s in samples]
+        assert all(b >= a - 1e-6 for a, b in zip(frequencies,
+                                                 frequencies[1:]))
+
+    def test_custom_oscillator(self, calibration):
+        slow_ro = RingOscillator(fresh_frequency_hz=10e6)
+        experiment = make_experiment(calibration, oscillator=slow_ro)
+        assert experiment.measure("fresh").frequency_hz \
+            == pytest.approx(10e6)
+
+    def test_rejects_bad_gate_window(self, calibration):
+        with pytest.raises(SensorError):
+            make_experiment(calibration, gate_window_s=-1.0)
+
+    def test_rejects_short_trace(self, calibration):
+        experiment = make_experiment(calibration)
+        with pytest.raises(SensorError):
+            experiment.frequency_recovery_trace(
+                ACTIVE_ACCELERATED_RECOVERY, units.hours(1.0),
+                n_points=1)

@@ -1,0 +1,94 @@
+"""Tests for repro.bti.model (the user-facing BTI model)."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.bti.conditions import (
+    ACTIVE_ACCELERATED_RECOVERY,
+    PASSIVE_RECOVERY,
+)
+from repro.bti.model import BtiModel
+
+
+@pytest.fixture()
+def model(calibration) -> BtiModel:
+    return calibration.build_model()
+
+
+class TestPhases:
+    def test_stress_phase_records_history(self, model):
+        result = model.apply_stress(units.hours(1.0))
+        assert result.kind == "stress"
+        assert result.vth_after_v > result.vth_before_v
+        assert model.history[-1] is result
+
+    def test_recovery_phase_records_history(self, model):
+        model.apply_stress(units.hours(1.0))
+        result = model.apply_recovery(units.hours(1.0),
+                                      ACTIVE_ACCELERATED_RECOVERY)
+        assert result.kind == "recovery"
+        assert result.vth_after_v < result.vth_before_v
+        assert result.delta_v < 0.0
+
+    def test_elapsed_accumulates(self, model):
+        model.apply_stress(units.hours(2.0))
+        model.apply_recovery(units.hours(1.0))
+        assert model.elapsed_s == pytest.approx(units.hours(3.0))
+
+    def test_permanent_fraction_tracks_population(self, model):
+        model.apply_stress(units.hours(24.0))
+        assert 0.0 < model.permanent_fraction < 1.0
+        assert model.delta_vth_v == pytest.approx(
+            model.recoverable_vth_v + model.permanent_vth_v)
+
+
+class TestTraces:
+    def test_stress_trace_is_monotone(self, model):
+        times, shifts = model.stress_trace(units.hours(4.0), 9)
+        assert len(times) == len(shifts) == 9
+        assert np.all(np.diff(shifts) >= -1e-15)
+
+    def test_recovery_trace_is_non_increasing(self, model):
+        model.apply_stress(units.hours(4.0))
+        _times, shifts = model.recovery_trace(
+            units.hours(2.0), 9, ACTIVE_ACCELERATED_RECOVERY)
+        assert np.all(np.diff(shifts) <= 1e-15)
+
+    def test_trace_requires_two_points(self, model):
+        with pytest.raises(ValueError):
+            model.stress_trace(units.hours(1.0), 1)
+
+    def test_trace_time_axis_is_relative(self, model):
+        model.apply_stress(units.hours(5.0))
+        times, _ = model.stress_trace(units.hours(1.0), 3)
+        assert times[0] == 0.0
+        assert times[-1] == pytest.approx(units.hours(1.0))
+
+
+class TestConvenience:
+    def test_recovery_fraction_does_not_mutate(self, model):
+        fraction = model.recovery_fraction_after(
+            units.hours(24.0), units.hours(6.0),
+            ACTIVE_ACCELERATED_RECOVERY)
+        assert 0.0 < fraction < 1.0
+        assert model.delta_vth_v == 0.0
+        assert model.history == []
+
+    def test_passive_fraction_is_small(self, model):
+        fraction = model.recovery_fraction_after(
+            units.hours(24.0), units.hours(6.0), PASSIVE_RECOVERY)
+        assert fraction < 0.05
+
+    def test_copy_is_deep(self, model):
+        model.apply_stress(units.hours(1.0))
+        clone = model.copy()
+        clone.apply_stress(units.hours(4.0))
+        assert clone.delta_vth_v > model.delta_vth_v
+        assert len(clone.history) == len(model.history) + 1
+
+    def test_reset_clears_everything(self, model):
+        model.apply_stress(units.hours(1.0))
+        model.reset()
+        assert model.delta_vth_v == 0.0
+        assert model.history == []

@@ -1,0 +1,153 @@
+"""Tests for repro.bti.reaction_diffusion (the alternative substrate)."""
+
+import pytest
+
+from repro import units
+from repro.bti.conditions import (
+    ACTIVE_ACCELERATED_RECOVERY,
+    BtiStressCondition,
+    PASSIVE_RECOVERY,
+    TABLE1_RECOVERY_CONDITIONS,
+)
+from repro.bti.reaction_diffusion import (
+    ReactionDiffusionBtiModel,
+    ReactionDiffusionConfig,
+)
+from repro.errors import SimulationError
+
+
+@pytest.fixture()
+def model() -> ReactionDiffusionBtiModel:
+    return ReactionDiffusionBtiModel()
+
+
+class TestStress:
+    def test_fresh_state(self, model):
+        assert model.delta_vth_v == 0.0
+        assert model.permanent_vth_v == 0.0
+
+    def test_power_law_exponent(self, model):
+        model.apply_stress(units.hours(1.0))
+        one_hour = model.recoverable_vth_v
+        model.reset()
+        model.apply_stress(units.hours(64.0))
+        ratio = model.recoverable_vth_v / one_hour
+        assert ratio == pytest.approx(64.0 ** (1.0 / 6.0), rel=0.05)
+
+    def test_stress_phases_compose(self):
+        split = ReactionDiffusionBtiModel()
+        split.apply_stress(units.hours(2.0))
+        split.apply_stress(units.hours(3.0))
+        joint = ReactionDiffusionBtiModel()
+        joint.apply_stress(units.hours(5.0))
+        assert split.delta_vth_v == pytest.approx(joint.delta_vth_v,
+                                                  rel=1e-9)
+
+    def test_milder_condition_stresses_less(self, model):
+        mild = BtiStressCondition(
+            voltage=0.45, temperature_k=units.celsius_to_kelvin(60.0))
+        model.apply_stress(units.hours(10.0), mild)
+        mild_shift = model.delta_vth_v
+        model.reset()
+        model.apply_stress(units.hours(10.0))
+        assert model.delta_vth_v > mild_shift
+
+    def test_rejects_negative_duration(self, model):
+        with pytest.raises(SimulationError):
+            model.apply_stress(-1.0)
+
+
+class TestRecovery:
+    def test_recovery_reduces_shift(self, model):
+        model.apply_stress(units.hours(24.0))
+        before = model.delta_vth_v
+        model.apply_recovery(units.hours(6.0),
+                             ACTIVE_ACCELERATED_RECOVERY)
+        assert model.delta_vth_v < before
+
+    def test_permanent_survives_recovery(self, model):
+        model.apply_stress(units.hours(24.0))
+        permanent = model.permanent_vth_v
+        assert permanent > 0.0
+        model.apply_recovery(units.days(30.0),
+                             ACTIVE_ACCELERATED_RECOVERY)
+        assert model.permanent_vth_v == pytest.approx(permanent)
+        assert model.delta_vth_v >= permanent
+
+    def test_recovery_on_fresh_device_is_noop(self, model):
+        model.apply_recovery(units.hours(6.0), PASSIVE_RECOVERY)
+        assert model.delta_vth_v == 0.0
+
+
+class TestTable1Comparison:
+    def test_passive_and_joint_rows_fit(self, model):
+        """The R-D shape can hit the outer rows of Table I..."""
+        passive = model.recovery_fraction_after(
+            units.hours(24.0), units.hours(6.0), PASSIVE_RECOVERY)
+        joint = model.recovery_fraction_after(
+            units.hours(24.0), units.hours(6.0),
+            ACTIVE_ACCELERATED_RECOVERY)
+        assert passive == pytest.approx(0.0066, abs=0.02)
+        assert joint == pytest.approx(0.724, abs=0.08)
+
+    def test_middle_rows_structurally_miss(self, model):
+        """... but NOT the middle rows -- the sqrt(xi) recovery shape
+        is too shallow.  This documented failure is why the trap model
+        is the primary substrate."""
+        active = model.recovery_fraction_after(
+            units.hours(24.0), units.hours(6.0),
+            TABLE1_RECOVERY_CONDITIONS[1])
+        assert abs(active - 0.167) > 0.04
+
+    def test_ordering_is_still_correct(self, model):
+        fractions = [model.recovery_fraction_after(
+            units.hours(24.0), units.hours(6.0), condition)
+            for condition in TABLE1_RECOVERY_CONDITIONS]
+        assert fractions[0] < fractions[1] < fractions[3]
+        assert fractions[0] < fractions[2] < fractions[3]
+
+
+class TestSchedulingRobustness:
+    def test_balanced_schedule_stays_fresh(self, model):
+        """The paper's central scheduling claim holds under R-D
+        physics too: in-time recovery -> no permanent component."""
+        for _ in range(6):
+            model.apply_stress(units.hours(1.0))
+            model.apply_recovery(units.hours(1.0),
+                                 ACTIVE_ACCELERATED_RECOVERY)
+        assert model.permanent_vth_v == 0.0
+        assert model.delta_vth_v < 1e-3
+
+    def test_long_stress_intervals_accumulate(self):
+        lazy = ReactionDiffusionBtiModel()
+        for _ in range(6):
+            lazy.apply_stress(units.hours(4.0))
+            lazy.apply_recovery(units.hours(1.0),
+                                ACTIVE_ACCELERATED_RECOVERY)
+        assert lazy.permanent_vth_v > 0.0
+
+    def test_schedule_runner_compatibility(self):
+        """The model satisfies the runner's phase interface."""
+        from repro.core.schedule import PeriodicSchedule, \
+            run_bti_schedule
+        outcome = run_bti_schedule(
+            ReactionDiffusionBtiModel(),
+            PeriodicSchedule.from_hours(1.0, 1.0, 4),
+            ACTIVE_ACCELERATED_RECOVERY)
+        assert outcome.fully_healed
+
+
+class TestValidation:
+    def test_rejects_bad_exponent(self):
+        with pytest.raises(SimulationError):
+            ReactionDiffusionConfig(exponent=1.5)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(SimulationError):
+            ReactionDiffusionConfig(recovery_shape=0.0)
+
+    def test_reset(self, model):
+        model.apply_stress(units.hours(24.0))
+        model.reset()
+        assert model.delta_vth_v == 0.0
+        assert model.elapsed_s == 0.0

@@ -1,0 +1,211 @@
+"""Tests for repro.bti.traps (the trap-population mechanics)."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.bti.traps import TrapPopulation, TrapPopulationConfig
+from repro.errors import SimulationError
+
+
+@pytest.fixture()
+def small_population() -> TrapPopulation:
+    return TrapPopulation(TrapPopulationConfig(n_bins=41))
+
+
+class TestConfigValidation:
+    def test_rejects_inverted_tau_range(self):
+        with pytest.raises(ValueError):
+            TrapPopulationConfig(tau_min_s=1e3, tau_max_s=1e2)
+
+    def test_rejects_single_bin(self):
+        with pytest.raises(ValueError):
+            TrapPopulationConfig(n_bins=1)
+
+    def test_rejects_negative_lock_rate(self):
+        with pytest.raises(ValueError):
+            TrapPopulationConfig(lock_rate_per_s=-1.0)
+
+    def test_rejects_bad_age_thresholds(self):
+        with pytest.raises(ValueError):
+            TrapPopulationConfig(age_on_occupancy=0.1,
+                                 age_off_occupancy=0.5)
+
+    def test_rejects_non_positive_emission_scale(self):
+        with pytest.raises(ValueError):
+            TrapPopulationConfig(emission_scale=0.0)
+
+
+class TestFreshState:
+    def test_starts_with_zero_shift(self, small_population):
+        assert small_population.total_vth_v == 0.0
+
+    def test_starts_with_zero_permanent(self, small_population):
+        assert small_population.permanent_vth_v == 0.0
+
+    def test_permanent_fraction_is_zero_when_fresh(self, small_population):
+        assert small_population.permanent_fraction == 0.0
+
+
+class TestStress:
+    def test_stress_increases_shift(self, small_population):
+        small_population.stress(units.hours(1.0))
+        assert small_population.total_vth_v > 0.0
+
+    def test_longer_stress_gives_more_shift(self):
+        short = TrapPopulation(TrapPopulationConfig(n_bins=41))
+        long = TrapPopulation(TrapPopulationConfig(n_bins=41))
+        short.stress(units.hours(1.0))
+        long.stress(units.hours(10.0))
+        assert long.total_vth_v > short.total_vth_v
+
+    def test_occupancy_stays_bounded(self, small_population):
+        small_population.stress(units.days(10.0))
+        assert np.all(small_population.occupancy >= 0.0)
+        assert np.all(small_population.occupancy <= 1.0 + 1e-12)
+
+    def test_shift_bounded_by_trap_budget(self, small_population):
+        small_population.stress(units.days(50.0))
+        budget = small_population.config.vth_full_shift_v
+        assert small_population.total_vth_v <= budget * (1.0 + 1e-9)
+
+    def test_capture_acceleration_speeds_stress(self):
+        slow = TrapPopulation(TrapPopulationConfig(n_bins=41))
+        fast = TrapPopulation(TrapPopulationConfig(n_bins=41))
+        slow.stress(units.hours(1.0), capture_acceleration=1.0)
+        fast.stress(units.hours(1.0), capture_acceleration=10.0)
+        assert fast.total_vth_v > slow.total_vth_v
+
+    def test_stress_accumulates_time(self, small_population):
+        small_population.stress(units.hours(2.0))
+        assert small_population.time_s == pytest.approx(units.hours(2.0))
+
+    def test_zero_duration_is_noop(self, small_population):
+        small_population.stress(0.0)
+        assert small_population.total_vth_v == 0.0
+
+    def test_rejects_negative_duration(self, small_population):
+        with pytest.raises(SimulationError):
+            small_population.stress(-1.0)
+
+    def test_rejects_non_positive_acceleration(self, small_population):
+        with pytest.raises(SimulationError):
+            small_population.stress(1.0, capture_acceleration=0.0)
+
+
+class TestRecovery:
+    def test_recovery_reduces_shift(self, small_population):
+        small_population.stress(units.hours(1.0))
+        before = small_population.total_vth_v
+        small_population.recover(units.hours(1.0), acceleration=1e6)
+        assert small_population.total_vth_v < before
+
+    def test_recovery_never_goes_negative(self, small_population):
+        small_population.stress(units.hours(1.0))
+        small_population.recover(units.days(30.0), acceleration=1e12)
+        assert small_population.total_vth_v >= 0.0
+
+    def test_faster_acceleration_recovers_more(self):
+        a = TrapPopulation(TrapPopulationConfig(n_bins=41))
+        b = TrapPopulation(TrapPopulationConfig(n_bins=41))
+        for population in (a, b):
+            population.stress(units.hours(4.0))
+        a.recover(units.hours(1.0), acceleration=1.0)
+        b.recover(units.hours(1.0), acceleration=1e6)
+        assert b.total_vth_v < a.total_vth_v
+
+    def test_recovery_does_not_touch_permanent(self):
+        population = TrapPopulation(TrapPopulationConfig(
+            n_bins=41, lock_rate_per_s=1e-4, lock_age_s=60.0))
+        population.stress(units.hours(6.0))
+        permanent_before = population.permanent_vth_v
+        assert permanent_before > 0.0
+        population.recover(units.days(5.0), acceleration=1e9)
+        assert population.permanent_vth_v == pytest.approx(
+            permanent_before)
+
+    def test_fresh_population_recovery_is_noop(self, small_population):
+        small_population.recover(units.hours(5.0), acceleration=1e6)
+        assert small_population.total_vth_v == 0.0
+
+
+class TestLockIn:
+    def test_no_lock_before_lock_age(self):
+        population = TrapPopulation(TrapPopulationConfig(
+            n_bins=41, lock_age_s=units.hours(2.0)))
+        population.stress(units.hours(1.5))
+        assert population.permanent_vth_v == 0.0
+
+    def test_lock_after_lock_age(self):
+        population = TrapPopulation(TrapPopulationConfig(
+            n_bins=41, lock_age_s=units.minutes(30.0),
+            lock_rate_per_s=1e-4))
+        population.stress(units.hours(4.0))
+        assert population.permanent_vth_v > 0.0
+
+    def test_lock_disabled_with_zero_rate(self):
+        population = TrapPopulation(TrapPopulationConfig(
+            n_bins=41, lock_rate_per_s=0.0))
+        population.stress(units.days(2.0))
+        assert population.permanent_vth_v == 0.0
+
+    def test_permanent_saturates_at_trap_budget(self):
+        population = TrapPopulation(TrapPopulationConfig(
+            n_bins=41, lock_rate_per_s=1e-3,
+            lock_age_s=units.minutes(10.0)))
+        population.stress(units.days(30.0))
+        assert population.permanent_vth_v \
+            <= population.config.vth_full_shift_v
+
+    def test_scheduled_recovery_prevents_lock_in(self):
+        """The paper's Fig. 4 core claim at the mechanism level."""
+        config = TrapPopulationConfig(
+            n_bins=41, lock_age_s=units.minutes(75.0),
+            lock_rate_per_s=1e-4)
+        scheduled = TrapPopulation(config)
+        for _ in range(6):
+            scheduled.stress(units.hours(1.0))
+            scheduled.recover(units.hours(1.0), acceleration=1e7)
+        continuous = TrapPopulation(config)
+        continuous.stress(units.hours(6.0))
+        assert scheduled.permanent_vth_v == pytest.approx(0.0, abs=1e-9)
+        assert continuous.permanent_vth_v > 0.0
+
+    def test_ages_reset_after_emptying(self):
+        population = TrapPopulation(TrapPopulationConfig(n_bins=41))
+        population.stress(units.hours(1.0))
+        population.recover(units.hours(10.0), acceleration=1e12)
+        assert np.all(population.age_s[population.occupancy <= 0.05]
+                      == 0.0)
+
+
+class TestCopyAndReset:
+    def test_copy_is_independent(self, small_population):
+        small_population.stress(units.hours(1.0))
+        clone = small_population.copy()
+        clone.stress(units.hours(5.0))
+        assert clone.total_vth_v > small_population.total_vth_v
+
+    def test_copy_preserves_state(self, small_population):
+        small_population.stress(units.hours(2.0))
+        clone = small_population.copy()
+        assert clone.total_vth_v == pytest.approx(
+            small_population.total_vth_v)
+        assert clone.time_s == small_population.time_s
+
+    def test_reset_restores_fresh_state(self, small_population):
+        small_population.stress(units.days(1.0))
+        small_population.reset()
+        assert small_population.total_vth_v == 0.0
+        assert small_population.permanent_vth_v == 0.0
+        assert small_population.time_s == 0.0
+
+    def test_reset_restores_weights(self):
+        population = TrapPopulation(TrapPopulationConfig(
+            n_bins=41, lock_rate_per_s=1e-3,
+            lock_age_s=units.minutes(10.0)))
+        fresh_weights = population.weights.copy()
+        population.stress(units.days(2.0))
+        assert not np.allclose(population.weights, fresh_weights)
+        population.reset()
+        assert np.allclose(population.weights, fresh_weights)

@@ -1,0 +1,100 @@
+"""Tests for repro.bti.variability (stochastic BTI)."""
+
+import numpy as np
+import pytest
+
+from repro.bti.variability import BtiVariabilityModel, \
+    margin_amplification
+from repro.errors import SimulationError
+
+
+@pytest.fixture()
+def model() -> BtiVariabilityModel:
+    return BtiVariabilityModel(per_trap_impact_v=2e-3)
+
+
+class TestMoments:
+    def test_trap_count_from_mean(self, model):
+        assert model.mean_trap_count(0.020) == pytest.approx(10.0)
+
+    def test_std_follows_sqrt_law(self, model):
+        small = model.std_v(0.010)
+        large = model.std_v(0.040)
+        assert large == pytest.approx(2.0 * small, rel=1e-9)
+
+    def test_std_known_value(self, model):
+        # N = 10 traps: std = sqrt(2 * 10) * eta.
+        assert model.std_v(0.020) == pytest.approx(
+            np.sqrt(20.0) * 2e-3)
+
+    def test_quantile_brackets_mean(self, model):
+        mean = 0.03
+        assert model.quantile_v(mean, 0.05) < mean \
+            < model.quantile_v(mean, 0.95)
+
+    def test_quantile_never_negative(self, model):
+        assert model.quantile_v(0.001, 0.001) >= 0.0
+
+
+class TestPopulation:
+    def test_worst_of_one_is_the_mean(self, model):
+        assert model.worst_of_population_v(0.02, 1) == 0.02
+
+    def test_worst_grows_with_population(self, model):
+        small = model.worst_of_population_v(0.02, 100)
+        large = model.worst_of_population_v(0.02, 1_000_000)
+        assert 0.02 < small < large
+
+    def test_monte_carlo_matches_moments(self, model):
+        rng = np.random.default_rng(3)
+        samples = model.sample(0.03, 200_000, rng)
+        assert samples.mean() == pytest.approx(0.03, rel=0.02)
+        assert samples.std() == pytest.approx(model.std_v(0.03),
+                                              rel=0.05)
+
+    def test_sampling_reproducible(self, model):
+        a = model.sample(0.02, 100, np.random.default_rng(5))
+        b = model.sample(0.02, 100, np.random.default_rng(5))
+        assert np.allclose(a, b)
+
+    def test_samples_non_negative(self, model):
+        samples = model.sample(0.005, 10_000,
+                               np.random.default_rng(1))
+        assert np.all(samples >= 0.0)
+
+
+class TestMarginAmplification:
+    def test_amplification_exceeds_one(self, model):
+        assert margin_amplification(model, 0.02, 10_000) > 1.0
+
+    def test_small_means_amplify_more(self, model):
+        """The stochastic part dominates small shifts -- the
+        near-threshold sensitivity argument."""
+        small_mean = margin_amplification(model, 0.005, 10_000)
+        large_mean = margin_amplification(model, 0.050, 10_000)
+        assert small_mean > large_mean
+
+    def test_healing_reduces_the_absolute_margin(self, model):
+        """Deep healing shrinks the mean; the population margin
+        shrinks with it even though the relative amplification grows."""
+        unhealed = model.population_margin_v(0.030, 100_000)
+        healed = model.population_margin_v(0.004, 100_000)
+        assert healed < unhealed
+
+    def test_rejects_zero_mean(self, model):
+        with pytest.raises(SimulationError):
+            margin_amplification(model, 0.0, 100)
+
+    def test_rejects_bad_population(self, model):
+        with pytest.raises(SimulationError):
+            model.worst_of_population_v(0.02, 0)
+
+
+class TestValidation:
+    def test_rejects_bad_impact(self):
+        with pytest.raises(SimulationError):
+            BtiVariabilityModel(per_trap_impact_v=0.0)
+
+    def test_rejects_negative_mean(self, model):
+        with pytest.raises(SimulationError):
+            model.mean_trap_count(-0.01)

@@ -1,0 +1,125 @@
+"""Tests for repro.circuit.dc (Newton DC analysis)."""
+
+import pytest
+
+from repro.circuit.dc import dc_operating_point
+from repro.circuit.mosfet import NMOS_28NM, PMOS_28NM
+from repro.circuit.netlist import Circuit
+
+
+def divider() -> Circuit:
+    circuit = Circuit("divider")
+    circuit.add_voltage_source("vin", "top", "gnd", 2.0)
+    circuit.add_resistor("r1", "top", "mid", 1000.0)
+    circuit.add_resistor("r2", "mid", "gnd", 3000.0)
+    return circuit
+
+
+class TestLinearCircuits:
+    def test_resistor_divider(self):
+        solution = dc_operating_point(divider())
+        assert solution.voltage("mid") == pytest.approx(1.5)
+
+    def test_source_current(self):
+        solution = dc_operating_point(divider())
+        # 2 V over 4 kOhm: 0.5 mA flows gnd -> source -> top, i.e. the
+        # branch current (pos -> through source) is -0.5 mA.
+        assert solution.source_current("vin") == pytest.approx(-5e-4)
+
+    def test_resistor_current(self):
+        solution = dc_operating_point(divider())
+        assert solution.resistor_current("r1") == pytest.approx(5e-4)
+
+    def test_current_source_injection(self):
+        circuit = Circuit()
+        circuit.add_current_source("i1", "gnd", "out", 1e-3)
+        circuit.add_resistor("r", "out", "gnd", 2000.0)
+        solution = dc_operating_point(circuit)
+        assert solution.voltage("out") == pytest.approx(2.0)
+
+    def test_superposition_of_linear_sources(self):
+        def solve(v, i):
+            circuit = Circuit()
+            circuit.add_voltage_source("v", "a", "gnd", v)
+            circuit.add_resistor("r1", "a", "out", 1000.0)
+            circuit.add_current_source("i", "gnd", "out", i)
+            circuit.add_resistor("r2", "out", "gnd", 1000.0)
+            return dc_operating_point(circuit).voltage("out")
+
+        both = solve(1.0, 1e-3)
+        only_v = solve(1.0, 0.0)
+        only_i = solve(0.0, 1e-3)
+        assert both == pytest.approx(only_v + only_i, rel=1e-9)
+
+    def test_voltages_dict(self):
+        solution = dc_operating_point(divider())
+        voltages = solution.voltages()
+        assert set(voltages) == {"top", "mid"}
+        assert voltages["top"] == pytest.approx(2.0)
+
+
+class TestNonlinearCircuits:
+    def test_cmos_inverter_rails(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("vdd", "vdd", "gnd", 1.0)
+        circuit.add_voltage_source("vg", "g", "gnd", 0.0)
+        circuit.add_mosfet("mp", "out", "g", "vdd", PMOS_28NM)
+        circuit.add_mosfet("mn", "out", "g", "gnd", NMOS_28NM)
+        low_in = dc_operating_point(circuit).voltage("out")
+        circuit.find_voltage_source("vg").volts = 1.0
+        high_in = dc_operating_point(circuit).voltage("out")
+        assert low_in == pytest.approx(1.0, abs=1e-3)
+        assert high_in == pytest.approx(0.0, abs=1e-3)
+
+    def test_inverter_midpoint_is_metastable(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("vdd", "vdd", "gnd", 1.0)
+        circuit.add_voltage_source("vg", "g", "gnd", 0.5)
+        circuit.add_mosfet("mp", "out", "g", "vdd", PMOS_28NM)
+        circuit.add_mosfet("mn", "out", "g", "gnd", NMOS_28NM)
+        out = dc_operating_point(circuit).voltage("out")
+        assert 0.2 < out < 0.8
+
+    def test_nmos_pass_gate_symmetric_conduction(self):
+        """Terminal order must not matter for a pass device."""
+        def solve(drain_first: bool) -> float:
+            circuit = Circuit()
+            circuit.add_voltage_source("vdd", "vdd", "gnd", 1.0)
+            circuit.add_voltage_source("vg", "g", "gnd", 1.0)
+            if drain_first:
+                circuit.add_mosfet("m", "vdd", "g", "out", NMOS_28NM)
+            else:
+                circuit.add_mosfet("m", "out", "g", "vdd", NMOS_28NM)
+            circuit.add_resistor("rl", "out", "gnd", 1e5)
+            return dc_operating_point(circuit).voltage("out")
+
+        assert solve(True) == pytest.approx(solve(False), rel=1e-9)
+
+    def test_vth_shift_weakens_device(self):
+        """An aged (BTI-shifted) NMOS pulls its output less low."""
+        def solve(delta: float) -> float:
+            circuit = Circuit()
+            circuit.add_voltage_source("vdd", "vdd", "gnd", 1.0)
+            circuit.add_voltage_source("vg", "g", "gnd", 1.0)
+            circuit.add_resistor("rl", "vdd", "out", 10000.0)
+            circuit.add_mosfet("m", "out", "g", "gnd",
+                               NMOS_28NM.with_vth_shift(delta))
+            return dc_operating_point(circuit).voltage("out")
+
+        assert solve(0.05) > solve(0.0)
+
+    def test_mosfet_current_query(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("vdd", "vdd", "gnd", 1.0)
+        circuit.add_voltage_source("vg", "g", "gnd", 1.0)
+        circuit.add_resistor("rl", "vdd", "out", 10000.0)
+        circuit.add_mosfet("m", "out", "g", "gnd", NMOS_28NM)
+        solution = dc_operating_point(circuit)
+        assert solution.mosfet_current("m") == pytest.approx(
+            solution.resistor_current("rl"), rel=1e-6)
+
+    def test_initial_guess_shortens_iterations(self):
+        circuit = divider()
+        first = dc_operating_point(circuit)
+        second = dc_operating_point(circuit, first.solution)
+        assert second.iterations <= first.iterations

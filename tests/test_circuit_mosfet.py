@@ -1,0 +1,153 @@
+"""Tests for repro.circuit.mosfet (device model)."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.mosfet import (
+    Mosfet,
+    MosfetParams,
+    NMOS_28NM,
+    PMOS_28NM,
+    _nmos_core,
+)
+from repro.errors import NetlistError
+
+
+def make_nmos(vd: float, vg: float, vs: float):
+    """A standalone NMOS on nodes [0]=d, [1]=g, [2]=s with given bias."""
+    device = Mosfet("m", 0, 1, 2, NMOS_28NM)
+    return device, np.array([vd, vg, vs])
+
+
+class TestParams:
+    def test_beta(self):
+        params = MosfetParams("nmos", 0.3, 2e-4, 5.0)
+        assert params.beta == pytest.approx(1e-3)
+
+    def test_vth_shift(self):
+        aged = NMOS_28NM.with_vth_shift(0.05)
+        assert aged.vth_v == pytest.approx(NMOS_28NM.vth_v + 0.05)
+
+    def test_scaled_width(self):
+        wide = NMOS_28NM.scaled(3.0)
+        assert wide.w_over_l == pytest.approx(3.0 * NMOS_28NM.w_over_l)
+
+    def test_rejects_bad_polarity(self):
+        with pytest.raises(NetlistError):
+            MosfetParams("mos", 0.3, 1e-4, 1.0)
+
+    def test_rejects_non_positive_vth(self):
+        with pytest.raises(NetlistError):
+            MosfetParams("nmos", 0.0, 1e-4, 1.0)
+
+    def test_rejects_bad_scale(self):
+        with pytest.raises(NetlistError):
+            NMOS_28NM.scaled(0.0)
+
+
+class TestNmosCore:
+    def test_cutoff(self):
+        ids, gm, gds = _nmos_core(0.2, 0.5, NMOS_28NM)
+        assert ids == gm == gds == 0.0
+
+    def test_triode_current(self):
+        vgs, vds = 1.0, 0.1
+        ids, _gm, _gds = _nmos_core(vgs, vds, NMOS_28NM)
+        beta = NMOS_28NM.beta
+        vov = vgs - NMOS_28NM.vth_v
+        lam = NMOS_28NM.lambda_per_v
+        expected = beta * (vov - 0.5 * vds) * vds * (1.0 + lam * vds)
+        assert ids == pytest.approx(expected)
+
+    def test_saturation_current(self):
+        vgs, vds = 0.8, 1.0
+        ids, _gm, _gds = _nmos_core(vgs, vds, NMOS_28NM)
+        beta = NMOS_28NM.beta
+        vov = vgs - NMOS_28NM.vth_v
+        lam = NMOS_28NM.lambda_per_v
+        expected = 0.5 * beta * vov * vov * (1.0 + lam * vds)
+        assert ids == pytest.approx(expected)
+
+    def test_continuity_at_pinch_off(self):
+        vgs = 0.8
+        vov = vgs - NMOS_28NM.vth_v
+        below, _a, _b = _nmos_core(vgs, vov - 1e-9, NMOS_28NM)
+        above, _c, _d = _nmos_core(vgs, vov + 1e-9, NMOS_28NM)
+        assert below == pytest.approx(above, rel=1e-6)
+
+    def test_gm_increases_with_overdrive(self):
+        _i1, gm1, _ = _nmos_core(0.6, 1.0, NMOS_28NM)
+        _i2, gm2, _ = _nmos_core(0.9, 1.0, NMOS_28NM)
+        assert gm2 > gm1
+
+
+class TestEvaluate:
+    def test_off_device_leaks_only(self):
+        device, v = make_nmos(1.0, 0.0, 0.0)
+        ids, g_drain, _g_gate = device.evaluate(v)
+        assert ids == pytest.approx(NMOS_28NM.leak_s * 1.0)
+        assert g_drain == pytest.approx(NMOS_28NM.leak_s)
+
+    def test_forward_current_is_positive(self):
+        device, v = make_nmos(1.0, 1.0, 0.0)
+        ids, _gd, _gg = device.evaluate(v)
+        assert ids > 0.0
+
+    def test_reverse_bias_flips_current(self):
+        forward, vf = make_nmos(1.0, 1.0, 0.0)
+        reverse = Mosfet("m", 0, 1, 2, NMOS_28NM)
+        vr = np.array([0.0, 1.0, 1.0])  # drain below source
+        i_forward = forward.evaluate(vf)[0]
+        # The reverse device sees the same |vds| but swapped terminals:
+        # vgs measured from the true source (node 0 now) is the same.
+        i_reverse = reverse.evaluate(vr)[0]
+        assert i_reverse == pytest.approx(-i_forward, rel=1e-9)
+
+    def test_pmos_mirrors_nmos(self):
+        nmos = Mosfet("n", 0, 1, 2, NMOS_28NM)
+        pmos = Mosfet("p", 0, 1, 2,
+                      MosfetParams("pmos", NMOS_28NM.vth_v,
+                                   NMOS_28NM.kp_a_v2,
+                                   NMOS_28NM.w_over_l,
+                                   NMOS_28NM.lambda_per_v,
+                                   NMOS_28NM.leak_s))
+        v_n = np.array([1.0, 1.0, 0.0])
+        v_p = -v_n
+        assert pmos.evaluate(v_p)[0] == pytest.approx(
+            -nmos.evaluate(v_n)[0], rel=1e-12)
+
+    def test_derivatives_match_finite_differences(self):
+        device, v = make_nmos(0.6, 0.9, 0.1)
+        ids, g_drain, g_gate = device.evaluate(v)
+        eps = 1e-7
+        v_d = v.copy()
+        v_d[0] += eps
+        fd_drain = (device.evaluate(v_d)[0] - ids) / eps
+        v_g = v.copy()
+        v_g[1] += eps
+        fd_gate = (device.evaluate(v_g)[0] - ids) / eps
+        assert g_drain == pytest.approx(fd_drain, rel=1e-4)
+        assert g_gate == pytest.approx(fd_gate, rel=1e-4)
+
+    def test_derivatives_match_fd_in_swapped_region(self):
+        device, v = make_nmos(0.1, 0.9, 0.6)  # vd < vs: swapped
+        ids, g_drain, g_gate = device.evaluate(v)
+        eps = 1e-7
+        v_d = v.copy()
+        v_d[0] += eps
+        fd_drain = (device.evaluate(v_d)[0] - ids) / eps
+        assert g_drain == pytest.approx(fd_drain, rel=1e-4)
+
+    def test_pmos_derivatives_match_fd(self):
+        device = Mosfet("p", 0, 1, 2, PMOS_28NM)
+        v = np.array([0.2, 0.0, 1.0])
+        ids, g_drain, g_gate = device.evaluate(v)
+        eps = 1e-7
+        v_d = v.copy()
+        v_d[0] += eps
+        fd_drain = (device.evaluate(v_d)[0] - ids) / eps
+        v_g = v.copy()
+        v_g[1] += eps
+        fd_gate = (device.evaluate(v_g)[0] - ids) / eps
+        assert g_drain == pytest.approx(fd_drain, rel=1e-4)
+        assert g_gate == pytest.approx(fd_gate, rel=1e-4)

@@ -1,0 +1,106 @@
+"""Tests for repro.circuit.netlist and element stamps."""
+
+import numpy as np
+import pytest
+
+from repro.circuit.elements import MnaSystem
+from repro.circuit.mosfet import NMOS_28NM
+from repro.circuit.netlist import Circuit, GROUND
+from repro.errors import NetlistError
+
+
+class TestNodeManagement:
+    def test_ground_aliases_map_to_minus_one(self):
+        circuit = Circuit()
+        assert circuit.node("gnd") == -1
+        assert circuit.node("0") == -1
+        assert circuit.node("GND") == -1
+
+    def test_nodes_are_created_on_demand(self):
+        circuit = Circuit()
+        assert circuit.node("a") == 0
+        assert circuit.node("b") == 1
+        assert circuit.node("a") == 0
+        assert circuit.n_nodes == 2
+
+    def test_node_names_in_index_order(self):
+        circuit = Circuit()
+        circuit.node("z")
+        circuit.node("a")
+        assert circuit.node_names == ["z", "a"]
+
+
+class TestElementRegistration:
+    def test_duplicate_names_rejected(self):
+        circuit = Circuit()
+        circuit.add_resistor("r1", "a", "b", 10.0)
+        with pytest.raises(NetlistError):
+            circuit.add_resistor("r1", "b", "c", 10.0)
+
+    def test_duplicate_across_types_rejected(self):
+        circuit = Circuit()
+        circuit.add_resistor("x", "a", "b", 10.0)
+        with pytest.raises(NetlistError):
+            circuit.add_voltage_source("x", "a", GROUND, 1.0)
+
+    def test_non_positive_resistance_rejected(self):
+        circuit = Circuit()
+        with pytest.raises(NetlistError):
+            circuit.add_resistor("r", "a", "b", 0.0)
+
+    def test_non_positive_capacitance_rejected(self):
+        circuit = Circuit()
+        with pytest.raises(NetlistError):
+            circuit.add_capacitor("c", "a", "b", -1e-12)
+
+    def test_lookup_helpers(self):
+        circuit = Circuit()
+        circuit.add_resistor("r", "a", "b", 10.0)
+        circuit.add_voltage_source("v", "a", GROUND, 1.0)
+        circuit.add_mosfet("m", "a", "b", GROUND, NMOS_28NM)
+        assert circuit.find_resistor("r").ohms == 10.0
+        assert circuit.find_voltage_source("v").volts == 1.0
+        assert circuit.find_mosfet("m").name == "m"
+
+    def test_lookup_missing_raises(self):
+        circuit = Circuit()
+        with pytest.raises(NetlistError):
+            circuit.find_resistor("nope")
+
+    def test_unknown_counts(self):
+        circuit = Circuit()
+        circuit.add_voltage_source("v1", "a", GROUND, 1.0)
+        circuit.add_resistor("r", "a", "b", 10.0)
+        assert circuit.n_unknowns == 2 + 1  # two nodes + one branch
+
+
+class TestMnaStamps:
+    def test_conductance_stamp_symmetry(self):
+        system = MnaSystem(2, 0)
+        system.add_conductance(0, 1, 0.5)
+        expected = np.array([[0.5, -0.5], [-0.5, 0.5]])
+        assert np.allclose(system.matrix, expected)
+
+    def test_conductance_to_ground(self):
+        system = MnaSystem(1, 0)
+        system.add_conductance(0, -1, 2.0)
+        assert system.matrix[0, 0] == pytest.approx(2.0)
+
+    def test_current_stamp_signs(self):
+        system = MnaSystem(2, 0)
+        system.add_current(0, 1, 1e-3)
+        assert system.rhs[0] == pytest.approx(-1e-3)
+        assert system.rhs[1] == pytest.approx(1e-3)
+
+    def test_voltage_branch_stamp(self):
+        system = MnaSystem(1, 1)
+        system.add_voltage_branch(0, 0, -1, 1.5)
+        assert system.matrix[0, 1] == 1.0
+        assert system.matrix[1, 0] == 1.0
+        assert system.rhs[1] == 1.5
+
+    def test_transconductance_stamp(self):
+        system = MnaSystem(3, 0)
+        system.add_transconductance(0, 1, 2, -1, 1e-3)
+        assert system.matrix[0, 2] == pytest.approx(1e-3)
+        assert system.matrix[1, 2] == pytest.approx(-1e-3)

@@ -1,0 +1,82 @@
+"""Tests for repro.circuit.oscillator (transistor-level RO)."""
+
+import pytest
+
+from repro.circuit.oscillator import RingOscillatorNetlist
+from repro.errors import SimulationError
+from repro.sensors.ring_oscillator import RingOscillator
+
+
+@pytest.fixture(scope="module")
+def ring() -> RingOscillatorNetlist:
+    return RingOscillatorNetlist(stages=5)
+
+
+@pytest.fixture(scope="module")
+def fresh_frequency(ring) -> float:
+    return ring.measured_frequency_hz()
+
+
+class TestOscillation:
+    def test_it_oscillates(self, fresh_frequency):
+        assert fresh_frequency > 0.0
+
+    def test_frequency_is_plausible(self, fresh_frequency):
+        """1/(2 N t_stage) with the first-order stage delay estimate."""
+        ring = RingOscillatorNetlist(stages=5)
+        i_sat = 0.5 * ring.nmos.beta \
+            * (ring.supply_v - ring.nmos.vth_v) ** 2
+        stage_delay = ring.stage_capacitance_f * ring.supply_v / i_sat
+        estimate = 1.0 / (2.0 * ring.stages * stage_delay)
+        assert fresh_frequency == pytest.approx(estimate, rel=0.6)
+
+    def test_more_stages_run_slower(self, fresh_frequency):
+        slow = RingOscillatorNetlist(stages=9).measured_frequency_hz()
+        assert slow < fresh_frequency
+
+    def test_more_capacitance_runs_slower(self, ring, fresh_frequency):
+        from dataclasses import replace
+        heavy = replace(ring, stage_capacitance_f=10e-15)
+        assert heavy.measured_frequency_hz() < fresh_frequency
+
+
+class TestAging:
+    def test_aged_ring_is_slower(self, ring, fresh_frequency):
+        aged = ring.aged(0.05).measured_frequency_hz()
+        assert aged < fresh_frequency
+
+    def test_degradation_monotone_in_shift(self, ring):
+        small = ring.frequency_degradation(0.02)
+        large = ring.frequency_degradation(0.06)
+        assert 0.0 < small < large
+
+    def test_cross_validates_compact_model(self, ring):
+        """The transistor-level degradation should match the
+        alpha-power compact model with the square-law alpha = 2."""
+        shift = 0.05
+        measured = ring.frequency_degradation(shift)
+        compact = RingOscillator(supply_v=ring.supply_v,
+                                 fresh_vth_v=ring.nmos.vth_v,
+                                 alpha=2.0)
+        predicted = compact.frequency_degradation(shift)
+        assert measured == pytest.approx(predicted, rel=0.25)
+
+
+class TestValidation:
+    def test_rejects_even_stage_count(self):
+        with pytest.raises(SimulationError):
+            RingOscillatorNetlist(stages=4)
+
+    def test_rejects_too_few_stages(self):
+        with pytest.raises(SimulationError):
+            RingOscillatorNetlist(stages=1)
+
+    def test_rejects_negative_aging(self, ring):
+        with pytest.raises(SimulationError):
+            ring.aged(-0.01)
+
+    def test_dead_ring_raises(self, ring):
+        """Aged past cutoff, the ring stops and measurement fails."""
+        dead = ring.aged(ring.supply_v)
+        with pytest.raises(SimulationError):
+            dead.measured_frequency_hz()

@@ -1,0 +1,105 @@
+"""Tests for repro.circuit.transient (backward-Euler transient)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.transient import transient
+from repro.errors import ConvergenceError
+
+
+def rc_circuit() -> Circuit:
+    circuit = Circuit("rc")
+    circuit.add_voltage_source("vs", "in", "gnd", 0.0)
+    circuit.add_resistor("r", "in", "out", 1000.0)
+    circuit.add_capacitor("c", "out", "gnd", 1e-6)
+    return circuit
+
+
+class TestRcStep:
+    def test_step_response_time_constant(self):
+        circuit = rc_circuit()
+        result = transient(circuit, stop_s=5e-3, dt_s=5e-6,
+                           waveforms={"vs": lambda t: 1.0 if t > 0
+                                      else 0.0})
+        wave = result.voltage("out")
+        # At t = tau = 1 ms the output should be ~1 - 1/e.
+        index = int(round(1e-3 / 5e-6))
+        assert wave[index] == pytest.approx(1.0 - math.exp(-1.0),
+                                            abs=0.01)
+
+    def test_final_value_reaches_input(self):
+        circuit = rc_circuit()
+        result = transient(circuit, stop_s=10e-3, dt_s=1e-5,
+                           waveforms={"vs": lambda t: 1.0})
+        assert result.voltage("out")[-1] == pytest.approx(1.0, abs=1e-3)
+
+    def test_from_dc_starts_settled(self):
+        circuit = rc_circuit()
+        circuit.find_voltage_source("vs").volts = 1.0
+        result = transient(circuit, stop_s=1e-3, dt_s=1e-5)
+        wave = result.voltage("out")
+        assert np.allclose(wave, 1.0, atol=1e-6)
+
+    def test_settle_time_metric(self):
+        circuit = rc_circuit()
+        result = transient(circuit, stop_s=10e-3, dt_s=1e-5,
+                           waveforms={"vs": lambda t: 1.0 if t > 0
+                                      else 0.0})
+        settle = result.settle_time("out", 1.0, tolerance_v=0.05)
+        # v reaches 0.95 at t = 3 tau = 3 ms.
+        assert settle == pytest.approx(3e-3, rel=0.1)
+
+    def test_settle_time_inf_when_never_settling(self):
+        circuit = rc_circuit()
+        result = transient(circuit, stop_s=1e-4, dt_s=1e-5,
+                           waveforms={"vs": lambda t: 1.0 if t > 0
+                                      else 0.0})
+        assert result.settle_time("out", 1.0, 0.01) == float("inf")
+
+
+class TestApi:
+    def test_rejects_unknown_waveform_target(self):
+        circuit = rc_circuit()
+        with pytest.raises(ConvergenceError):
+            transient(circuit, 1e-3, 1e-5,
+                      waveforms={"nope": lambda t: 0.0})
+
+    def test_rejects_bad_times(self):
+        with pytest.raises(ValueError):
+            transient(rc_circuit(), 0.0, 1e-5)
+
+    def test_result_times_cover_range(self):
+        result = transient(rc_circuit(), stop_s=1e-3, dt_s=1e-4)
+        assert result.times_s[0] == 0.0
+        assert result.times_s[-1] == pytest.approx(1e-3)
+        assert len(result.times_s) == 11
+
+    def test_resistor_current_waveform(self):
+        circuit = rc_circuit()
+        result = transient(circuit, stop_s=5e-3, dt_s=1e-5,
+                           waveforms={"vs": lambda t: 1.0 if t > 0
+                                      else 0.0})
+        current = result.resistor_current("r")
+        # Current spikes at the step then decays toward zero.
+        assert current[1] > current[-1]
+        assert current[-1] == pytest.approx(0.0, abs=1e-5)
+
+    def test_current_source_waveform_drive(self):
+        circuit = Circuit()
+        circuit.add_current_source("i", "gnd", "out", 0.0)
+        circuit.add_resistor("r", "out", "gnd", 1000.0)
+        result = transient(circuit, stop_s=1e-3, dt_s=1e-4,
+                           waveforms={"i": lambda t: 1e-3 if t > 5e-4
+                                      else 0.0})
+        wave = result.voltage("out")
+        assert wave[2] == pytest.approx(0.0, abs=1e-9)
+        assert wave[-1] == pytest.approx(1.0, abs=1e-6)
+
+    def test_final_voltages(self):
+        circuit = rc_circuit()
+        circuit.find_voltage_source("vs").volts = 0.5
+        result = transient(circuit, stop_s=1e-3, dt_s=1e-4)
+        assert result.final_voltages()["in"] == pytest.approx(0.5)

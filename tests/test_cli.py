@@ -1,0 +1,78 @@
+"""Tests for repro.cli (the command-line interface)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["nope"])
+
+    def test_table1_defaults(self):
+        args = build_parser().parse_args(["table1"])
+        assert args.stress_hours == 24.0
+        assert args.recovery_hours == 6.0
+
+    def test_fig7_overrides(self):
+        args = build_parser().parse_args(
+            ["fig7", "--stress-min", "20", "--recovery-min", "10"])
+        assert args.stress_min == 20.0
+        assert args.recovery_min == 10.0
+
+
+class TestCommands:
+    def test_table1_prints_all_rows(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "72.40%" in out
+        assert "No.1 passive" in out
+
+    def test_fig4_prints_schedules(self, capsys):
+        assert main(["fig4", "--cycles", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "1h : 1h" in out
+        assert "4h : 1h" in out
+
+    def test_fig7_prints_delay_factor(self, capsys):
+        assert main(["fig7"]) == 0
+        out = capsys.readouterr().out
+        assert "delay factor" in out
+        assert "x" in out
+
+    def test_fig9_prints_modes(self, capsys):
+        assert main(["fig9"]) == 0
+        out = capsys.readouterr().out
+        assert "bti-active-recovery" in out
+
+    def test_margins_prints_reduction(self, capsys):
+        assert main(["margins", "--years", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "reduction" in out
+
+    def test_system_prints_policies(self, capsys):
+        assert main(["system", "--epochs", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "round-robin healing" in out
+
+    def test_blech_prints_verdict(self, capsys):
+        assert main(["blech"]) == 0
+        out = capsys.readouterr().out
+        assert "mortal" in out
+        assert "critical (immortal) segment length" in out
+
+    def test_blech_short_wire_is_immortal_at_low_density(self, capsys):
+        assert main(["blech", "--density-ma-cm2", "0.01"]) == 0
+        out = capsys.readouterr().out
+        assert "-> immortal" in out
+
+    def test_plan_prints_schedule(self, capsys):
+        assert main(["plan", "--years", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "deep-healing plan:" in out
+        assert "availability" in out

@@ -1,0 +1,66 @@
+"""Tests for repro.core.balance (the push-pull balancer)."""
+
+import pytest
+
+from repro import units
+from repro.core.balance import PushPullBalancer
+from repro.bti.conditions import PASSIVE_RECOVERY
+from repro.em.line import EmStressCondition, PAPER_EM_STRESS
+from repro.errors import ScheduleError
+
+
+@pytest.fixture(scope="module")
+def balancer(calibration) -> PushPullBalancer:
+    return PushPullBalancer(calibration)
+
+
+class TestBtiBalance:
+    def test_lock_safe_interval_matches_calibration(self, balancer,
+                                                    calibration):
+        assert balancer.lock_safe_stress_interval_s() == pytest.approx(
+            calibration.model_config.population.lock_age_s)
+
+    def test_one_hour_stress_is_balanceable(self, balancer):
+        """The paper's 1h stress balances with at most 1h recovery."""
+        result = balancer.balance_bti(units.hours(1.0))
+        assert result.schedule.recovery_interval_s <= units.hours(1.0)
+        assert result.permanent_vth_v == pytest.approx(0.0, abs=1e-9)
+
+    def test_balanced_schedule_has_tiny_residual(self, balancer):
+        result = balancer.balance_bti(units.hours(1.0))
+        peak = result.schedule.stress_interval_s
+        model_scale = balancer.calibration.model_config \
+            .population.vth_full_shift_v
+        assert result.residual_vth_v < 0.05 * model_scale
+
+    def test_passive_recovery_cannot_balance(self, balancer):
+        with pytest.raises(ScheduleError):
+            balancer.balance_bti(units.hours(1.0),
+                                 recovery=PASSIVE_RECOVERY,
+                                 max_ratio=4.0)
+
+    def test_rejects_non_positive_interval(self, balancer):
+        with pytest.raises(ScheduleError):
+            balancer.balance_bti(0.0)
+
+
+class TestEmBalance:
+    def test_finds_a_delaying_schedule(self, balancer):
+        result = balancer.balance_em(PAPER_EM_STRESS, duty_cycle=0.75)
+        assert result.nucleation_delay_factor > 2.0
+        assert result.schedule.duty_cycle == pytest.approx(0.75)
+
+    def test_lower_duty_cycle_delays_more(self, balancer):
+        hard = balancer.balance_em(PAPER_EM_STRESS, duty_cycle=0.9)
+        easy = balancer.balance_em(PAPER_EM_STRESS, duty_cycle=0.6)
+        assert easy.nucleation_delay_factor \
+            > hard.nucleation_delay_factor
+
+    def test_rejects_bad_duty_cycle(self, balancer):
+        with pytest.raises(ScheduleError):
+            balancer.balance_em(PAPER_EM_STRESS, duty_cycle=0.0)
+
+    def test_rejects_never_nucleating_condition(self, balancer):
+        idle = EmStressCondition(0.0, PAPER_EM_STRESS.temperature_k)
+        with pytest.raises(ScheduleError):
+            balancer.balance_em(idle)

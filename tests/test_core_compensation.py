@@ -1,0 +1,114 @@
+"""Tests for repro.core.compensation (derating / boost vs healing)."""
+
+import pytest
+
+from repro import units
+from repro.bti.conditions import BtiStressCondition
+from repro.core.compensation import (
+    FrequencyDeratingCompensation,
+    VddBoostCompensation,
+    compare_strategies,
+)
+from repro.errors import SimulationError
+
+USE_STRESS = BtiStressCondition(
+    voltage=0.45, temperature_k=units.celsius_to_kelvin(60.0),
+    name="use")
+
+
+class TestDerating:
+    def test_fresh_device_loses_nothing(self):
+        comp = FrequencyDeratingCompensation()
+        assert comp.throughput_factor(0.0) == pytest.approx(1.0)
+
+    def test_throughput_falls_with_wearout(self):
+        comp = FrequencyDeratingCompensation()
+        assert comp.throughput_factor(0.05) \
+            < comp.throughput_factor(0.01) < 1.0
+
+    def test_power_tracks_frequency(self):
+        comp = FrequencyDeratingCompensation()
+        assert comp.power_factor(0.03) == pytest.approx(
+            comp.throughput_factor(0.03))
+
+
+class TestVddBoost:
+    def test_fresh_device_needs_no_boost(self):
+        comp = VddBoostCompensation()
+        assert comp.required_supply_v(0.0) == pytest.approx(
+            comp.oscillator.supply_v, abs=1e-6)
+
+    def test_boost_grows_with_wearout(self):
+        comp = VddBoostCompensation()
+        assert comp.required_supply_v(0.05) \
+            > comp.required_supply_v(0.02) \
+            > comp.oscillator.supply_v
+
+    def test_boost_restores_the_fresh_delay(self):
+        comp = VddBoostCompensation()
+        shift = 0.04
+        boosted = comp.required_supply_v(shift)
+        fresh = comp._delay(comp.oscillator.supply_v,
+                            comp.oscillator.fresh_vth_v)
+        restored = comp._delay(boosted,
+                               comp.oscillator.fresh_vth_v + shift)
+        assert restored == pytest.approx(fresh, rel=1e-6)
+
+    def test_power_grows_quadratically(self):
+        comp = VddBoostCompensation()
+        boosted = comp.required_supply_v(0.05)
+        assert comp.power_factor(0.05) == pytest.approx(
+            (boosted / comp.oscillator.supply_v) ** 2)
+
+    def test_knob_saturates(self):
+        comp = VddBoostCompensation(max_boost_v=0.05)
+        assert comp.is_saturated(0.2)
+        assert comp.required_supply_v(0.2) == pytest.approx(
+            comp.oscillator.supply_v + 0.05)
+
+    def test_rejects_negative_shift(self):
+        with pytest.raises(SimulationError):
+            VddBoostCompensation().required_supply_v(-0.01)
+
+
+class TestCompareStrategies:
+    @pytest.fixture(scope="class")
+    def timelines(self):
+        return {timeline.name: timeline for timeline in
+                compare_strategies(units.years(10.0), USE_STRESS)}
+
+    def test_three_strategies(self, timelines):
+        assert set(timelines) == {"derating", "vdd-boost",
+                                  "deep-healing"}
+
+    def test_derating_loses_throughput_over_time(self, timelines):
+        snapshots = timelines["derating"].snapshots
+        assert snapshots[-1].throughput_factor \
+            < snapshots[0].throughput_factor < 1.0 + 1e-12
+
+    def test_boost_keeps_throughput_but_pays_power(self, timelines):
+        final = timelines["vdd-boost"].final
+        assert final.throughput_factor == 1.0
+        assert final.power_factor > 1.05
+
+    def test_healing_bounds_the_residual_shift(self, timelines):
+        healed = timelines["deep-healing"].final.residual_shift_v
+        unhealed = timelines["derating"].final.residual_shift_v
+        assert healed < 0.3 * unhealed
+
+    def test_healing_pays_in_downtime(self, timelines):
+        # 1h:1h duty -> roughly half the raw throughput.
+        assert timelines["deep-healing"].final.throughput_factor \
+            == pytest.approx(0.5, abs=0.05)
+
+    def test_mean_throughput_summary(self, timelines):
+        timeline = timelines["derating"]
+        values = [s.throughput_factor for s in timeline.snapshots]
+        assert timeline.mean_throughput() == pytest.approx(
+            sum(values) / len(values))
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(SimulationError):
+            compare_strategies(0.0, USE_STRESS)
+        with pytest.raises(SimulationError):
+            compare_strategies(units.years(1.0), USE_STRESS, n_points=1)

@@ -1,0 +1,119 @@
+"""Tests for repro.core.controller (the Fig. 12b runtime loop)."""
+
+import pytest
+
+from repro import units
+from repro.core.controller import (
+    ControlAction,
+    PeriodicPolicy,
+    RuntimeController,
+    ThresholdPolicy,
+)
+from repro.em.line import EmLine, PAPER_EM_STRESS
+from repro.errors import SimulationError
+
+
+def make_controller(calibration, fast_em_config,
+                    epoch_minutes: float = 30.0) -> RuntimeController:
+    return RuntimeController(
+        bti_model=calibration.build_model(),
+        em_line=EmLine(config=fast_em_config),
+        bti_stress=calibration.model_config.reference_stress,
+        em_stress=PAPER_EM_STRESS,
+        epoch_s=units.minutes(epoch_minutes))
+
+
+class TestPolicies:
+    def test_periodic_policy_cadence(self):
+        policy = PeriodicPolicy(bti_every=2, em_every=0)
+        actions = [policy.decide(epoch, 0.0, 0.0, 0.0)
+                   for epoch in range(4)]
+        assert actions == [ControlAction.RUN_NORMAL,
+                           ControlAction.BTI_RECOVERY,
+                           ControlAction.RUN_NORMAL,
+                           ControlAction.BTI_RECOVERY]
+
+    def test_periodic_policy_em_cadence(self):
+        policy = PeriodicPolicy(bti_every=0, em_every=3)
+        actions = [policy.decide(epoch, 0.0, 0.0, 0.0)
+                   for epoch in range(6)]
+        assert actions.count(ControlAction.EM_RECOVERY) == 2
+
+    def test_threshold_policy_triggers_on_bti(self):
+        policy = ThresholdPolicy(bti_degradation_threshold=0.01)
+        assert policy.decide(0, 0.02, 0.0, 0.0) \
+            is ControlAction.BTI_RECOVERY
+        assert policy.decide(0, 0.001, 0.0, 0.0) \
+            is ControlAction.RUN_NORMAL
+
+    def test_threshold_policy_triggers_on_em_drift(self):
+        policy = ThresholdPolicy(bti_degradation_threshold=0.5,
+                                 em_drift_threshold_ohm=0.2)
+        assert policy.decide(0, 0.0, 0.3, 0.0) \
+            is ControlAction.EM_RECOVERY
+
+    def test_bti_wins_ties(self):
+        policy = ThresholdPolicy(bti_degradation_threshold=0.01,
+                                 em_drift_threshold_ohm=0.1)
+        assert policy.decide(0, 0.05, 0.5, 0.0) \
+            is ControlAction.BTI_RECOVERY
+
+    def test_policy_validation(self):
+        with pytest.raises(SimulationError):
+            ThresholdPolicy(bti_degradation_threshold=1.5)
+        with pytest.raises(SimulationError):
+            PeriodicPolicy(bti_every=-1)
+
+
+class TestRuntimeController:
+    def test_logs_one_entry_per_epoch(self, calibration, fast_em_config):
+        controller = make_controller(calibration, fast_em_config)
+        entries = controller.run(units.hours(3.0),
+                                 PeriodicPolicy(bti_every=2))
+        assert len(entries) == 6
+
+    def test_periodic_bti_recovery_bounds_wearout(self, calibration,
+                                                  fast_em_config):
+        healed = make_controller(calibration, fast_em_config)
+        healed.run(units.hours(6.0), PeriodicPolicy(bti_every=2))
+        unhealed = make_controller(calibration, fast_em_config)
+        unhealed.run(units.hours(6.0), PeriodicPolicy(bti_every=0))
+        assert healed.bti_model.delta_vth_v \
+            < unhealed.bti_model.delta_vth_v
+
+    def test_em_recovery_epochs_keep_the_load_running(self, calibration,
+                                                      fast_em_config):
+        controller = make_controller(calibration, fast_em_config)
+        controller.run(units.hours(4.0),
+                       PeriodicPolicy(bti_every=0, em_every=2))
+        assert controller.availability() == 1.0
+
+    def test_bti_recovery_epochs_cost_availability(self, calibration,
+                                                   fast_em_config):
+        controller = make_controller(calibration, fast_em_config)
+        controller.run(units.hours(4.0), PeriodicPolicy(bti_every=2))
+        assert controller.availability() == pytest.approx(0.5)
+
+    def test_em_alternation_keeps_wire_fresh(self, calibration,
+                                             fast_em_config):
+        """Alternating polarity every other epoch cancels the drift."""
+        controller = make_controller(calibration, fast_em_config,
+                                     epoch_minutes=15.0)
+        controller.run(units.hours(4.0),
+                       PeriodicPolicy(bti_every=0, em_every=2))
+        assert not controller.em_line.nucleated
+
+    def test_threshold_policy_reacts_to_sensed_wearout(self, calibration,
+                                                       fast_em_config):
+        controller = make_controller(calibration, fast_em_config)
+        entries = controller.run(
+            units.hours(8.0),
+            ThresholdPolicy(bti_degradation_threshold=0.002,
+                            em_drift_threshold_ohm=1e6))
+        actions = {entry.action for entry in entries}
+        assert ControlAction.BTI_RECOVERY in actions
+
+    def test_rejects_bad_duration(self, calibration, fast_em_config):
+        controller = make_controller(calibration, fast_em_config)
+        with pytest.raises(SimulationError):
+            controller.run(0.0, PeriodicPolicy())

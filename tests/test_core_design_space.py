@@ -1,0 +1,130 @@
+"""Tests for repro.core.design_space (recovery as a design knob)."""
+
+import pytest
+
+from repro import units
+from repro.bti.conditions import BtiRecoveryCondition, \
+    BtiStressCondition
+from repro.core.design_space import DesignCandidate, \
+    DesignSpaceExplorer
+from repro.errors import SimulationError
+
+USE_STRESS = BtiStressCondition(
+    voltage=0.45, temperature_k=units.celsius_to_kelvin(60.0),
+    name="use")
+
+
+@pytest.fixture(scope="module")
+def explorer(calibration) -> DesignSpaceExplorer:
+    return DesignSpaceExplorer(calibration)
+
+
+@pytest.fixture(scope="module")
+def candidates(explorer):
+    return explorer.sweep(units.years(10.0), USE_STRESS)
+
+
+class TestSweep:
+    def test_grid_size(self, candidates):
+        assert len(candidates) == 4 * 3
+
+    def test_only_joint_knobs_are_feasible(self, candidates):
+        """The paper's Table I story at the design level: neither
+        bias alone nor heat alone balances a lock-safe cadence."""
+        for candidate in candidates:
+            if candidate.feasible:
+                assert candidate.recovery.is_active
+                assert candidate.recovery.is_accelerated
+
+    def test_some_candidates_are_feasible(self, candidates):
+        assert any(candidate.feasible for candidate in candidates)
+
+    def test_hotter_healing_buys_availability(self, candidates):
+        feasible = sorted(
+            (c for c in candidates if c.feasible),
+            key=lambda c: c.recovery.temperature_k)
+        availabilities = [c.availability for c in feasible]
+        assert availabilities == sorted(availabilities)
+
+    def test_infeasible_candidates_are_marked(self, candidates):
+        infeasible = [c for c in candidates if not c.feasible]
+        assert infeasible
+        assert all(c.margin == float("inf") for c in infeasible)
+
+
+class TestPareto:
+    def test_front_is_feasible_and_nondominated(self, explorer,
+                                                candidates):
+        front = explorer.pareto_front(candidates)
+        assert front
+        for candidate in front:
+            assert candidate.feasible
+            assert not any(other.dominates(candidate)
+                           for other in candidates)
+
+    def test_front_sorted_by_margin(self, explorer, candidates):
+        front = explorer.pareto_front(candidates)
+        margins = [c.margin for c in front]
+        assert margins == sorted(margins)
+
+    def test_dominance_relation(self):
+        recovery = BtiRecoveryCondition(
+            -0.3, units.celsius_to_kelvin(110.0))
+        better = DesignCandidate(recovery, 1.0, 1.0, 0.01, 0.9, 0.1,
+                                 True)
+        worse = DesignCandidate(recovery, 1.0, 1.0, 0.02, 0.8, 0.2,
+                                True)
+        assert better.dominates(worse)
+        assert not worse.dominates(better)
+
+    def test_feasible_dominates_infeasible(self):
+        recovery = BtiRecoveryCondition(
+            -0.3, units.celsius_to_kelvin(110.0))
+        feasible = DesignCandidate(recovery, 1.0, 1.0, 0.05, 0.5, 1.0,
+                                   True)
+        infeasible = DesignCandidate(recovery, 1.0, float("inf"),
+                                     float("inf"), 0.0, float("inf"),
+                                     False)
+        assert feasible.dominates(infeasible)
+
+    def test_incomparable_candidates_do_not_dominate(self):
+        recovery = BtiRecoveryCondition(
+            -0.3, units.celsius_to_kelvin(110.0))
+        a = DesignCandidate(recovery, 1.0, 1.0, 0.01, 0.5, 0.5, True)
+        b = DesignCandidate(recovery, 1.0, 1.0, 0.02, 0.9, 0.1, True)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+
+class TestThermalCoupling:
+    def test_neighbour_heat_cuts_the_heater_bill(self, calibration):
+        """An explorer wired to a busy multicore floorplan charges
+        less heater power for the same healing temperature -- the
+        dark-silicon synergy, visible at the design-space level."""
+        from repro.thermal.floorplan import Floorplan
+        from repro.thermal.network import ThermalRCNetwork
+
+        isolated = DesignSpaceExplorer(calibration)
+        crowded = DesignSpaceExplorer(
+            calibration,
+            thermal=ThermalRCNetwork(Floorplan.grid(3, 3)),
+            heater_block="core11")
+        recovery = BtiRecoveryCondition(
+            -0.3, units.celsius_to_kelvin(110.0))
+        lonely = isolated.evaluate(units.years(10.0), USE_STRESS,
+                                   recovery)
+        # Even with an idle 3x3 chip the centre block couples to more
+        # silicon, but the point is the API: swap the thermal model,
+        # the heater column follows.
+        social = crowded.evaluate(units.years(10.0), USE_STRESS,
+                                  recovery)
+        assert lonely.feasible and social.feasible
+        assert social.heater_power_w != lonely.heater_power_w
+
+
+class TestValidation:
+    def test_rejects_bad_lifetime(self, explorer):
+        recovery = BtiRecoveryCondition(
+            -0.3, units.celsius_to_kelvin(110.0))
+        with pytest.raises(SimulationError):
+            explorer.evaluate(0.0, USE_STRESS, recovery)

@@ -1,0 +1,56 @@
+"""Tests for repro.core.engine (the DeepHealingEngine facade)."""
+
+import pytest
+
+from repro import units
+from repro.core.controller import PeriodicPolicy
+from repro.core.engine import DeepHealingEngine
+from repro.em.line import EmLine
+from repro.errors import SimulationError
+
+
+@pytest.fixture()
+def engine(calibration, fast_em_config) -> DeepHealingEngine:
+    return DeepHealingEngine(calibration=calibration,
+                             em_line=EmLine(config=fast_em_config))
+
+
+class TestEngine:
+    def test_assist_modes_verify(self, engine):
+        assert engine.verify_assist_modes()
+
+    def test_simulation_produces_a_report(self, engine):
+        report = engine.simulate(units.hours(4.0),
+                                 PeriodicPolicy(bti_every=2))
+        assert report.normal_epochs + report.bti_epochs \
+            + report.em_epochs == 8
+        assert report.availability == pytest.approx(0.5)
+
+    def test_healing_policy_beats_none(self, calibration,
+                                       fast_em_config):
+        healed = DeepHealingEngine(calibration=calibration,
+                                   em_line=EmLine(config=fast_em_config))
+        healed_report = healed.simulate(units.hours(6.0),
+                                        PeriodicPolicy(bti_every=2))
+        unhealed = DeepHealingEngine(
+            calibration=calibration,
+            em_line=EmLine(config=fast_em_config))
+        unhealed_report = unhealed.simulate(units.hours(6.0),
+                                            PeriodicPolicy(bti_every=0))
+        assert healed_report.final_delta_vth_v \
+            < unhealed_report.final_delta_vth_v
+
+    def test_report_describe_is_readable(self, engine):
+        report = engine.simulate(units.hours(2.0),
+                                 PeriodicPolicy(bti_every=2))
+        text = report.describe()
+        assert "BTI shift" in text
+        assert "availability" in text
+
+    def test_rejects_bad_duration(self, engine):
+        with pytest.raises(SimulationError):
+            engine.simulate(0.0, PeriodicPolicy())
+
+    def test_with_defaults_builds(self):
+        engine = DeepHealingEngine.with_defaults()
+        assert engine.bti_model.delta_vth_v == 0.0

@@ -1,0 +1,118 @@
+"""Tests for repro.core.lifetime."""
+
+import math
+
+import pytest
+
+from repro import units
+from repro.bti.conditions import (
+    ACTIVE_ACCELERATED_RECOVERY,
+    BtiStressCondition,
+)
+from repro.core.lifetime import LifetimeAnalyzer
+from repro.em.line import EmStressCondition, PAPER_EM_STRESS
+
+
+USE_STRESS = BtiStressCondition(
+    voltage=0.45, temperature_k=units.celsius_to_kelvin(60.0),
+    name="use")
+
+USE_EM = EmStressCondition(
+    current_density_a_m2=units.ma_per_cm2(1.0),
+    temperature_k=units.celsius_to_kelvin(85.0), name="use-grid")
+
+
+@pytest.fixture(scope="module")
+def analyzer() -> LifetimeAnalyzer:
+    return LifetimeAnalyzer()
+
+
+class TestBudgets:
+    def test_vth_budget_matches_delay_budget(self, analyzer):
+        budget = analyzer.vth_budget_v()
+        degradation = analyzer.oscillator.delay_degradation(budget)
+        assert degradation == pytest.approx(analyzer.delay_budget,
+                                            rel=1e-3)
+
+    def test_tighter_budget_means_smaller_vth_budget(self):
+        loose = LifetimeAnalyzer(delay_budget=0.10)
+        tight = LifetimeAnalyzer(delay_budget=0.02)
+        assert tight.vth_budget_v() < loose.vth_budget_v()
+
+
+class TestBtiLifetime:
+    def test_no_recovery_lifetime_is_finite(self, analyzer):
+        ttf = analyzer.bti_ttf_s(USE_STRESS)
+        assert units.years(1.0) < ttf < units.years(500.0)
+
+    def test_balanced_recovery_extends_to_infinity(self, analyzer):
+        """A bounded envelope means the budget is never violated --
+        the system "always runs in a refreshing mode"."""
+        ttf = analyzer.bti_ttf_s(
+            USE_STRESS, ACTIVE_ACCELERATED_RECOVERY,
+            stress_interval_s=units.hours(1.0),
+            recovery_interval_s=units.hours(1.0))
+        assert math.isinf(ttf)
+
+    def test_recovery_never_shortens_life(self, analyzer):
+        without = analyzer.bti_ttf_s(USE_STRESS)
+        with_healing = analyzer.bti_ttf_s(
+            USE_STRESS, ACTIVE_ACCELERATED_RECOVERY,
+            stress_interval_s=units.hours(4.0),
+            recovery_interval_s=units.hours(1.0))
+        assert with_healing >= without
+
+    def test_harsher_stress_shortens_life(self, analyzer):
+        harsher = BtiStressCondition(
+            voltage=0.55, temperature_k=units.celsius_to_kelvin(85.0))
+        assert analyzer.bti_ttf_s(harsher) \
+            < analyzer.bti_ttf_s(USE_STRESS)
+
+
+class TestEmLifetime:
+    def test_accelerated_condition_fails_in_hours(self, analyzer):
+        ttf = analyzer.em_ttf_s(PAPER_EM_STRESS)
+        assert units.minutes(60) < ttf < units.hours(48)
+
+    def test_periodic_recovery_extends_ttf(self, analyzer):
+        baseline = analyzer.em_ttf_s(PAPER_EM_STRESS)
+        scheduled = analyzer.em_ttf_s(
+            PAPER_EM_STRESS,
+            stress_interval_s=units.minutes(15.0),
+            recovery_interval_s=units.minutes(5.0))
+        # Growth time dominates the TTF and the estimate only credits
+        # the recovery intervals with pausing growth (conservative).
+        assert scheduled > 1.25 * baseline
+
+    def test_blacks_projection_to_use_is_years(self, analyzer):
+        accelerated_ttf = analyzer.em_ttf_s(PAPER_EM_STRESS)
+        use_ttf = analyzer.project_em_to_use(
+            PAPER_EM_STRESS, accelerated_ttf, USE_EM)
+        assert use_ttf > units.years(10.0)
+
+
+class TestCombined:
+    def test_estimate_reports_limiting_mechanism(self, analyzer):
+        estimate = analyzer.estimate(USE_STRESS, PAPER_EM_STRESS)
+        assert estimate.limited_by == "em"
+        assert estimate.ttf_s == estimate.em_ttf_s
+
+    def test_bti_limited_case(self, analyzer):
+        estimate = analyzer.estimate(USE_STRESS, USE_EM)
+        assert estimate.limited_by in ("bti", "em")
+        assert estimate.ttf_s == min(estimate.bti_ttf_s,
+                                     estimate.em_ttf_s)
+
+    def test_full_healing_reports_none(self, analyzer):
+        estimate = analyzer.estimate(
+            USE_STRESS, USE_EM,
+            bti_recovery_interval_s=units.hours(1.0),
+            em_stress_interval_s=units.minutes(10.0),
+            em_recovery_interval_s=units.minutes(10.0))
+        assert estimate.limited_by == "none"
+        assert math.isinf(estimate.ttf_s)
+
+    def test_ttf_years_conversion(self, analyzer):
+        estimate = analyzer.estimate(USE_STRESS, PAPER_EM_STRESS)
+        assert estimate.ttf_years == pytest.approx(
+            units.to_years(estimate.ttf_s))

@@ -1,0 +1,100 @@
+"""Tests for repro.core.margins (guardband arithmetic, Fig. 12b)."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.bti.conditions import BtiStressCondition, PASSIVE_RECOVERY
+from repro.core.margins import GuardbandModel
+from repro.errors import SimulationError
+
+
+USE_STRESS = BtiStressCondition(
+    voltage=0.45, temperature_k=units.celsius_to_kelvin(60.0),
+    name="use")
+
+
+@pytest.fixture(scope="module")
+def model() -> GuardbandModel:
+    return GuardbandModel()
+
+
+class TestWorstCaseMargin:
+    def test_margin_grows_with_lifetime(self, model):
+        assert model.margin_without_recovery(units.years(10), USE_STRESS) \
+            > model.margin_without_recovery(units.years(1), USE_STRESS)
+
+    def test_ten_year_margin_is_percent_scale(self, model):
+        margin = model.margin_without_recovery(units.years(10),
+                                               USE_STRESS)
+        assert 0.01 < margin < 0.20
+
+    def test_rejects_non_positive_lifetime(self, model):
+        with pytest.raises(SimulationError):
+            model.margin_without_recovery(0.0, USE_STRESS)
+
+
+class TestHealedMargin:
+    def test_healing_shrinks_the_margin(self, model):
+        comparison = model.compare(units.years(10), USE_STRESS)
+        assert comparison.healed_margin < comparison.worst_case_margin
+
+    def test_reduction_is_substantial(self, model):
+        """Deep healing removes most of the wearout guardband."""
+        comparison = model.compare(units.years(10), USE_STRESS)
+        assert comparison.reduction > 0.5
+
+    def test_margin_never_negative(self, model):
+        comparison = model.compare(units.years(10), USE_STRESS)
+        assert comparison.healed_margin >= 0.0
+
+    def test_passive_recovery_helps_much_less(self, model):
+        active = model.margin_with_schedule(
+            units.years(10), USE_STRESS, units.hours(1.0),
+            units.hours(1.0))
+        passive = model.margin_with_schedule(
+            units.years(10), USE_STRESS, units.hours(1.0),
+            units.hours(1.0), recovery=PASSIVE_RECOVERY)
+        assert passive > active
+
+    def test_long_stress_intervals_erode_the_benefit(self, model):
+        balanced = model.margin_with_schedule(
+            units.years(10), USE_STRESS, units.hours(1.0),
+            units.hours(1.0))
+        lazy = model.margin_with_schedule(
+            units.years(10), USE_STRESS, units.hours(24.0),
+            units.hours(1.0))
+        assert lazy > balanced
+
+    def test_describe_mentions_reduction(self, model):
+        comparison = model.compare(units.years(10), USE_STRESS)
+        assert "reduction" in comparison.describe()
+
+
+class TestTimeline:
+    def test_timeline_shapes(self, model):
+        times, without, with_healing = model.degradation_timeline(
+            units.years(5), USE_STRESS, units.hours(1.0),
+            units.hours(1.0), n_points=20)
+        assert len(times) == len(without) == len(with_healing) == 20
+
+    def test_no_recovery_curve_grows(self, model):
+        _times, without, _healed = model.degradation_timeline(
+            units.years(5), USE_STRESS, units.hours(1.0),
+            units.hours(1.0), n_points=20)
+        assert np.all(np.diff(without) > 0.0)
+
+    def test_healed_curve_stays_below(self, model):
+        """Fig. 12(b): the healed performance envelope stays near
+        fresh while the unhealed one decays."""
+        _times, without, healed = model.degradation_timeline(
+            units.years(5), USE_STRESS, units.hours(1.0),
+            units.hours(1.0), n_points=20)
+        assert np.all(healed <= without + 1e-12)
+        assert healed[-1] < 0.5 * without[-1]
+
+    def test_rejects_too_few_points(self, model):
+        with pytest.raises(SimulationError):
+            model.degradation_timeline(
+                units.years(1), USE_STRESS, units.hours(1.0),
+                units.hours(1.0), n_points=1)

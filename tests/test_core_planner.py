@@ -1,0 +1,100 @@
+"""Tests for repro.core.planner (mission-level recovery planning)."""
+
+import pytest
+
+from repro import units
+from repro.bti.conditions import (
+    BtiRecoveryCondition,
+    BtiStressCondition,
+    PASSIVE_RECOVERY,
+)
+from repro.core.planner import RecoveryPlanner
+from repro.em.line import EmStressCondition
+from repro.errors import ScheduleError
+
+USE_STRESS = BtiStressCondition(
+    voltage=0.45, temperature_k=units.celsius_to_kelvin(60.0),
+    name="use")
+GRID = EmStressCondition(units.ma_per_cm2(6.0),
+                         units.celsius_to_kelvin(105.0), name="grid")
+
+
+@pytest.fixture(scope="module")
+def planner(calibration) -> RecoveryPlanner:
+    return RecoveryPlanner(calibration)
+
+
+@pytest.fixture(scope="module")
+def plan(planner):
+    return planner.plan(units.years(10.0), USE_STRESS, GRID)
+
+
+class TestPlan:
+    def test_stress_interval_respects_lock_deadline(self, planner,
+                                                    plan):
+        accel = USE_STRESS.capture_acceleration(
+            planner.calibration.model_config.reference_stress)
+        deadline = planner.balancer.lock_safe_stress_interval_s() \
+            / accel
+        assert plan.bti_stress_interval_s < deadline
+
+    def test_use_conditions_stretch_the_deadline(self, plan, planner):
+        """At a milder stress the allowed operation interval is much
+        longer than the accelerated-test 75 minutes."""
+        assert plan.bti_stress_interval_s \
+            > 2.0 * planner.balancer.lock_safe_stress_interval_s()
+
+    def test_plan_meets_the_availability_floor(self, plan):
+        assert plan.availability >= 0.5
+
+    def test_margin_is_reduced(self, plan):
+        assert plan.expected_margin < plan.margin_without_plan
+        assert plan.margin_reduction > 0.3
+
+    def test_em_pattern_delays_nucleation(self, plan):
+        assert plan.em_nucleation_delay > 2.0
+
+    def test_describe_is_complete(self, plan):
+        text = plan.describe()
+        assert "operate" in text
+        assert "margin" in text
+        assert "availability" in text
+
+
+class TestPlannerValidation:
+    def test_passive_recovery_cannot_meet_the_floor(self, planner):
+        with pytest.raises(ScheduleError):
+            planner.plan(units.years(10.0), USE_STRESS, GRID,
+                         recovery=PASSIVE_RECOVERY,
+                         min_availability=0.9)
+
+    def test_rejects_bad_lifetime(self, planner):
+        with pytest.raises(ScheduleError):
+            planner.plan(0.0, USE_STRESS, GRID)
+
+    def test_rejects_bad_availability(self, planner):
+        with pytest.raises(ScheduleError):
+            planner.plan(units.years(1.0), USE_STRESS, GRID,
+                         min_availability=1.0)
+
+    def test_bias_alone_cannot_balance(self, planner):
+        """Reverse bias without heat is not enough to balance a
+        lock-safe operation interval -- the paper's joint-knob message."""
+        mild = BtiRecoveryCondition(
+            gate_bias_v=-0.3,
+            temperature_k=units.celsius_to_kelvin(60.0),
+            name="mild healing")
+        with pytest.raises(ScheduleError):
+            planner.plan(units.years(10.0), USE_STRESS, GRID,
+                         recovery=mild, min_availability=0.2)
+
+    def test_hotter_recovery_needs_less_healing_time(self, planner,
+                                                     plan):
+        hotter = BtiRecoveryCondition(
+            gate_bias_v=-0.3,
+            temperature_k=units.celsius_to_kelvin(125.0),
+            name="hotter healing")
+        hot_plan = planner.plan(units.years(10.0), USE_STRESS, GRID,
+                                recovery=hotter)
+        assert hot_plan.bti_recovery_interval_s \
+            <= plan.bti_recovery_interval_s

@@ -1,0 +1,135 @@
+"""Tests for repro.core.schedule (schedules and runners)."""
+
+import pytest
+
+from repro import units
+from repro.core.schedule import (
+    PeriodicSchedule,
+    run_bti_schedule,
+    run_em_schedule,
+)
+from repro.em.line import EmLine, PAPER_EM_STRESS
+from repro.errors import ScheduleError
+
+
+class TestPeriodicSchedule:
+    def test_cycle_and_total_length(self):
+        schedule = PeriodicSchedule.from_hours(2.0, 1.0, 4)
+        assert schedule.cycle_length_s == pytest.approx(units.hours(3.0))
+        assert schedule.total_length_s == pytest.approx(units.hours(12.0))
+
+    def test_duty_cycle(self):
+        schedule = PeriodicSchedule.from_hours(3.0, 1.0, 1)
+        assert schedule.duty_cycle == pytest.approx(0.75)
+
+    def test_ratio_label(self):
+        schedule = PeriodicSchedule.from_hours(1.0, 0.5, 1)
+        assert schedule.ratio_label == "1h : 0.5h"
+
+    def test_rejects_non_positive_stress(self):
+        with pytest.raises(ScheduleError):
+            PeriodicSchedule(0.0, 1.0, 1)
+
+    def test_rejects_negative_recovery(self):
+        with pytest.raises(ScheduleError):
+            PeriodicSchedule(1.0, -1.0, 1)
+
+    def test_rejects_zero_cycles(self):
+        with pytest.raises(ScheduleError):
+            PeriodicSchedule(1.0, 1.0, 0)
+
+    def test_zero_recovery_is_allowed(self):
+        schedule = PeriodicSchedule(units.hours(1.0), 0.0, 2)
+        assert schedule.duty_cycle == 1.0
+
+
+class TestBtiRunner:
+    def test_one_record_per_cycle(self, calibration):
+        outcome = run_bti_schedule(
+            calibration.build_model(),
+            PeriodicSchedule.from_hours(1.0, 1.0, 3))
+        assert len(outcome.records) == 3
+        assert [record.cycle for record in outcome.records] == [1, 2, 3]
+
+    def test_balanced_schedule_is_fully_healed(self, calibration):
+        """Fig. 4: 1h : 1h keeps the permanent component at ~0."""
+        outcome = run_bti_schedule(
+            calibration.build_model(),
+            PeriodicSchedule.from_hours(1.0, 1.0, 5))
+        assert outcome.fully_healed
+        assert outcome.final_permanent_v == pytest.approx(0.0, abs=1e-9)
+
+    def test_unbalanced_schedule_accumulates_permanent(self, calibration):
+        """Fig. 4: longer stress intervals leave growing residue."""
+        outcome = run_bti_schedule(
+            calibration.build_model(),
+            PeriodicSchedule.from_hours(4.0, 1.0, 5))
+        permanents = outcome.permanent_per_cycle_v
+        assert all(b > a for a, b in zip(permanents, permanents[1:]))
+        assert not outcome.fully_healed
+
+    def test_recovery_reduces_within_each_cycle(self, calibration):
+        outcome = run_bti_schedule(
+            calibration.build_model(),
+            PeriodicSchedule.from_hours(1.0, 1.0, 3))
+        for record in outcome.records:
+            assert record.vth_after_recovery_v \
+                < record.vth_after_stress_v
+
+    def test_zero_recovery_matches_continuous_stress(self, calibration):
+        scheduled = run_bti_schedule(
+            calibration.build_model(),
+            PeriodicSchedule(units.hours(1.0), 0.0, 4))
+        continuous = calibration.build_model()
+        continuous.apply_stress(units.hours(4.0))
+        assert scheduled.final_vth_v == pytest.approx(
+            continuous.delta_vth_v, rel=1e-6)
+
+    def test_records_track_elapsed_time(self, calibration):
+        outcome = run_bti_schedule(
+            calibration.build_model(),
+            PeriodicSchedule.from_hours(1.0, 0.5, 2))
+        assert outcome.records[-1].time_s == pytest.approx(
+            units.hours(3.0))
+
+
+class TestEmRunner:
+    def test_short_schedule_stays_void_free(self, fast_em_config):
+        """Short stress intervals with reverse-current recovery keep
+        the stress below critical (Fig. 7 regime)."""
+        outcome = run_em_schedule(
+            EmLine(config=fast_em_config),
+            PeriodicSchedule(units.minutes(15.0), units.minutes(15.0),
+                             8),
+            PAPER_EM_STRESS)
+        assert outcome.survived_nucleation
+
+    def test_continuous_schedule_nucleates(self, fast_em_config):
+        outcome = run_em_schedule(
+            EmLine(config=fast_em_config),
+            PeriodicSchedule(units.minutes(60.0), 0.0, 4),
+            PAPER_EM_STRESS)
+        assert outcome.nucleation_cycle is not None
+
+    def test_default_recovery_is_reversed_stress(self, fast_em_config):
+        line = EmLine(config=fast_em_config)
+        outcome = run_em_schedule(
+            line,
+            PeriodicSchedule(units.minutes(30.0), units.minutes(30.0),
+                             2),
+            PAPER_EM_STRESS)
+        # With symmetric reversal, the end-of-cycle resistance returns
+        # to fresh (no nucleation, no void).
+        fresh = line.wire.resistance_at(PAPER_EM_STRESS.temperature_k)
+        assert outcome.final_resistance_ohm == pytest.approx(fresh)
+
+    def test_records_expose_resistance_pairs(self, fast_em_config):
+        outcome = run_em_schedule(
+            EmLine(config=fast_em_config),
+            PeriodicSchedule(units.minutes(120.0), units.minutes(30.0),
+                             3),
+            PAPER_EM_STRESS)
+        assert len(outcome.records) == 3
+        last = outcome.records[-1]
+        assert last.resistance_after_recovery_ohm \
+            <= last.resistance_after_stress_ohm + 1e-9

@@ -1,0 +1,76 @@
+"""Tests for repro.em.ac_stress (frequency-dependent EM healing)."""
+
+import math
+
+import pytest
+
+from repro.em.ac_stress import AcStressModel, effective_current_density
+
+
+class TestEffectiveCurrentDensity:
+    def test_dc_is_identity(self):
+        assert effective_current_density(1e10, 1.0) == pytest.approx(1e10)
+
+    def test_unipolar_pulse_scales_with_duty(self):
+        assert effective_current_density(1e10, 0.25) == pytest.approx(
+            0.25e10)
+
+    def test_symmetric_bipolar_with_perfect_healing_is_zero(self):
+        assert effective_current_density(1e10, 0.5, 1e10, 0.5, 1.0) == 0.0
+
+    def test_partial_healing_leaves_residual(self):
+        effective = effective_current_density(1e10, 0.5, 1e10, 0.5, 0.8)
+        assert effective == pytest.approx(0.1e10)
+
+    def test_net_healing_clips_at_zero(self):
+        assert effective_current_density(1e10, 0.2, 1e10, 0.8, 1.0) == 0.0
+
+    def test_rejects_duty_above_one(self):
+        with pytest.raises(ValueError):
+            effective_current_density(1e10, 0.7, 1e10, 0.5)
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ValueError):
+            effective_current_density(1e10, 0.5, 1e10, 0.5, 1.5)
+
+
+class TestAcStressModel:
+    def test_efficiency_rises_with_frequency(self):
+        model = AcStressModel()
+        assert model.recovery_efficiency(100.0) \
+            > model.recovery_efficiency(0.1)
+
+    def test_efficiency_limits(self):
+        model = AcStressModel(dc_recovery_efficiency=0.7)
+        assert model.recovery_efficiency(0.0) == pytest.approx(0.7)
+        assert model.recovery_efficiency(1e12) == pytest.approx(
+            1.0, abs=1e-6)
+
+    def test_lifetime_increases_with_frequency(self):
+        """Tao et al. 1996: AC lifetime increases with frequency."""
+        model = AcStressModel()
+        low = model.lifetime_enhancement(1e10, 1.0)
+        high = model.lifetime_enhancement(1e10, 1e6)
+        assert high > low > 1.0
+
+    def test_orders_of_magnitude_at_high_frequency(self):
+        """Abella & Vera 2010: healing buys orders of magnitude."""
+        model = AcStressModel()
+        assert model.lifetime_enhancement(1e10, 1e9) > 1e3
+
+    def test_effective_density_monotone_in_frequency(self):
+        model = AcStressModel()
+        assert model.effective_density(1e10, 1e6) \
+            < model.effective_density(1e10, 1.0)
+
+    def test_rejects_negative_frequency(self):
+        with pytest.raises(ValueError):
+            AcStressModel().recovery_efficiency(-1.0)
+
+    def test_rejects_non_positive_density(self):
+        with pytest.raises(ValueError):
+            AcStressModel().lifetime_enhancement(0.0, 1.0)
+
+    def test_rejects_bad_dc_efficiency(self):
+        with pytest.raises(ValueError):
+            AcStressModel(dc_recovery_efficiency=1.0)

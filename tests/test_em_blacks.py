@@ -1,0 +1,73 @@
+"""Tests for repro.em.blacks (Black's equation)."""
+
+import pytest
+
+from repro import units
+from repro.em.blacks import BlacksModel
+
+
+@pytest.fixture()
+def model() -> BlacksModel:
+    return BlacksModel.from_reference(
+        ttf_s=units.minutes(900.0),
+        current_density_a_m2=units.ma_per_cm2(7.96),
+        temperature_k=units.celsius_to_kelvin(230.0))
+
+
+class TestFromReference:
+    def test_reproduces_reference_point(self, model):
+        assert model.ttf_s(units.ma_per_cm2(7.96),
+                           units.celsius_to_kelvin(230.0)) \
+            == pytest.approx(units.minutes(900.0), rel=1e-9)
+
+    def test_rejects_bad_reference(self):
+        with pytest.raises(ValueError):
+            BlacksModel.from_reference(0.0, 1e10, 500.0)
+
+
+class TestScaling:
+    def test_lower_current_lives_longer(self, model):
+        assert model.ttf_s(units.ma_per_cm2(1.0), 400.0) \
+            > model.ttf_s(units.ma_per_cm2(7.96), 400.0)
+
+    def test_current_exponent_two(self, model):
+        ratio = model.ttf_s(units.ma_per_cm2(1.0), 400.0) \
+            / model.ttf_s(units.ma_per_cm2(2.0), 400.0)
+        assert ratio == pytest.approx(4.0, rel=1e-9)
+
+    def test_cooler_lives_longer(self, model):
+        assert model.ttf_s(1e10, units.celsius_to_kelvin(85.0)) \
+            > model.ttf_s(1e10, units.celsius_to_kelvin(230.0))
+
+    def test_use_condition_projection_is_years(self, model):
+        """Accelerated minutes-scale TTF projects to years at use."""
+        use_ttf = model.ttf_s(units.ma_per_cm2(1.0),
+                              units.celsius_to_kelvin(85.0))
+        assert use_ttf > units.years(1.0)
+
+    def test_acceleration_factor_consistency(self, model):
+        factor = model.acceleration_factor(
+            units.ma_per_cm2(7.96), units.celsius_to_kelvin(230.0),
+            units.ma_per_cm2(1.0), units.celsius_to_kelvin(85.0))
+        direct = model.ttf_s(units.ma_per_cm2(1.0),
+                             units.celsius_to_kelvin(85.0)) \
+            / model.ttf_s(units.ma_per_cm2(7.96),
+                          units.celsius_to_kelvin(230.0))
+        assert factor == pytest.approx(direct, rel=1e-12)
+
+    def test_zero_current_never_fails(self, model):
+        assert model.ttf_s(0.0, 400.0) == float("inf")
+
+    def test_rejects_non_positive_temperature(self, model):
+        with pytest.raises(ValueError):
+            model.ttf_s(1e10, 0.0)
+
+
+class TestValidation:
+    def test_rejects_non_positive_prefactor(self):
+        with pytest.raises(ValueError):
+            BlacksModel(prefactor=0.0)
+
+    def test_rejects_non_positive_exponent(self):
+        with pytest.raises(ValueError):
+            BlacksModel(prefactor=1.0, current_exponent=0.0)

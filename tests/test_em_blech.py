@@ -1,0 +1,107 @@
+"""Tests for repro.em.blech (short-length immortality)."""
+
+import pytest
+
+from repro import units
+from repro.em.blech import (
+    assess,
+    blech_product_a_per_m,
+    critical_length_m,
+    is_immortal,
+    saturation_stress_pa,
+)
+from repro.em.korhonen import KorhonenConfig, KorhonenSolver
+from repro.em.line import EmStressCondition, PAPER_EM_STRESS
+from repro.em.lumped import LumpedEmModel
+from repro.em.wire import COPPER, PAPER_TEST_WIRE, Wire
+from repro.errors import SimulationError
+
+HOT = units.celsius_to_kelvin(230.0)
+
+
+class TestCriterion:
+    def test_blech_product_is_physical(self):
+        """Order-of-magnitude check against experiment.
+
+        Reported Cu Blech products span roughly 1e3-1e4 A/cm; our
+        value is set by the Fig. 5-calibrated critical stress, which
+        lands within a small factor of that band.
+        """
+        product = blech_product_a_per_m(COPPER, HOT)
+        a_per_cm = product / 100.0
+        assert 1e3 < a_per_cm < 1e5
+
+    def test_paper_test_wire_is_mortal(self):
+        """The paper's 2.673 mm wire fails -- far past the criterion."""
+        assessment = assess(PAPER_TEST_WIRE, PAPER_EM_STRESS)
+        assert not assessment.immortal
+        assert assessment.jl_product_a_per_m \
+            > 10.0 * assessment.jl_critical_a_per_m
+
+    def test_short_segment_is_immortal(self):
+        critical = critical_length_m(
+            COPPER, PAPER_EM_STRESS.current_density_a_m2, HOT)
+        short = Wire(length_m=0.5 * critical, name="short segment")
+        assert is_immortal(short, PAPER_EM_STRESS)
+
+    def test_critical_length_scales_inversely_with_current(self):
+        full = critical_length_m(COPPER, units.ma_per_cm2(8.0), HOT)
+        half = critical_length_m(COPPER, units.ma_per_cm2(4.0), HOT)
+        assert half == pytest.approx(2.0 * full, rel=1e-9)
+
+    def test_zero_current_always_immortal(self):
+        assert critical_length_m(COPPER, 0.0, HOT) == float("inf")
+
+    def test_saturation_stress_is_half_gl(self):
+        stress = saturation_stress_pa(PAPER_TEST_WIRE, PAPER_EM_STRESS)
+        gradient = COPPER.wind_stress_gradient(
+            PAPER_EM_STRESS.current_density_a_m2, HOT)
+        assert stress == pytest.approx(
+            gradient * PAPER_TEST_WIRE.length_m / 2.0)
+
+    def test_rejects_bad_temperature(self):
+        with pytest.raises(SimulationError):
+            blech_product_a_per_m(COPPER, 0.0)
+
+
+class TestConsistencyWithSolvers:
+    def test_immortal_wire_never_reaches_critical_in_the_pde(self):
+        """Korhonen steady state equals the Blech back stress: a wire
+        below the criterion saturates below sigma_c."""
+        critical = critical_length_m(
+            COPPER, PAPER_EM_STRESS.current_density_a_m2, HOT)
+        length = 0.8 * critical
+        solver = KorhonenSolver(length, KorhonenConfig(n_nodes=101,
+                                                       max_dt_s=5.0))
+        kappa = COPPER.stress_diffusivity_at(HOT)
+        gradient = COPPER.wind_stress_gradient(
+            PAPER_EM_STRESS.current_density_a_m2, HOT)
+        # Integrate several diffusion times: effectively steady state.
+        diffusion_time = length * length / kappa
+        solver.advance(5.0 * diffusion_time, kappa, gradient)
+        assert solver.stress_at_start < COPPER.critical_stress_pa
+        expected = saturation_stress_pa(
+            Wire(length_m=length), PAPER_EM_STRESS)
+        assert solver.stress_at_start == pytest.approx(expected,
+                                                       rel=0.02)
+
+    def test_mortal_wire_nucleates_in_the_lumped_model(self):
+        assessment = assess(PAPER_TEST_WIRE, PAPER_EM_STRESS)
+        assert not assessment.immortal
+        t_nuc = LumpedEmModel(PAPER_TEST_WIRE).nucleation_time(
+            PAPER_EM_STRESS)
+        assert t_nuc < float("inf")
+
+    def test_margin_sign_convention(self):
+        critical = critical_length_m(
+            COPPER, PAPER_EM_STRESS.current_density_a_m2, HOT)
+        immortal = assess(Wire(length_m=0.5 * critical),
+                          PAPER_EM_STRESS)
+        mortal = assess(Wire(length_m=2.0 * critical),
+                        PAPER_EM_STRESS)
+        assert immortal.stress_margin > 0.0
+        assert mortal.stress_margin < 0.0
+
+    def test_describe_mentions_verdict(self):
+        text = assess(PAPER_TEST_WIRE, PAPER_EM_STRESS).describe()
+        assert "mortal" in text

@@ -1,0 +1,110 @@
+"""Tests for repro.em.chain (via-separated interconnect chains)."""
+
+import pytest
+
+from repro import units
+from repro.em.blech import critical_length_m
+from repro.em.chain import InterconnectChain, segment_stripe
+from repro.em.line import PAPER_EM_STRESS
+from repro.em.wire import COPPER, PAPER_TEST_WIRE
+from repro.errors import SimulationError
+
+HOT = PAPER_EM_STRESS.temperature_k
+
+
+def make_chain(n_segments: int) -> InterconnectChain:
+    segments = segment_stripe(PAPER_TEST_WIRE.length_m, n_segments,
+                              PAPER_TEST_WIRE)
+    return InterconnectChain(segments, PAPER_EM_STRESS)
+
+
+class TestSegmentation:
+    def test_segment_count(self):
+        assert make_chain(5).n_segments == 5
+
+    def test_segmentation_preserves_fresh_resistance(self):
+        chain = make_chain(7)
+        assert chain.fresh_resistance_ohm(HOT) == pytest.approx(
+            PAPER_TEST_WIRE.resistance_at(HOT), rel=1e-9)
+
+    def test_fine_segmentation_reaches_immortality(self):
+        l_crit = critical_length_m(
+            COPPER, PAPER_EM_STRESS.current_density_a_m2, HOT)
+        n_needed = int(PAPER_TEST_WIRE.length_m / l_crit) + 1
+        chain = make_chain(2 * n_needed)
+        assert chain.n_immortal == chain.n_segments
+
+    def test_coarse_segments_stay_mortal(self):
+        chain = make_chain(3)
+        assert chain.n_immortal == 0
+
+    def test_rejects_empty_chain(self):
+        with pytest.raises(SimulationError):
+            InterconnectChain([], PAPER_EM_STRESS)
+
+    def test_rejects_bad_stripe_args(self):
+        with pytest.raises(SimulationError):
+            segment_stripe(0.0, 3, PAPER_TEST_WIRE)
+        with pytest.raises(SimulationError):
+            segment_stripe(1e-3, 0, PAPER_TEST_WIRE)
+
+
+class TestAging:
+    def test_immortal_chain_never_degrades(self):
+        l_crit = critical_length_m(
+            COPPER, PAPER_EM_STRESS.current_density_a_m2, HOT)
+        n = int(PAPER_TEST_WIRE.length_m / (0.5 * l_crit)) + 1
+        chain = make_chain(n)
+        assert chain.n_immortal == n
+        chain.apply(units.hours(40.0), PAPER_EM_STRESS)
+        assert chain.delta_resistance_ohm() == 0.0
+        assert not chain.has_failed(HOT)
+
+    def test_mortal_chain_degrades(self):
+        chain = make_chain(3)
+        chain.apply(units.hours(10.0), PAPER_EM_STRESS)
+        assert chain.delta_resistance_ohm() > 0.0
+
+    def test_weakest_link_failure(self):
+        """With heterogeneous segments the shortest (lowest-resistance)
+        one trips its own threshold long before the chain's total
+        resistance budget is consumed -- the weakest-link effect."""
+        from dataclasses import replace
+        short = segment_stripe(0.1e-3, 1, PAPER_TEST_WIRE)[0]
+        long = segment_stripe(2.5e-3, 1, PAPER_TEST_WIRE)[0]
+        chain = InterconnectChain(
+            [replace(short, name="short"), replace(long, name="long")],
+            PAPER_EM_STRESS)
+        step = units.minutes(20.0)
+        while not chain.has_failed(HOT):
+            chain.apply(step, PAPER_EM_STRESS)
+            assert chain.time_s < units.hours(48.0)
+        fraction = chain.config.failure_fraction
+        total_fresh = chain.fresh_resistance_ohm(HOT)
+        assert chain.delta_resistance_ohm() < fraction * total_fresh
+        assert chain.worst_segment_index() == 0  # same absolute damage
+        # The short segment is the one past its own threshold.
+        short_state = chain.segments[0]
+        assert short_state.delta_resistance_ohm() >= fraction \
+            * short_state.wire.resistance_at(HOT)
+
+    def test_recovery_heals_the_chain(self):
+        chain = make_chain(3)
+        chain.apply(units.minutes(500.0), PAPER_EM_STRESS)
+        worn = chain.delta_resistance_ohm()
+        chain.apply(units.minutes(200.0), PAPER_EM_STRESS.reversed())
+        assert chain.delta_resistance_ohm() < worn
+
+    def test_worst_segment_index_in_range(self):
+        chain = make_chain(4)
+        chain.apply(units.hours(8.0), PAPER_EM_STRESS)
+        assert 0 <= chain.worst_segment_index() < 4
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(SimulationError):
+            make_chain(2).apply(-1.0, PAPER_EM_STRESS)
+
+    def test_rejects_reverse_reference(self):
+        segments = segment_stripe(1e-3, 2, PAPER_TEST_WIRE)
+        with pytest.raises(SimulationError):
+            InterconnectChain(segments, PAPER_EM_STRESS.reversed())

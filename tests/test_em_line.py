@@ -1,0 +1,184 @@
+"""Tests for repro.em.line (the stateful EM line model)."""
+
+import pytest
+
+from repro import units
+from repro.em.line import (
+    EmLine,
+    EmLineConfig,
+    EmStressCondition,
+    PAPER_EM_RECOVERY,
+    PAPER_EM_STRESS,
+)
+from repro.errors import SimulationError
+
+STRESS_T = PAPER_EM_STRESS.temperature_k
+
+
+@pytest.fixture()
+def line(fast_em_config) -> EmLine:
+    return EmLine(config=fast_em_config)
+
+
+class TestConditions:
+    def test_paper_stress_values(self):
+        assert PAPER_EM_STRESS.current_density_a_m2 == pytest.approx(
+            7.96e10)
+        assert PAPER_EM_STRESS.temperature_k == pytest.approx(
+            units.celsius_to_kelvin(230.0))
+
+    def test_reversed_flips_current_only(self):
+        reverse = PAPER_EM_STRESS.reversed()
+        assert reverse.current_density_a_m2 == pytest.approx(
+            -PAPER_EM_STRESS.current_density_a_m2)
+        assert reverse.temperature_k == PAPER_EM_STRESS.temperature_k
+
+    def test_rejects_bad_temperature(self):
+        with pytest.raises(ValueError):
+            EmStressCondition(1e10, 0.0)
+
+
+class TestNucleationPhase:
+    def test_fresh_line_has_fresh_resistance(self, line):
+        assert line.resistance_ohm(STRESS_T) == pytest.approx(
+            line.wire.resistance_at(STRESS_T))
+
+    def test_no_resistance_change_before_nucleation(self, line):
+        line.apply(units.minutes(30.0), PAPER_EM_STRESS)
+        assert not line.nucleated
+        assert line.delta_resistance_ohm() == 0.0
+
+    def test_nucleation_happens_around_two_hours(self, line):
+        """The calibrated accelerated test nucleates at ~110 min."""
+        t_nuc = line.time_to_nucleation(PAPER_EM_STRESS,
+                                        units.minutes(600))
+        assert units.minutes(60) < t_nuc < units.minutes(200)
+
+    def test_nucleation_is_much_later_at_lower_stress(self, line):
+        gentle = EmStressCondition(units.ma_per_cm2(2.0), STRESS_T)
+        t_gentle = line.time_to_nucleation(gentle, units.minutes(600))
+        t_hard = line.time_to_nucleation(PAPER_EM_STRESS,
+                                         units.minutes(600))
+        assert t_gentle > 4.0 * t_hard
+
+    def test_reverse_current_nucleates_the_other_end(self, line):
+        line.apply(units.minutes(300.0), PAPER_EM_RECOVERY)
+        assert line.void_end.nucleated
+        assert not line.void_start.nucleated
+
+
+class TestVoidGrowth:
+    def test_resistance_rises_after_nucleation(self, line):
+        line.apply(units.minutes(300.0), PAPER_EM_STRESS)
+        assert line.nucleated
+        assert line.delta_resistance_ohm() > 0.0
+
+    def test_fig5_magnitude(self, line):
+        """~10 h of accelerated stress gains roughly 2 ohm (Fig. 5)."""
+        line.apply(units.minutes(600.0), PAPER_EM_STRESS)
+        assert 1.0 < line.delta_resistance_ohm() < 3.5
+
+    def test_trace_is_monotone_under_stress(self, line):
+        times, resistance = line.apply_trace(
+            units.minutes(400.0), PAPER_EM_STRESS, 11)
+        assert len(times) == 11
+        assert all(b >= a - 1e-9 for a, b in zip(resistance,
+                                                 resistance[1:]))
+
+    def test_locking_grows_with_void_age(self, fast_em_config):
+        early = EmLine(config=fast_em_config)
+        late = EmLine(config=fast_em_config)
+        early.apply(units.minutes(200.0), PAPER_EM_STRESS)
+        late.apply(units.minutes(700.0), PAPER_EM_STRESS)
+        early_fraction = early.locked_void_length_m / \
+            early.total_void_length_m
+        late_fraction = late.locked_void_length_m / \
+            late.total_void_length_m
+        assert late_fraction > early_fraction
+
+
+class TestActiveRecovery:
+    def test_recovery_reduces_resistance(self, line):
+        line.apply(units.minutes(500.0), PAPER_EM_STRESS)
+        worn = line.delta_resistance_ohm()
+        line.apply(units.minutes(120.0), PAPER_EM_RECOVERY)
+        assert line.delta_resistance_ohm() < worn
+
+    def test_recovery_is_faster_than_wearout(self, line):
+        """>75 % of the wearout heals within 1/5 of the stress time."""
+        line.apply(units.minutes(600.0), PAPER_EM_STRESS)
+        worn = line.delta_resistance_ohm()
+        line.apply(units.minutes(120.0), PAPER_EM_RECOVERY)
+        recovered = (worn - line.delta_resistance_ohm()) / worn
+        assert recovered > 0.70
+
+    def test_permanent_component_survives_extended_recovery(self, line):
+        line.apply(units.minutes(600.0), PAPER_EM_STRESS)
+        line.apply(units.minutes(480.0), PAPER_EM_RECOVERY)
+        # The locked void cannot be refilled.
+        assert line.locked_void_length_m > 0.0
+
+    def test_early_recovery_is_nearly_full(self, fast_em_config):
+        """Fig. 6: recovery early in the void-growth phase heals fully."""
+        line = EmLine(config=fast_em_config)
+        line.apply(units.minutes(160.0), PAPER_EM_STRESS)
+        worn = line.delta_resistance_ohm()
+        assert worn > 0.0
+        line.apply(units.minutes(90.0), PAPER_EM_RECOVERY)
+        assert line.delta_resistance_ohm() < 0.1 * worn
+
+    def test_prolonged_reverse_current_causes_reverse_em(self,
+                                                         fast_em_config):
+        """Fig. 6: keeping the reverse current after full recovery
+        eventually voids the opposite end."""
+        line = EmLine(config=fast_em_config)
+        line.apply(units.minutes(160.0), PAPER_EM_STRESS)
+        line.apply(units.minutes(400.0), PAPER_EM_RECOVERY)
+        assert line.void_end.nucleated
+
+
+class TestFailure:
+    def test_fresh_line_has_not_failed(self, line):
+        assert not line.has_failed(STRESS_T)
+
+    def test_time_to_failure_is_finite_under_stress(self, line):
+        ttf = line.time_to_failure(PAPER_EM_STRESS, units.minutes(3000),
+                                   probe_step_s=units.minutes(10.0))
+        assert ttf < units.minutes(3000)
+
+    def test_time_to_failure_inf_when_idle(self, line):
+        idle = EmStressCondition(0.0, STRESS_T)
+        ttf = line.time_to_failure(idle, units.minutes(100),
+                                   probe_step_s=units.minutes(10.0))
+        assert ttf == float("inf")
+
+    def test_probe_does_not_mutate(self, line):
+        line.time_to_nucleation(PAPER_EM_STRESS, units.minutes(300))
+        assert not line.nucleated
+        assert line.time_s == 0.0
+
+
+class TestConfigValidation:
+    def test_rejects_boost_below_one(self):
+        with pytest.raises(ValueError):
+            EmLineConfig(recovery_boost=0.5)
+
+    def test_rejects_negative_lock_rate(self):
+        with pytest.raises(ValueError):
+            EmLineConfig(lock_rate_per_s=-1.0)
+
+    def test_rejects_negative_duration(self, line):
+        with pytest.raises(SimulationError):
+            line.apply(-1.0, PAPER_EM_STRESS)
+
+    def test_copy_is_independent(self, line):
+        line.apply(units.minutes(200.0), PAPER_EM_STRESS)
+        clone = line.copy()
+        clone.apply(units.minutes(300.0), PAPER_EM_STRESS)
+        assert clone.delta_resistance_ohm() > line.delta_resistance_ohm()
+
+    def test_reset_restores_fresh(self, line):
+        line.apply(units.minutes(300.0), PAPER_EM_STRESS)
+        line.reset()
+        assert not line.nucleated
+        assert line.delta_resistance_ohm() == 0.0

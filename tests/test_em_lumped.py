@@ -1,0 +1,138 @@
+"""Tests for repro.em.lumped (closed-form EM models)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.em.korhonen import KorhonenConfig
+from repro.em.line import EmLine, EmLineConfig, EmStressCondition, \
+    PAPER_EM_STRESS
+from repro.em.lumped import LumpedEmModel
+
+
+@pytest.fixture()
+def model() -> LumpedEmModel:
+    return LumpedEmModel()
+
+
+class TestConstantStress:
+    def test_cathode_stress_grows_like_sqrt_t(self, model):
+        one = model.cathode_stress(3600.0, PAPER_EM_STRESS)
+        four = model.cathode_stress(4 * 3600.0, PAPER_EM_STRESS)
+        assert four == pytest.approx(2.0 * one, rel=1e-9)
+
+    def test_nucleation_time_matches_calibration(self, model):
+        t_nuc = model.nucleation_time(PAPER_EM_STRESS)
+        assert units.minutes(80) < t_nuc < units.minutes(150)
+
+    def test_nucleation_time_scales_inverse_square_in_current(self, model):
+        half = EmStressCondition(
+            PAPER_EM_STRESS.current_density_a_m2 / 2.0,
+            PAPER_EM_STRESS.temperature_k)
+        assert model.nucleation_time(half) == pytest.approx(
+            4.0 * model.nucleation_time(PAPER_EM_STRESS), rel=1e-9)
+
+    def test_stress_at_nucleation_equals_critical(self, model):
+        t_nuc = model.nucleation_time(PAPER_EM_STRESS)
+        stress = model.cathode_stress(t_nuc, PAPER_EM_STRESS)
+        assert stress == pytest.approx(
+            model.wire.material.critical_stress_pa, rel=1e-9)
+
+    def test_no_current_never_nucleates(self, model):
+        idle = EmStressCondition(0.0, PAPER_EM_STRESS.temperature_k)
+        assert model.nucleation_time(idle) == float("inf")
+
+    def test_ttf_exceeds_nucleation_time(self, model):
+        assert model.time_to_failure(PAPER_EM_STRESS) \
+            > model.nucleation_time(PAPER_EM_STRESS)
+
+    def test_agrees_with_pde_nucleation(self, model):
+        """The closed form should track the PDE within a few percent."""
+        line = EmLine(config=EmLineConfig(
+            korhonen=KorhonenConfig(n_nodes=1201, max_dt_s=30.0),
+            max_step_s=30.0))
+        pde = line.time_to_nucleation(PAPER_EM_STRESS,
+                                      units.minutes(300),
+                                      probe_step_s=units.minutes(1.0))
+        closed = model.nucleation_time(PAPER_EM_STRESS)
+        assert closed == pytest.approx(pde, rel=0.15)
+
+
+class TestScheduleSuperposition:
+    def test_single_segment_matches_constant(self, model):
+        kappa = model.wire.material.stress_diffusivity_at(
+            PAPER_EM_STRESS.temperature_k)
+        gradient = model.wire.material.wind_stress_gradient(
+            PAPER_EM_STRESS.current_density_a_m2,
+            PAPER_EM_STRESS.temperature_k)
+        values = model.stress_under_schedule(
+            [3600.0], [0.0], [gradient], kappa)
+        assert values[0] == pytest.approx(
+            model.cathode_stress(3600.0, PAPER_EM_STRESS), rel=1e-12)
+
+    def test_reversal_reduces_stress(self, model):
+        kappa = model.wire.material.stress_diffusivity_at(
+            PAPER_EM_STRESS.temperature_k)
+        gradient = model.wire.material.wind_stress_gradient(
+            PAPER_EM_STRESS.current_density_a_m2,
+            PAPER_EM_STRESS.temperature_k)
+        constant = model.stress_under_schedule(
+            [7200.0], [0.0], [gradient], kappa)[0]
+        reversed_after_1h = model.stress_under_schedule(
+            [7200.0], [0.0, 3600.0], [gradient, -gradient], kappa)[0]
+        assert reversed_after_1h < constant
+
+    def test_rejects_mismatched_inputs(self, model):
+        with pytest.raises(ValueError):
+            model.stress_under_schedule([1.0], [0.0], [1.0, 2.0], 1e-14)
+
+    def test_rejects_non_zero_first_step(self, model):
+        with pytest.raises(ValueError):
+            model.stress_under_schedule([1.0], [10.0], [1.0], 1e-14)
+
+
+class TestPeriodicRecovery:
+    def test_delay_factor_exceeds_one(self, model):
+        factor = model.nucleation_delay_factor(
+            units.minutes(15.0), units.minutes(5.0), PAPER_EM_STRESS)
+        assert factor > 1.5
+
+    def test_fig7_schedule_is_almost_3x(self, model):
+        """15 min : 5 min periodic recovery delays nucleation ~3x."""
+        factor = model.nucleation_delay_factor(
+            units.minutes(15.0), units.minutes(5.0), PAPER_EM_STRESS)
+        assert 2.5 < factor < 3.7
+
+    def test_more_recovery_delays_more(self, model):
+        light = model.nucleation_delay_factor(
+            units.minutes(20.0), units.minutes(2.0), PAPER_EM_STRESS)
+        heavy = model.nucleation_delay_factor(
+            units.minutes(20.0), units.minutes(10.0), PAPER_EM_STRESS)
+        assert heavy > light
+
+    def test_symmetric_schedule_never_nucleates(self, model):
+        """1:1 stress:recovery has zero mean drift -> no nucleation."""
+        estimate = model.nucleation_under_periodic_recovery(
+            units.minutes(10.0), units.minutes(10.0), PAPER_EM_STRESS,
+            max_cycles=200)
+        assert math.isinf(estimate.time_s)
+
+    def test_estimate_reports_cycles_and_stress_time(self, model):
+        estimate = model.nucleation_under_periodic_recovery(
+            units.minutes(15.0), units.minutes(5.0), PAPER_EM_STRESS)
+        assert estimate.cycles > 0
+        assert 0.0 < estimate.stress_time_s <= estimate.time_s
+
+    def test_zero_recovery_matches_continuous(self, model):
+        estimate = model.nucleation_under_periodic_recovery(
+            units.minutes(10.0), 0.0, PAPER_EM_STRESS,
+            samples_per_interval=64)
+        assert estimate.time_s == pytest.approx(
+            model.nucleation_time(PAPER_EM_STRESS), rel=0.05)
+
+    def test_rejects_bad_intervals(self, model):
+        with pytest.raises(ValueError):
+            model.nucleation_under_periodic_recovery(
+                0.0, 1.0, PAPER_EM_STRESS)

@@ -1,0 +1,111 @@
+"""Tests for repro.em.statistics (wire populations, weakest link)."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.em.blacks import BlacksModel
+from repro.em.statistics import (
+    WirePopulationSpec,
+    healing_gain_at_quantile,
+    population_from_blacks,
+    sample_population_ttfs,
+)
+from repro.errors import SimulationError
+
+
+@pytest.fixture()
+def spec() -> WirePopulationSpec:
+    return WirePopulationSpec(n_wires=1000,
+                              median_ttf_s=units.years(50.0),
+                              sigma=0.4)
+
+
+class TestSingleWire:
+    def test_median_is_half_failed(self, spec):
+        assert spec.wire_failure_probability(
+            spec.median_ttf_s) == pytest.approx(0.5)
+
+    def test_cdf_is_monotone(self, spec):
+        early = spec.wire_failure_probability(units.years(10.0))
+        late = spec.wire_failure_probability(units.years(100.0))
+        assert 0.0 <= early < late <= 1.0
+
+    def test_quantile_inverts_cdf(self, spec):
+        t = spec.wire_quantile(0.1)
+        assert spec.wire_failure_probability(t) == pytest.approx(
+            0.1, abs=1e-9)
+
+    def test_zero_time_never_failed(self, spec):
+        assert spec.wire_failure_probability(0.0) == 0.0
+
+
+class TestWeakestLink:
+    def test_chip_fails_before_its_wires(self, spec):
+        """A 1000-wire chip's median TTF is far below a wire's."""
+        assert spec.chip_median_ttf_s() < 0.5 * spec.median_ttf_s
+
+    def test_single_wire_chip_matches_wire(self):
+        solo = WirePopulationSpec(1, units.years(50.0), 0.4)
+        assert solo.chip_median_ttf_s() == pytest.approx(
+            solo.wire_quantile(0.5), rel=1e-3)
+
+    def test_more_wires_fail_sooner(self):
+        small = WirePopulationSpec(100, units.years(50.0), 0.4)
+        large = WirePopulationSpec(10000, units.years(50.0), 0.4)
+        assert large.chip_median_ttf_s() < small.chip_median_ttf_s()
+
+    def test_chip_quantile_inverts_chip_cdf(self, spec):
+        t = spec.chip_quantile(0.01)
+        assert spec.chip_failure_probability(t) == pytest.approx(
+            0.01, rel=1e-2)
+
+    def test_monte_carlo_agrees_with_closed_form(self, spec):
+        population = sample_population_ttfs(spec, n_chips=400, seed=1)
+        empirical_median = float(np.median(population))
+        assert empirical_median == pytest.approx(
+            spec.chip_median_ttf_s(), rel=0.1)
+
+    def test_scaling_shifts_every_quantile(self, spec):
+        healed = spec.scaled(3.0)
+        assert healed.chip_quantile(0.001) == pytest.approx(
+            3.0 * spec.chip_quantile(0.001), rel=1e-6)
+
+    def test_healing_gain_matches_scale_factor(self, spec):
+        healed = spec.scaled(2.78)
+        assert healing_gain_at_quantile(spec, healed) == pytest.approx(
+            2.78, rel=1e-6)
+
+
+class TestConstruction:
+    def test_population_from_blacks(self):
+        blacks = BlacksModel.from_reference(
+            units.minutes(900.0), units.ma_per_cm2(7.96),
+            units.celsius_to_kelvin(230.0))
+        spec = population_from_blacks(
+            blacks, n_wires=500,
+            current_density_a_m2=units.ma_per_cm2(1.0),
+            temperature_k=units.celsius_to_kelvin(85.0))
+        assert spec.n_wires == 500
+        assert spec.median_ttf_s == pytest.approx(
+            blacks.ttf_s(units.ma_per_cm2(1.0),
+                         units.celsius_to_kelvin(85.0)))
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            WirePopulationSpec(0, 1.0, 0.4)
+        with pytest.raises(SimulationError):
+            WirePopulationSpec(10, -1.0, 0.4)
+        with pytest.raises(SimulationError):
+            WirePopulationSpec(10, 1.0, 0.0)
+
+    def test_rejects_bad_quantiles(self, spec):
+        with pytest.raises(SimulationError):
+            spec.wire_quantile(0.0)
+        with pytest.raises(SimulationError):
+            spec.chip_quantile(1.0)
+
+    def test_monte_carlo_reproducible(self, spec):
+        a = sample_population_ttfs(spec, n_chips=20, seed=5)
+        b = sample_population_ttfs(spec, n_chips=20, seed=5)
+        assert np.allclose(a, b)

@@ -1,0 +1,92 @@
+"""Tests for repro.em.wire (materials and wire geometry)."""
+
+import pytest
+
+from repro import units
+from repro.em.wire import COPPER, Material, PAPER_TEST_WIRE, Wire
+
+
+class TestMaterial:
+    def test_resistivity_rises_with_temperature(self):
+        cold = COPPER.resistivity_at(units.celsius_to_kelvin(20.0))
+        hot = COPPER.resistivity_at(units.celsius_to_kelvin(230.0))
+        assert hot > cold
+
+    def test_resistivity_at_reference(self):
+        assert COPPER.resistivity_at(
+            COPPER.reference_temperature_k) == pytest.approx(
+            COPPER.resistivity_ohm_m)
+
+    def test_diffusivity_is_arrhenius(self):
+        t1, t2 = 400.0, 500.0
+        ratio = COPPER.diffusivity_at(t2) / COPPER.diffusivity_at(t1)
+        expected = units.arrhenius_factor(
+            COPPER.activation_energy_ev, t2, t1)
+        assert ratio == pytest.approx(expected)
+
+    def test_stress_diffusivity_positive_and_small(self):
+        kappa = COPPER.stress_diffusivity_at(
+            units.celsius_to_kelvin(230.0))
+        assert 0.0 < kappa < 1e-10
+
+    def test_wind_gradient_sign_follows_current(self):
+        temp = units.celsius_to_kelvin(230.0)
+        forward = COPPER.wind_stress_gradient(units.ma_per_cm2(7.96),
+                                              temp)
+        reverse = COPPER.wind_stress_gradient(-units.ma_per_cm2(7.96),
+                                              temp)
+        assert forward > 0.0
+        assert reverse == pytest.approx(-forward)
+
+    def test_drift_velocity_scales_with_current(self):
+        temp = units.celsius_to_kelvin(230.0)
+        v1 = COPPER.drift_velocity(units.ma_per_cm2(4.0), temp)
+        v2 = COPPER.drift_velocity(units.ma_per_cm2(8.0), temp)
+        assert v2 == pytest.approx(2.0 * v1, rel=1e-3)
+
+    def test_rejects_non_positive_parameters(self):
+        with pytest.raises(ValueError):
+            Material(name="bad", resistivity_ohm_m=-1.0, tcr_per_k=0.004,
+                     reference_temperature_k=293.0,
+                     diffusivity_prefactor_m2_s=1e-5,
+                     activation_energy_ev=1.0, effective_charge=1.0,
+                     atomic_volume_m3=1e-29,
+                     effective_modulus_pa=1e10,
+                     critical_stress_pa=5e8)
+
+
+class TestPaperTestWire:
+    def test_fig3_geometry(self):
+        assert PAPER_TEST_WIRE.length_m == pytest.approx(2.673e-3)
+        assert PAPER_TEST_WIRE.width_m == pytest.approx(1.57e-6)
+        assert PAPER_TEST_WIRE.thickness_m == pytest.approx(0.8e-6)
+
+    def test_fig3_room_temperature_resistance(self):
+        assert PAPER_TEST_WIRE.resistance_at(
+            units.celsius_to_kelvin(20.0)) == pytest.approx(35.76)
+
+    def test_fig5_hot_resistance(self):
+        # Fig. 5 starts near 72.8 ohm at the 230 degC stress temperature.
+        hot = PAPER_TEST_WIRE.resistance_at(
+            units.celsius_to_kelvin(230.0))
+        assert hot == pytest.approx(72.8, abs=0.3)
+
+    def test_cross_section(self):
+        assert PAPER_TEST_WIRE.cross_section_m2 == pytest.approx(
+            1.57e-6 * 0.8e-6)
+
+    def test_current_density_roundtrip(self):
+        current = PAPER_TEST_WIRE.current_for_density(
+            units.ma_per_cm2(7.96))
+        assert PAPER_TEST_WIRE.density_for_current(
+            current) == pytest.approx(units.ma_per_cm2(7.96))
+
+    def test_paper_stress_current_magnitude(self):
+        # 7.96 MA/cm^2 through the 1.57 um x 0.8 um wire is ~100 mA.
+        current = PAPER_TEST_WIRE.current_for_density(
+            units.ma_per_cm2(7.96))
+        assert current == pytest.approx(0.1, rel=0.05)
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            Wire(length_m=0.0)

@@ -1,0 +1,57 @@
+"""Smoke tests: every shipped example runs and prints its tables.
+
+The examples are part of the public surface; these tests keep them
+working against library changes.  Long-running sweeps are exercised
+with reduced parameters where the example exposes them.
+"""
+
+import importlib
+import sys
+
+import pytest
+
+sys.path.insert(0, "examples")
+
+
+def run_module_main(name: str, capsys) -> str:
+    module = importlib.import_module(name)
+    module.main()
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_module_main("quickstart", capsys)
+        assert "Table I protocol" in out
+        assert "72.4%" in out
+        assert "bti-active-recovery" in out
+
+    def test_iot_implant_lifetime(self, capsys):
+        out = run_module_main("iot_implant_lifetime", capsys)
+        assert "worst-case (no recovery)" in out
+        assert "deep healing in sleep" in out
+        assert "unbounded" in out
+
+    def test_manycore_dark_silicon(self, capsys):
+        module = importlib.import_module("manycore_dark_silicon")
+        module.run(24)
+        out = capsys.readouterr().out
+        assert "dark-silicon rotation" in out
+        assert "guardband" in out
+
+    def test_compensation_vs_healing(self, capsys):
+        out = run_module_main("compensation_vs_healing", capsys)
+        assert "derating" in out
+        assert "deep-healing" in out
+        assert "rebalance signal probability" in out
+
+    def test_mission_planning(self, capsys):
+        out = run_module_main("mission_planning", capsys)
+        assert "deep-healing plan:" in out
+        assert "margin" in out
+
+    @pytest.mark.slow
+    def test_pdn_em_protection(self, capsys):
+        out = run_module_main("pdn_em_protection", capsys)
+        assert "Most EM-exposed grid segments" in out
+        assert "PDE verification" in out

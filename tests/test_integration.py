@@ -1,0 +1,196 @@
+"""Cross-module integration tests: the paper's protocols end to end.
+
+Each test here stitches several packages together the way the paper's
+experiments do, asserting the *published* qualitative outcomes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.assist.circuitry import AssistCircuit
+from repro.assist.modes import AssistMode
+from repro.bti.conditions import (
+    ACTIVE_ACCELERATED_RECOVERY,
+    TABLE1_RECOVERY_CONDITIONS,
+)
+from repro.core.balance import PushPullBalancer
+from repro.core.schedule import PeriodicSchedule, run_bti_schedule, \
+    run_em_schedule
+from repro.em.line import EmLine, PAPER_EM_RECOVERY, PAPER_EM_STRESS
+from repro.em.lumped import LumpedEmModel
+from repro.pdn.grid import PdnGrid
+from repro.pdn.irdrop import solve_ir_drop
+from repro.sensors.bti_sensor import BtiSensor
+from repro.sensors.em_sensor import EmResistanceSensor
+from repro.sensors.ring_oscillator import RingOscillator
+
+
+class TestPaperHeadlineResults:
+    def test_table1_ordering_end_to_end(self, calibration):
+        """All four recovery conditions, ordered as measured."""
+        model = calibration.build_model()
+        fractions = [model.recovery_fraction_after(
+            units.hours(24.0), units.hours(6.0), condition)
+            for condition in TABLE1_RECOVERY_CONDITIONS]
+        assert fractions[0] < fractions[1] < fractions[3]
+        assert fractions[0] < fractions[2] < fractions[3]
+        assert fractions[3] > 0.7
+
+    def test_push_pull_balance_generalizes(self, calibration):
+        """The balancer's schedule, run through the mechanistic
+        model, really does keep the permanent component at zero."""
+        balancer = PushPullBalancer(calibration)
+        result = balancer.balance_bti(units.hours(1.0))
+        outcome = run_bti_schedule(
+            calibration.build_model(),
+            PeriodicSchedule(result.schedule.stress_interval_s,
+                             result.schedule.recovery_interval_s, 8),
+            ACTIVE_ACCELERATED_RECOVERY)
+        assert outcome.fully_healed
+
+    def test_em_balancer_schedule_verified_by_pde(self, calibration,
+                                                  fast_em_config):
+        """The lumped-model EM schedule holds up in the PDE model."""
+        balancer = PushPullBalancer(calibration)
+        result = balancer.balance_em(PAPER_EM_STRESS, duty_cycle=0.75)
+        schedule = result.schedule
+        lumped_nuc = LumpedEmModel().nucleation_time(PAPER_EM_STRESS)
+        cycles = int(np.ceil(1.5 * lumped_nuc
+                             / schedule.cycle_length_s))
+        outcome = run_em_schedule(
+            EmLine(config=fast_em_config),
+            PeriodicSchedule(schedule.stress_interval_s,
+                             schedule.recovery_interval_s, cycles),
+            PAPER_EM_STRESS)
+        # Continuous stress would have nucleated well within this
+        # window; the scheduled line must still be void-free.
+        assert outcome.survived_nucleation
+
+
+class TestSensorLoop:
+    def test_bti_sensor_tracks_the_real_model(self, calibration):
+        model = calibration.build_model()
+        sensor = BtiSensor(model, gate_window_s=1.0)
+        fresh = sensor.read()
+        model.apply_stress(units.hours(24.0))
+        aged = sensor.read()
+        assert aged.delta_vth_v > fresh.delta_vth_v
+        assert aged.delta_vth_v == pytest.approx(model.delta_vth_v,
+                                                 abs=1e-3)
+
+    def test_em_sensor_sees_void_growth_onset(self, fast_em_config):
+        line = EmLine(config=fast_em_config)
+        sensor = EmResistanceSensor(
+            line, PAPER_EM_STRESS.temperature_k, quantum_ohm=1e-4)
+        step = units.minutes(30.0)
+        for epoch in range(10):
+            sensor.read(epoch * step)
+            line.apply(step, PAPER_EM_STRESS)
+        assert line.nucleated
+        assert sensor.growth_detected(1e-6, window=4)
+
+    def test_ro_frequency_reflects_healing(self, calibration):
+        model = calibration.build_model()
+        ro = RingOscillator()
+        model.apply_stress(units.hours(24.0))
+        aged_f = ro.frequency_hz(model.delta_vth_v)
+        model.apply_recovery(units.hours(6.0),
+                             ACTIVE_ACCELERATED_RECOVERY)
+        healed_f = ro.frequency_hz(model.delta_vth_v)
+        assert healed_f > aged_f
+
+
+class TestPdnToEmPipeline:
+    def test_ir_drop_feeds_em_exposure(self):
+        grid = PdnGrid.with_corner_pads(6, 6)
+        grid.add_load(3, 3, 0.2)
+        solution = solve_ir_drop(grid)
+        exposure = solution.em_exposure(
+            units.celsius_to_kelvin(105.0), count=3)
+        assert len(exposure) == 3
+        # The most critical segment fails first (smallest t_nuc).
+        times = [t for _segment, t in exposure]
+        assert times[0] <= times[-1]
+
+    def test_reversing_grid_current_with_assist_circuit(self,
+                                                        fast_em_config):
+        """End to end: the assist circuit reverses the current that an
+        EM line sees, which heals it."""
+        assist = AssistCircuit()
+        normal = assist.solve_mode(AssistMode.NORMAL)
+        em = assist.solve_mode(AssistMode.EM_RECOVERY)
+        line = EmLine(config=fast_em_config)
+        area = line.wire.cross_section_m2
+        scale = PAPER_EM_STRESS.current_density_a_m2 \
+            / (normal.vdd_grid_current_a / area)
+        forward = line.wire.density_for_current(
+            normal.vdd_grid_current_a) * scale
+        reverse = line.wire.density_for_current(
+            em.vdd_grid_current_a) * scale
+        from repro.em.line import EmStressCondition
+        temp = PAPER_EM_STRESS.temperature_k
+        line.apply(units.minutes(400.0),
+                   EmStressCondition(forward, temp))
+        worn = line.delta_resistance_ohm()
+        line.apply(units.minutes(200.0),
+                   EmStressCondition(reverse, temp))
+        assert line.delta_resistance_ohm() < worn
+
+
+class TestPlannerToControllerPipeline:
+    def test_planned_schedule_holds_up_in_the_controller(self,
+                                                         calibration,
+                                                         fast_em_config):
+        """A plan from the RecoveryPlanner, executed epoch by epoch by
+        the RuntimeController, keeps the permanent component at zero."""
+        from repro.core.controller import PeriodicPolicy, \
+            RuntimeController
+        from repro.core.planner import RecoveryPlanner
+        from repro.bti.conditions import BtiStressCondition
+        from repro.em.line import EmLine, EmStressCondition
+
+        use = BtiStressCondition(
+            voltage=0.45, temperature_k=units.celsius_to_kelvin(60.0))
+        grid = EmStressCondition(units.ma_per_cm2(6.0),
+                                 units.celsius_to_kelvin(105.0))
+        plan = RecoveryPlanner(calibration).plan(units.years(10.0),
+                                                 use, grid)
+        # Controller epochs sized so the plan's cadence maps onto an
+        # integer epoch pattern (one recovery epoch per k epochs).
+        epoch_s = plan.bti_recovery_interval_s
+        k = max(int(round(plan.bti_stress_interval_s / epoch_s)), 1)
+        controller = RuntimeController(
+            bti_model=calibration.build_model(),
+            em_line=EmLine(config=fast_em_config),
+            bti_stress=use,
+            em_stress=grid,
+            bti_recovery=plan.bti_recovery,
+            epoch_s=epoch_s)
+        controller.run((k + 1) * epoch_s * 6,
+                       PeriodicPolicy(bti_every=k + 1))
+        assert controller.bti_model.permanent_vth_v \
+            == pytest.approx(0.0, abs=1e-9)
+
+
+class TestBtiToCircuitPipeline:
+    def test_aged_vth_weakens_a_simulated_circuit(self, calibration):
+        """BTI model output plugs directly into the circuit simulator."""
+        from repro.circuit.dc import dc_operating_point
+        from repro.circuit.mosfet import NMOS_28NM
+        from repro.circuit.netlist import Circuit
+
+        model = calibration.build_model()
+        model.apply_stress(units.hours(24.0))
+        shift = model.delta_vth_v
+
+        def inverter_low(vth_shift: float) -> float:
+            circuit = Circuit()
+            circuit.add_voltage_source("vdd", "vdd", "gnd", 1.0)
+            circuit.add_voltage_source("vg", "g", "gnd", 1.0)
+            circuit.add_resistor("rl", "vdd", "out", 20000.0)
+            circuit.add_mosfet("m", "out", "g", "gnd",
+                               NMOS_28NM.with_vth_shift(vth_shift))
+            return dc_operating_point(circuit).voltage("out")
+
+        assert inverter_low(shift) > inverter_low(0.0)

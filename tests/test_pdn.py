@@ -1,0 +1,131 @@
+"""Tests for repro.pdn (power grid and IR drop)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.errors import SimulationError
+from repro.pdn.grid import PdnGrid
+from repro.pdn.irdrop import solve_ir_drop
+
+
+def loaded_grid() -> PdnGrid:
+    grid = PdnGrid.with_corner_pads(5, 5)
+    grid.add_load(2, 2, 0.05)
+    return grid
+
+
+class TestGridConstruction:
+    def test_node_count(self):
+        assert PdnGrid(4, 6).n_nodes == 24
+
+    def test_segment_count(self):
+        # rows*(cols-1) horizontal + cols*(rows-1) vertical segments.
+        grid = PdnGrid(3, 4)
+        assert len(list(grid.segments())) == 3 * 3 + 4 * 2
+
+    def test_segment_resistance_from_geometry(self):
+        grid = PdnGrid(2, 2, pitch_m=100e-6, stripe_width_m=2e-6,
+                       stripe_thickness_m=0.5e-6)
+        segment = next(grid.segments())
+        expected = grid.material.resistivity_ohm_m * 100e-6 \
+            / (2e-6 * 0.5e-6)
+        assert segment.resistance_ohm == pytest.approx(expected)
+
+    def test_corner_pads(self):
+        grid = PdnGrid.with_corner_pads(4, 4)
+        assert len(grid.pads) == 4
+
+    def test_uniform_load_totals(self):
+        grid = PdnGrid(3, 3)
+        grid.add_uniform_load(0.09)
+        assert grid.total_load_a() == pytest.approx(0.09)
+
+    def test_rejects_tiny_grid(self):
+        with pytest.raises(SimulationError):
+            PdnGrid(1, 5)
+
+    def test_rejects_out_of_range_load(self):
+        grid = PdnGrid(3, 3)
+        with pytest.raises(SimulationError):
+            grid.add_load(5, 0, 0.01)
+
+    def test_rejects_negative_load(self):
+        grid = PdnGrid(3, 3)
+        with pytest.raises(SimulationError):
+            grid.add_load(0, 0, -0.01)
+
+
+class TestIrDrop:
+    def test_unloaded_grid_sits_at_supply(self):
+        grid = PdnGrid.with_corner_pads(4, 4)
+        solution = solve_ir_drop(grid)
+        assert np.allclose(solution.node_voltages_v, grid.supply_v)
+
+    def test_loaded_grid_droops(self):
+        solution = solve_ir_drop(loaded_grid())
+        assert solution.worst_drop_v() > 0.0
+
+    def test_worst_drop_at_load_centre(self):
+        grid = loaded_grid()
+        solution = solve_ir_drop(grid)
+        centre = solution.voltage_at(2, 2)
+        assert centre == pytest.approx(
+            grid.supply_v - solution.worst_drop_v())
+
+    def test_pads_stay_at_supply(self):
+        grid = loaded_grid()
+        solution = solve_ir_drop(grid)
+        for row, col in grid.pads:
+            assert solution.voltage_at(row, col) == pytest.approx(
+                grid.supply_v)
+
+    def test_kcl_total_current(self):
+        """Current delivered through the pads equals the load."""
+        grid = loaded_grid()
+        solution = solve_ir_drop(grid)
+        # Sum of currents into the load node through its segments.
+        into_load = 0.0
+        for segment, current in zip(grid.segments(),
+                                    solution.segment_currents_a):
+            if segment.b == (2, 2):
+                into_load += current
+            elif segment.a == (2, 2):
+                into_load -= current
+        assert into_load == pytest.approx(0.05, rel=1e-9)
+
+    def test_floating_grid_rejected(self):
+        grid = PdnGrid(3, 3)
+        grid.add_load(1, 1, 0.01)
+        with pytest.raises(SimulationError):
+            solve_ir_drop(grid)
+
+    def test_most_stressed_segments_sorted(self):
+        solution = solve_ir_drop(loaded_grid())
+        stressed = solution.most_stressed_segments(5)
+        densities = [density for _segment, density in stressed]
+        assert densities == sorted(densities, reverse=True)
+
+    def test_segment_report_density_consistency(self):
+        solution = solve_ir_drop(loaded_grid())
+        segment, current, density = solution.segment_report()[0]
+        assert density == pytest.approx(
+            current / segment.cross_section_m2)
+
+    def test_em_exposure_ranks_by_nucleation_time(self):
+        solution = solve_ir_drop(loaded_grid())
+        exposure = solution.em_exposure(
+            units.celsius_to_kelvin(105.0), count=4)
+        times = [t for _segment, t in exposure]
+        assert times == sorted(times)
+        assert all(t > 0.0 for t in times if not math.isinf(t))
+
+    def test_more_load_means_more_drop(self):
+        light = PdnGrid.with_corner_pads(5, 5)
+        light.add_load(2, 2, 0.02)
+        heavy = PdnGrid.with_corner_pads(5, 5)
+        heavy.add_load(2, 2, 0.08)
+        assert solve_ir_drop(heavy).worst_drop_v() \
+            > solve_ir_drop(light).worst_drop_v()

@@ -1,0 +1,206 @@
+"""Property-based tests (hypothesis) on core invariants.
+
+These pin down the *structural* guarantees of the models -- bounds,
+monotonicity, conservation, inversion -- over randomized inputs, which
+the example-based tests cannot cover exhaustively.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.analysis.reporting import format_table
+from repro.bti.analytic import PowerLawStressModel, \
+    UniversalRelaxationModel
+from repro.bti.conditions import (
+    BtiRecoveryCondition,
+    PASSIVE_RECOVERY,
+    RecoveryAccelerationParams,
+)
+from repro.bti.traps import TrapPopulation, TrapPopulationConfig
+from repro.em.ac_stress import effective_current_density
+from repro.em.korhonen import KorhonenConfig, KorhonenSolver
+from repro.em.lumped import LumpedEmModel
+from repro.em.line import EmStressCondition
+from repro.sensors.ring_oscillator import RingOscillator
+
+# Small trap population for speed inside hypothesis loops.
+_SMALL = TrapPopulationConfig(n_bins=21)
+
+durations = st.floats(min_value=1.0, max_value=1e6,
+                      allow_nan=False, allow_infinity=False)
+accelerations = st.floats(min_value=1e-2, max_value=1e8,
+                          allow_nan=False, allow_infinity=False)
+
+
+class TestTrapPopulationProperties:
+    @given(stress_s=durations, accel=accelerations)
+    @settings(max_examples=25, deadline=None)
+    def test_occupancy_always_bounded(self, stress_s, accel):
+        population = TrapPopulation(_SMALL)
+        population.stress(stress_s, accel)
+        assert np.all(population.occupancy >= 0.0)
+        assert np.all(population.occupancy <= 1.0 + 1e-12)
+
+    @given(stress_s=durations)
+    @settings(max_examples=25, deadline=None)
+    def test_shift_never_negative(self, stress_s):
+        population = TrapPopulation(_SMALL)
+        population.stress(stress_s)
+        population.recover(stress_s, 1e6)
+        assert population.total_vth_v >= 0.0
+
+    @given(first=durations, second=durations)
+    @settings(max_examples=25, deadline=None)
+    def test_stress_is_monotone_in_time(self, first, second):
+        shorter, longer = sorted((first, second))
+        a = TrapPopulation(_SMALL)
+        b = TrapPopulation(_SMALL)
+        a.stress(shorter)
+        b.stress(longer)
+        assert b.total_vth_v >= a.total_vth_v - 1e-15
+
+    @given(stress_s=durations, recovery_s=durations,
+           accel=accelerations)
+    @settings(max_examples=25, deadline=None)
+    def test_recovery_never_increases_shift(self, stress_s, recovery_s,
+                                            accel):
+        population = TrapPopulation(_SMALL)
+        population.stress(stress_s)
+        before = population.total_vth_v
+        population.recover(recovery_s, accel)
+        assert population.total_vth_v <= before + 1e-15
+
+    @given(stress_s=durations)
+    @settings(max_examples=25, deadline=None)
+    def test_split_stress_equals_joint_stress(self, stress_s):
+        """Stress phases compose: s(a) then s(b) == s(a + b)."""
+        split = TrapPopulation(_SMALL)
+        joint = TrapPopulation(_SMALL)
+        split.stress(stress_s / 2.0)
+        split.stress(stress_s / 2.0)
+        joint.stress(stress_s)
+        assert split.total_vth_v == pytest.approx(joint.total_vth_v,
+                                                  rel=1e-9)
+
+
+class TestConditionProperties:
+    @given(bias=st.floats(min_value=-0.5, max_value=0.0),
+           temp_c=st.floats(min_value=0.0, max_value=150.0))
+    @settings(max_examples=50, deadline=None)
+    def test_acceleration_at_least_passive(self, bias, temp_c):
+        params = RecoveryAccelerationParams(
+            bias_efold_volts=0.06, activation_energy_ev=0.8,
+            synergy_coefficient=6.0)
+        condition = BtiRecoveryCondition(
+            bias, units.celsius_to_kelvin(max(temp_c, 20.0)))
+        assert condition.acceleration(params) >= 1.0 - 1e-9
+
+
+class TestAnalyticModelProperties:
+    @given(t=st.floats(min_value=1.0, max_value=1e9))
+    @settings(max_examples=50, deadline=None)
+    def test_power_law_inversion(self, t):
+        model = PowerLawStressModel()
+        assert model.equivalent_stress_time(
+            model.shift(t)) == pytest.approx(t, rel=1e-6)
+
+    @given(t_rec=st.floats(min_value=0.0, max_value=1e8),
+           t_stress=st.floats(min_value=1.0, max_value=1e8))
+    @settings(max_examples=50, deadline=None)
+    def test_relaxation_fraction_in_unit_interval(self, t_rec, t_stress):
+        model = UniversalRelaxationModel()
+        remaining = model.remaining_fraction(t_rec, t_stress,
+                                             PASSIVE_RECOVERY)
+        assert 0.0 < remaining <= 1.0
+
+
+class TestKorhonenProperties:
+    @given(gradient=st.floats(min_value=1e12, max_value=1e14),
+           duration=st.floats(min_value=60.0, max_value=7200.0))
+    @settings(max_examples=15, deadline=None)
+    def test_mean_stress_conserved_for_any_drive(self, gradient,
+                                                 duration):
+        solver = KorhonenSolver(2.673e-3, KorhonenConfig(
+            n_nodes=101, max_dt_s=duration / 4.0))
+        solver.advance(duration, 3.5e-14, gradient)
+        scale = max(abs(solver.stress_at_start), 1.0)
+        assert abs(solver.mean_stress()) < 1e-6 * scale
+
+    @given(gradient=st.floats(min_value=1e12, max_value=1e14))
+    @settings(max_examples=15, deadline=None)
+    def test_profile_antisymmetry(self, gradient):
+        solver = KorhonenSolver(2.673e-3, KorhonenConfig(
+            n_nodes=101, max_dt_s=600.0))
+        solver.advance(3600.0, 3.5e-14, gradient)
+        _x, sigma = solver.profile()
+        assert np.allclose(sigma, -sigma[::-1], rtol=1e-6,
+                           atol=1e-9 * abs(sigma[0]))
+
+
+class TestLumpedEmProperties:
+    @given(density=st.floats(min_value=1e9, max_value=2e11),
+           temp_c=st.floats(min_value=100.0, max_value=300.0))
+    @settings(max_examples=30, deadline=None)
+    def test_nucleation_time_positive_and_monotone(self, density,
+                                                   temp_c):
+        model = LumpedEmModel()
+        condition = EmStressCondition(
+            density, units.celsius_to_kelvin(temp_c))
+        harder = EmStressCondition(
+            density * 2.0, units.celsius_to_kelvin(temp_c))
+        assert 0.0 < model.nucleation_time(harder) \
+            < model.nucleation_time(condition)
+
+    @given(fraction=st.floats(min_value=0.05, max_value=0.95))
+    @settings(max_examples=20, deadline=None)
+    def test_stress_at_partial_time_below_critical(self, fraction):
+        from repro.em.line import PAPER_EM_STRESS
+        model = LumpedEmModel()
+        t_nuc = model.nucleation_time(PAPER_EM_STRESS)
+        stress = model.cathode_stress(fraction * t_nuc,
+                                      PAPER_EM_STRESS)
+        assert stress < model.wire.material.critical_stress_pa
+
+
+class TestAcStressProperties:
+    @given(forward=st.floats(min_value=0.0, max_value=1.0),
+           gamma=st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_effective_density_bounded(self, forward, gamma):
+        reverse = 1.0 - forward
+        effective = effective_current_density(1e10, forward, 1e10,
+                                              reverse, gamma)
+        assert 0.0 <= effective <= 1e10
+
+
+class TestRingOscillatorProperties:
+    @given(shift=st.floats(min_value=0.0, max_value=0.4))
+    @settings(max_examples=50, deadline=None)
+    def test_frequency_inversion_roundtrip(self, shift):
+        ro = RingOscillator()
+        frequency = ro.frequency_hz(shift)
+        if frequency > 0.0:
+            assert ro.infer_delta_vth_v(frequency) == pytest.approx(
+                shift, abs=1e-9)
+
+    @given(a=st.floats(min_value=0.0, max_value=0.3),
+           b=st.floats(min_value=0.0, max_value=0.3))
+    @settings(max_examples=50, deadline=None)
+    def test_frequency_monotone_in_shift(self, a, b):
+        ro = RingOscillator()
+        low, high = sorted((a, b))
+        assert ro.frequency_hz(high) <= ro.frequency_hz(low) + 1e-9
+
+
+class TestReportingProperties:
+    @given(rows=st.lists(st.tuples(st.integers(), st.integers()),
+                         min_size=1, max_size=10))
+    @settings(max_examples=30, deadline=None)
+    def test_table_always_aligns(self, rows):
+        table = format_table(("a", "b"), rows)
+        lines = [line for line in table.splitlines() if "|" in line]
+        pipe_positions = {tuple(i for i, c in enumerate(line)
+                                if c == "|") for line in lines}
+        assert len(pipe_positions) == 1

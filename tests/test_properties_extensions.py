@@ -1,0 +1,131 @@
+"""Property-based tests for the extension modules.
+
+Invariant coverage for the statistics, variability, Blech and duty
+models, mirroring the style of ``test_properties.py``.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import units
+from repro.bti.duty import DutyCycledStressModel
+from repro.bti.variability import BtiVariabilityModel
+from repro.em.blech import critical_length_m, is_immortal, \
+    saturation_stress_pa
+from repro.em.line import EmStressCondition
+from repro.em.statistics import WirePopulationSpec
+from repro.em.wire import COPPER, Wire
+
+
+class TestPopulationProperties:
+    @given(n=st.integers(min_value=1, max_value=100000),
+           sigma=st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=40, deadline=None)
+    def test_chip_cdf_dominates_wire_cdf(self, n, sigma):
+        spec = WirePopulationSpec(n, units.years(20.0), sigma)
+        t = units.years(10.0)
+        assert spec.chip_failure_probability(t) \
+            >= spec.wire_failure_probability(t) - 1e-12
+
+    @given(fraction=st.floats(min_value=0.001, max_value=0.999))
+    @settings(max_examples=30, deadline=None)
+    def test_chip_quantile_inverts(self, fraction):
+        spec = WirePopulationSpec(500, units.years(20.0), 0.4)
+        t = spec.chip_quantile(fraction)
+        assert spec.chip_failure_probability(t) == pytest.approx(
+            fraction, rel=0.02, abs=1e-4)
+
+    @given(factor=st.floats(min_value=0.1, max_value=100.0))
+    @settings(max_examples=30, deadline=None)
+    def test_scaling_is_multiplicative(self, factor):
+        spec = WirePopulationSpec(500, units.years(20.0), 0.4)
+        scaled = spec.scaled(factor)
+        assert scaled.chip_quantile(0.5) == pytest.approx(
+            factor * spec.chip_quantile(0.5), rel=1e-6)
+
+
+class TestVariabilityProperties:
+    @given(mean=st.floats(min_value=1e-4, max_value=0.2),
+           fraction=st.floats(min_value=0.01, max_value=0.99))
+    @settings(max_examples=50, deadline=None)
+    def test_quantiles_are_ordered_and_non_negative(self, mean,
+                                                    fraction):
+        model = BtiVariabilityModel()
+        low = model.quantile_v(mean, min(fraction, 1.0 - fraction))
+        high = model.quantile_v(mean, max(fraction, 1.0 - fraction))
+        assert 0.0 <= low <= high
+
+    @given(mean=st.floats(min_value=1e-3, max_value=0.1),
+           n=st.integers(min_value=1, max_value=10 ** 9))
+    @settings(max_examples=50, deadline=None)
+    def test_population_worst_grows_with_n(self, mean, n):
+        model = BtiVariabilityModel()
+        assert model.worst_of_population_v(mean, n) \
+            >= mean - 1e-12 or n == 1
+
+
+class TestBlechProperties:
+    @given(density=st.floats(min_value=1e9, max_value=5e11),
+           temp_c=st.floats(min_value=25.0, max_value=300.0))
+    @settings(max_examples=40, deadline=None)
+    def test_wires_below_critical_length_are_immortal(self, density,
+                                                      temp_c):
+        temp = units.celsius_to_kelvin(temp_c)
+        l_crit = critical_length_m(COPPER, density, temp)
+        condition = EmStressCondition(density, temp)
+        assert is_immortal(Wire(length_m=0.99 * l_crit), condition)
+        assert not is_immortal(Wire(length_m=1.01 * l_crit), condition)
+
+    @given(density=st.floats(min_value=1e9, max_value=5e11),
+           length=st.floats(min_value=1e-6, max_value=1e-2))
+    @settings(max_examples=40, deadline=None)
+    def test_saturation_stress_is_linear_in_both(self, density,
+                                                 length):
+        temp = units.celsius_to_kelvin(200.0)
+        condition = EmStressCondition(density, temp)
+        base = saturation_stress_pa(Wire(length_m=length), condition)
+        double_l = saturation_stress_pa(Wire(length_m=2.0 * length),
+                                        condition)
+        assert double_l == pytest.approx(2.0 * base, rel=1e-9)
+
+
+class TestCircuitPassivity:
+    @given(drives=st.lists(st.floats(min_value=0.0, max_value=1.0),
+                           min_size=10, max_size=10))
+    @settings(max_examples=20, deadline=None)
+    def test_assist_nodes_stay_within_the_rails(self, drives):
+        """A resistive-MOS network powered from one supply is passive:
+        whatever the gate drives, no node leaves [0, VDD]."""
+        from repro.assist.circuitry import AssistCircuit
+        from repro.assist.modes import DEVICE_NAMES
+        from repro.circuit.dc import dc_operating_point
+
+        circuit = AssistCircuit()
+        for device, value in zip(DEVICE_NAMES, drives):
+            circuit.circuit.find_voltage_source(
+                f"vg_{device}").volts = value
+        solution = dc_operating_point(circuit.circuit)
+        for node, voltage in solution.voltages().items():
+            assert -1e-6 <= voltage <= 1.0 + 1e-6, (node, voltage)
+
+
+class TestDutyProperties:
+    @given(duty=st.floats(min_value=0.0, max_value=1.0),
+           t=st.floats(min_value=1.0, max_value=1e9))
+    @settings(max_examples=50, deadline=None)
+    def test_duty_cycled_shift_bounded_by_dc(self, duty, t):
+        model = DutyCycledStressModel()
+        assert model.shift(t, duty) \
+            <= model.stress_model.shift(t) + 1e-15
+
+    @given(a=st.floats(min_value=0.01, max_value=1.0),
+           b=st.floats(min_value=0.01, max_value=1.0),
+           t=st.floats(min_value=1.0, max_value=1e8))
+    @settings(max_examples=50, deadline=None)
+    def test_shift_monotone_in_duty(self, a, b, t):
+        model = DutyCycledStressModel()
+        low, high = sorted((a, b))
+        assert model.shift(t, high) >= model.shift(t, low) - 1e-15

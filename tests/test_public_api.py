@@ -1,0 +1,88 @@
+"""Public-API quality gates.
+
+Every name a package exports through ``__all__`` must resolve, and
+every public class/function must carry a docstring -- the "doc comments
+on every public item" guarantee, enforced mechanically.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.bti",
+    "repro.em",
+    "repro.thermal",
+    "repro.circuit",
+    "repro.pdn",
+    "repro.sensors",
+    "repro.assist",
+    "repro.core",
+    "repro.system",
+    "repro.analysis",
+]
+
+MODULES = PACKAGES + [
+    "repro.units", "repro.errors", "repro.cli",
+    "repro.bti.traps", "repro.bti.model", "repro.bti.conditions",
+    "repro.bti.calibration", "repro.bti.analytic", "repro.bti.duty",
+    "repro.bti.variability", "repro.bti.reaction_diffusion",
+    "repro.bti.experiment",
+    "repro.em.wire", "repro.em.korhonen", "repro.em.line",
+    "repro.em.lumped", "repro.em.blacks", "repro.em.ac_stress",
+    "repro.em.statistics", "repro.em.blech", "repro.em.chain",
+    "repro.thermal.floorplan", "repro.thermal.network",
+    "repro.circuit.elements", "repro.circuit.mosfet",
+    "repro.circuit.netlist", "repro.circuit.dc",
+    "repro.circuit.transient", "repro.circuit.oscillator",
+    "repro.pdn.grid", "repro.pdn.irdrop",
+    "repro.sensors.ring_oscillator", "repro.sensors.bti_sensor",
+    "repro.sensors.em_sensor",
+    "repro.assist.modes", "repro.assist.circuitry",
+    "repro.assist.sizing", "repro.assist.area",
+    "repro.core.schedule", "repro.core.balance",
+    "repro.core.lifetime", "repro.core.margins",
+    "repro.core.controller", "repro.core.engine",
+    "repro.core.compensation", "repro.core.planner",
+    "repro.core.design_space",
+    "repro.system.chip", "repro.system.workload",
+    "repro.system.scheduler", "repro.system.dark_silicon",
+    "repro.system.aging", "repro.system.simulator",
+    "repro.system.reliability",
+    "repro.analysis.fitting", "repro.analysis.stats",
+    "repro.analysis.reporting", "repro.analysis.sensitivity",
+]
+
+
+@pytest.mark.parametrize("name", MODULES)
+def test_module_imports_and_has_docstring(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} lacks a module docstring"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    exported = getattr(module, "__all__", [])
+    assert exported, f"{name} should declare __all__"
+    for symbol in exported:
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_public_callables_are_documented(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        obj = getattr(module, symbol)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            assert obj.__doc__, f"{name}.{symbol} lacks a docstring"
+            if inspect.isclass(obj):
+                for method_name, method in vars(obj).items():
+                    if method_name.startswith("_"):
+                        continue
+                    if inspect.isfunction(method):
+                        assert method.__doc__, (
+                            f"{name}.{symbol}.{method_name} lacks a "
+                            "docstring")

@@ -1,0 +1,156 @@
+"""Tests for repro.sensors (RO, BTI sensor, EM sensor)."""
+
+import pytest
+
+from repro import units
+from repro.errors import SensorError
+from repro.sensors.bti_sensor import BtiSensor
+from repro.sensors.em_sensor import EmResistanceSensor
+from repro.sensors.ring_oscillator import RingOscillator
+
+
+class TestRingOscillator:
+    def test_fresh_frequency(self):
+        ro = RingOscillator()
+        assert ro.frequency_hz(0.0) == pytest.approx(
+            ro.fresh_frequency_hz)
+
+    def test_shift_slows_the_oscillator(self):
+        ro = RingOscillator()
+        assert ro.frequency_hz(0.03) < ro.fresh_frequency_hz
+
+    def test_degradation_monotone_in_shift(self):
+        ro = RingOscillator()
+        assert ro.frequency_degradation(0.05) \
+            > ro.frequency_degradation(0.01) > 0.0
+
+    def test_inversion_roundtrip(self):
+        ro = RingOscillator()
+        shift = 0.042
+        assert ro.infer_delta_vth_v(
+            ro.frequency_hz(shift)) == pytest.approx(shift, rel=1e-9)
+
+    def test_above_fresh_frequency_reads_zero_shift(self):
+        ro = RingOscillator()
+        assert ro.infer_delta_vth_v(ro.fresh_frequency_hz * 1.01) == 0.0
+
+    def test_overdrive_exhaustion_stops_oscillation(self):
+        ro = RingOscillator()
+        assert ro.frequency_hz(ro.supply_v - ro.fresh_vth_v + 0.1) == 0.0
+
+    def test_delay_degradation_relates_to_frequency(self):
+        ro = RingOscillator()
+        shift = 0.02
+        expected = ro.fresh_frequency_hz / ro.frequency_hz(shift) - 1.0
+        assert ro.delay_degradation(shift) == pytest.approx(expected)
+
+    def test_rejects_negative_shift(self):
+        with pytest.raises(SensorError):
+            RingOscillator().frequency_hz(-0.01)
+
+    def test_rejects_supply_below_threshold(self):
+        with pytest.raises(SensorError):
+            RingOscillator(supply_v=0.2, fresh_vth_v=0.3)
+
+
+class _FakeBtiTarget:
+    def __init__(self, delta: float):
+        self.delta_vth_v = delta
+
+
+class TestBtiSensor:
+    def test_reading_tracks_target(self):
+        sensor = BtiSensor(_FakeBtiTarget(0.03))
+        reading = sensor.read()
+        assert reading.delta_vth_v == pytest.approx(0.03, abs=1e-4)
+
+    def test_quantization_limits_resolution(self):
+        sensor = BtiSensor(_FakeBtiTarget(0.0), gate_window_s=1e-3)
+        assert sensor.frequency_quantum_hz == pytest.approx(1000.0)
+        reading = sensor.read()
+        assert reading.frequency_hz % 1000.0 == pytest.approx(0.0)
+
+    def test_noise_is_reproducible_with_seed(self):
+        a = BtiSensor(_FakeBtiTarget(0.02), jitter_hz_rms=5e4, seed=7)
+        b = BtiSensor(_FakeBtiTarget(0.02), jitter_hz_rms=5e4, seed=7)
+        assert a.read().frequency_hz == b.read().frequency_hz
+
+    def test_threshold_trigger(self):
+        sensor = BtiSensor(_FakeBtiTarget(0.05))
+        assert sensor.exceeds(0.01)
+        assert not sensor.exceeds(0.5)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(SensorError):
+            BtiSensor(_FakeBtiTarget(0.0)).exceeds(1.5)
+
+    def test_rejects_bad_window(self):
+        with pytest.raises(SensorError):
+            BtiSensor(_FakeBtiTarget(0.0), gate_window_s=0.0)
+
+
+class _FakeWire:
+    def __init__(self):
+        self.value = 70.0
+
+    def resistance_ohm(self, temperature_k: float) -> float:
+        return self.value
+
+
+class TestEmResistanceSensor:
+    def test_drift_relative_to_first_reading(self):
+        wire = _FakeWire()
+        sensor = EmResistanceSensor(wire, 500.0)
+        sensor.read(0.0)
+        wire.value = 70.5
+        reading = sensor.read(60.0)
+        assert reading.drift_ohm == pytest.approx(0.5, abs=0.02)
+
+    def test_quantization(self):
+        wire = _FakeWire()
+        wire.value = 70.004
+        sensor = EmResistanceSensor(wire, 500.0, quantum_ohm=0.01)
+        assert sensor.read(0.0).resistance_ohm == pytest.approx(70.0)
+
+    def test_slope_detection(self):
+        wire = _FakeWire()
+        sensor = EmResistanceSensor(wire, 500.0, quantum_ohm=1e-6)
+        for minute in range(6):
+            wire.value = 70.0 + 0.01 * minute
+            sensor.read(units.minutes(minute))
+        slope = sensor.slope_ohm_per_s()
+        assert slope == pytest.approx(0.01 / 60.0, rel=0.05)
+
+    def test_growth_trigger(self):
+        wire = _FakeWire()
+        sensor = EmResistanceSensor(wire, 500.0, quantum_ohm=1e-6)
+        for minute in range(6):
+            wire.value = 70.0 + 0.05 * minute
+            sensor.read(units.minutes(minute))
+        assert sensor.growth_detected(1e-5)
+        assert not sensor.growth_detected(1.0)
+
+    def test_flat_wire_has_no_slope(self):
+        sensor = EmResistanceSensor(_FakeWire(), 500.0)
+        for minute in range(4):
+            sensor.read(units.minutes(minute))
+        assert sensor.slope_ohm_per_s() == pytest.approx(0.0, abs=1e-12)
+
+    def test_drift_fraction(self):
+        wire = _FakeWire()
+        sensor = EmResistanceSensor(wire, 500.0, quantum_ohm=1e-6)
+        sensor.read(0.0)
+        wire.value = 73.5
+        sensor.read(1.0)
+        assert sensor.drift_fraction() == pytest.approx(0.05, rel=1e-3)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(SensorError):
+            EmResistanceSensor(_FakeWire(), 0.0)
+        with pytest.raises(SensorError):
+            EmResistanceSensor(_FakeWire(), 500.0, quantum_ohm=0.0)
+
+    def test_rejects_tiny_window(self):
+        sensor = EmResistanceSensor(_FakeWire(), 500.0)
+        with pytest.raises(SensorError):
+            sensor.slope_ohm_per_s(window=1)

@@ -1,0 +1,122 @@
+"""Tests for repro.system.chip and repro.system.workload."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.system.chip import Chip, CoreSpec
+from repro.system.workload import (
+    ConstantWorkload,
+    DiurnalWorkload,
+    RandomWorkload,
+    TraceWorkload,
+)
+
+
+class TestCoreSpec:
+    def test_power_interpolates_with_utilization(self):
+        core = CoreSpec(active_power_w=2.0, idle_power_w=0.2)
+        assert core.power_w(0.0) == pytest.approx(0.2)
+        assert core.power_w(1.0) == pytest.approx(2.0)
+        assert core.power_w(0.5) == pytest.approx(1.1)
+
+    def test_rejects_out_of_range_utilization(self):
+        with pytest.raises(SimulationError):
+            CoreSpec().power_w(1.5)
+
+    def test_rejects_idle_above_active(self):
+        with pytest.raises(SimulationError):
+            CoreSpec(active_power_w=1.0, idle_power_w=2.0)
+
+
+class TestChip:
+    def test_core_count(self):
+        assert Chip(4, 4).n_cores == 16
+
+    def test_core_names_match_floorplan(self):
+        chip = Chip(2, 2)
+        assert chip.core_names == ["core00", "core01", "core10",
+                                   "core11"]
+
+    def test_neighbours(self):
+        chip = Chip(3, 3)
+        centre = chip.floorplan.index_of("core11")
+        assert len(chip.neighbours_of(centre)) == 4
+        corner = chip.floorplan.index_of("core00")
+        assert len(chip.neighbours_of(corner)) == 2
+
+    def test_rejects_empty_chip(self):
+        with pytest.raises(SimulationError):
+            Chip(0, 4)
+
+
+class TestWorkloads:
+    def test_constant_demand(self):
+        workload = ConstantWorkload(n_cores=8, utilization=0.5)
+        assert workload.demand(0) == pytest.approx(4.0)
+        assert workload.demand(100) == pytest.approx(4.0)
+
+    def test_constant_validation(self):
+        with pytest.raises(SimulationError):
+            ConstantWorkload(n_cores=8, utilization=1.5)
+
+    def test_random_is_reproducible(self):
+        a = RandomWorkload(n_cores=8, seed=3)
+        b = RandomWorkload(n_cores=8, seed=3)
+        assert [a.demand(e) for e in range(10)] \
+            == [b.demand(e) for e in range(10)]
+
+    def test_random_stays_in_range(self):
+        workload = RandomWorkload(n_cores=8, volatility=0.5, seed=1)
+        for epoch in range(200):
+            demand = workload.demand(epoch)
+            assert 0.0 <= demand <= 8.0
+
+    def test_random_rejects_rewind(self):
+        workload = RandomWorkload(n_cores=8)
+        workload.demand(5)
+        with pytest.raises(SimulationError):
+            workload.demand(2)
+
+    def test_random_same_epoch_is_stable(self):
+        workload = RandomWorkload(n_cores=8, seed=2)
+        first = workload.demand(4)
+        assert workload.demand(4) == first
+
+    def test_diurnal_cycles(self):
+        workload = DiurnalWorkload(n_cores=8, peak_utilization=0.9,
+                                   trough_utilization=0.1,
+                                   period_epochs=24)
+        trough = workload.demand(0)
+        peak = workload.demand(12)
+        assert peak > trough
+        assert workload.demand(24) == pytest.approx(trough)
+
+    def test_diurnal_bounds(self):
+        workload = DiurnalWorkload(n_cores=8, peak_utilization=0.9,
+                                   trough_utilization=0.1,
+                                   period_epochs=24)
+        for epoch in range(48):
+            demand = workload.demand(epoch)
+            assert 0.8 - 1e-9 <= demand <= 7.2 + 1e-9
+
+    def test_diurnal_validation(self):
+        with pytest.raises(SimulationError):
+            DiurnalWorkload(n_cores=8, peak_utilization=0.2,
+                            trough_utilization=0.5)
+
+    def test_trace_replays_values(self):
+        workload = TraceWorkload.from_sequence(4, [0.1, 0.5, 0.9])
+        assert workload.demand(0) == pytest.approx(0.4)
+        assert workload.demand(1) == pytest.approx(2.0)
+        assert workload.demand(2) == pytest.approx(3.6)
+
+    def test_trace_wraps_around(self):
+        workload = TraceWorkload.from_sequence(4, [0.1, 0.5])
+        assert workload.demand(2) == workload.demand(0)
+        assert workload.demand(7) == workload.demand(1)
+
+    def test_trace_validation(self):
+        with pytest.raises(SimulationError):
+            TraceWorkload.from_sequence(4, [])
+        with pytest.raises(SimulationError):
+            TraceWorkload.from_sequence(4, [0.5, 1.5])

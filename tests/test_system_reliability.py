@@ -1,0 +1,71 @@
+"""Tests for repro.system.reliability."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.errors import SimulationError
+from repro.system.reliability import reliability_report
+from repro.system.simulator import SystemResult
+
+
+def make_result(drift_ohm: float, horizon_s: float = units.days(2.0)
+                ) -> SystemResult:
+    n = 4
+    return SystemResult(
+        times_s=np.array([horizon_s / 2.0, horizon_s]),
+        worst_degradation=np.array([0.01, 0.02]),
+        mean_degradation=np.array([0.005, 0.01]),
+        dropped_demand=np.zeros(2),
+        final_delta_vth_v=np.full(n, 0.01),
+        final_permanent_vth_v=np.full(n, 0.002),
+        final_em_drift_ohm=np.full(n, drift_ohm),
+        em_failures=np.zeros(n, dtype=bool))
+
+
+class TestReliabilityReport:
+    def test_no_drift_means_unbounded_em_life(self):
+        report = reliability_report(make_result(0.0),
+                                    units.years(10.0))
+        assert report.em_chip_median_ttf_s == float("inf")
+        assert report.mission_survival_probability == 1.0
+
+    def test_drift_rate_sets_the_median(self):
+        fast = reliability_report(make_result(1.0), units.years(10.0))
+        slow = reliability_report(make_result(0.1), units.years(10.0))
+        assert fast.em_chip_median_ttf_s < slow.em_chip_median_ttf_s
+
+    def test_survival_falls_with_mission_length(self):
+        result = make_result(0.5)
+        short = reliability_report(result, units.years(1.0))
+        long = reliability_report(result, units.years(30.0))
+        assert long.mission_survival_probability \
+            <= short.mission_survival_probability
+
+    def test_bti_margin_passthrough(self):
+        report = reliability_report(make_result(0.1), units.years(5.0))
+        assert report.bti_margin == pytest.approx(0.02)
+
+    def test_more_wires_less_survival(self):
+        result = make_result(0.5)
+        few = reliability_report(result, units.years(10.0),
+                                 wires_per_core=4)
+        many = reliability_report(result, units.years(10.0),
+                                  wires_per_core=4096)
+        assert many.mission_survival_probability \
+            <= few.mission_survival_probability
+
+    def test_describe_is_readable(self):
+        text = reliability_report(make_result(0.2),
+                                  units.years(10.0)).describe()
+        assert "BTI margin" in text
+        assert "mission survival" in text
+
+    def test_rejects_bad_mission(self):
+        with pytest.raises(SimulationError):
+            reliability_report(make_result(0.1), 0.0)
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(SimulationError):
+            reliability_report(make_result(0.1), units.years(1.0),
+                               failure_drift_ohm=0.0)

@@ -1,0 +1,145 @@
+"""Tests for repro.system.scheduler and repro.system.dark_silicon."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.system.chip import Chip
+from repro.system.dark_silicon import DarkSiliconRotationPolicy
+from repro.system.scheduler import (
+    CoreAssignment,
+    NoRecoveryPolicy,
+    RoundRobinRecoveryPolicy,
+)
+
+N = 8
+AGES = np.linspace(0.0, 0.03, N)
+
+
+class TestCoreAssignment:
+    def test_rejects_misaligned_arrays(self):
+        with pytest.raises(SimulationError):
+            CoreAssignment(np.zeros(3), np.zeros(2, dtype=bool),
+                           np.zeros(3, dtype=bool))
+
+    def test_rejects_loaded_healing_core(self):
+        with pytest.raises(SimulationError):
+            CoreAssignment(np.array([0.5]), np.array([True]),
+                           np.array([False]))
+
+    def test_rejects_out_of_range_utilization(self):
+        with pytest.raises(SimulationError):
+            CoreAssignment(np.array([1.5]), np.array([False]),
+                           np.array([False]))
+
+
+class TestNoRecoveryPolicy:
+    def test_spreads_demand_evenly(self):
+        assignment = NoRecoveryPolicy().assign(0, 4.0, AGES)
+        assert np.allclose(assignment.utilization, 0.5)
+        assert not assignment.bti_recovering.any()
+        assert assignment.dropped_demand == 0.0
+
+    def test_saturates_at_full_utilization(self):
+        assignment = NoRecoveryPolicy().assign(0, 12.0, AGES)
+        assert np.allclose(assignment.utilization, 1.0)
+        assert assignment.dropped_demand == pytest.approx(4.0)
+
+
+class TestRoundRobinPolicy:
+    def test_rotates_the_healing_window(self):
+        policy = RoundRobinRecoveryPolicy(recovery_slots=2,
+                                          em_alternate_every=0)
+        first = policy.assign(0, 4.0, AGES)
+        second = policy.assign(1, 4.0, AGES)
+        assert first.bti_recovering.sum() == 2
+        assert second.bti_recovering.sum() == 2
+        assert not np.array_equal(first.bti_recovering,
+                                  second.bti_recovering)
+
+    def test_every_core_eventually_heals(self):
+        policy = RoundRobinRecoveryPolicy(recovery_slots=1,
+                                          em_alternate_every=0)
+        healed = np.zeros(N, dtype=bool)
+        for epoch in range(N):
+            healed |= policy.assign(epoch, 4.0, AGES).bti_recovering
+        assert healed.all()
+
+    def test_demand_migrates_to_active_cores(self):
+        policy = RoundRobinRecoveryPolicy(recovery_slots=2,
+                                          em_alternate_every=0)
+        assignment = policy.assign(0, 6.0, AGES)
+        active = ~assignment.bti_recovering
+        assert np.allclose(assignment.utilization[active], 1.0)
+        assert np.all(assignment.utilization[~active] == 0.0)
+
+    def test_em_alternation_cadence(self):
+        policy = RoundRobinRecoveryPolicy(recovery_slots=0,
+                                          em_alternate_every=2)
+        with_em = policy.assign(0, 4.0, AGES)
+        without_em = policy.assign(1, 4.0, AGES)
+        assert with_em.em_recovering.any()
+        assert not without_em.em_recovering.any()
+
+    def test_rejects_all_cores_healing(self):
+        policy = RoundRobinRecoveryPolicy(recovery_slots=N)
+        with pytest.raises(SimulationError):
+            policy.assign(0, 1.0, AGES)
+
+
+class TestDarkSiliconPolicy:
+    def make_policy(self, **kwargs) -> DarkSiliconRotationPolicy:
+        chip = Chip(2, 4)
+        return DarkSiliconRotationPolicy(chip=chip, n_dark=2,
+                                         em_alternate_every=0,
+                                         **kwargs)
+
+    def test_darkens_the_most_aged_cores(self):
+        policy = self.make_policy(heat_aware=False, dwell_epochs=1)
+        assignment = policy.assign(0, 4.0, AGES)
+        dark = np.nonzero(assignment.bti_recovering)[0]
+        assert set(dark) == {N - 1, N - 2}
+
+    def test_dwell_keeps_the_dark_set_stable(self):
+        policy = self.make_policy(heat_aware=False, dwell_epochs=3)
+        first = policy.assign(0, 4.0, AGES)
+        second = policy.assign(1, 4.0, AGES)
+        assert np.array_equal(first.bti_recovering,
+                              second.bti_recovering)
+
+    def test_rotation_after_dwell(self):
+        policy = self.make_policy(heat_aware=False, dwell_epochs=1)
+        ages = AGES.copy()
+        first = policy.assign(0, 4.0, ages)
+        # The healed cores become fresh; others age.
+        ages[first.bti_recovering] = 0.0
+        ages[~first.bti_recovering] += 0.05
+        second = policy.assign(1, 4.0, ages)
+        assert not np.array_equal(first.bti_recovering,
+                                  second.bti_recovering)
+
+    def test_heat_aware_prefers_hot_neighbourhoods(self):
+        policy = self.make_policy(heat_aware=True, dwell_epochs=1,
+                                  age_weight=0.0)
+        # Cores around index 1 are busy; far cores idle.
+        previous = np.zeros(N)
+        previous[[0, 2, 5]] = 1.0
+        assignment = policy.assign(0, 2.0, np.zeros(N), previous)
+        dark = set(np.nonzero(assignment.bti_recovering)[0])
+        assert 1 in dark
+
+    def test_demand_spread_over_active_cores(self):
+        policy = self.make_policy(heat_aware=False, dwell_epochs=1)
+        assignment = policy.assign(0, 3.0, AGES)
+        active = ~assignment.bti_recovering
+        assert np.allclose(assignment.utilization[active], 0.5)
+
+    def test_rejects_all_dark(self):
+        chip = Chip(2, 2)
+        with pytest.raises(SimulationError):
+            DarkSiliconRotationPolicy(chip=chip, n_dark=4)
+
+    def test_rejects_wrong_age_vector(self):
+        policy = self.make_policy()
+        with pytest.raises(SimulationError):
+            policy.assign(0, 1.0, np.zeros(3))

@@ -1,0 +1,84 @@
+"""Tests for repro.thermal.floorplan."""
+
+import pytest
+
+from repro.thermal.floorplan import Block, Floorplan
+
+
+class TestBlock:
+    def test_area(self):
+        block = Block("a", 0.0, 0.0, 2e-3, 3e-3)
+        assert block.area_m2 == pytest.approx(6e-6)
+
+    def test_rejects_non_positive_dimensions(self):
+        with pytest.raises(ValueError):
+            Block("a", 0.0, 0.0, 0.0, 1e-3)
+
+    def test_shared_edge_vertical_neighbours(self):
+        a = Block("a", 0.0, 0.0, 1e-3, 1e-3)
+        b = Block("b", 1e-3, 0.0, 1e-3, 1e-3)
+        assert a.shared_edge_m(b) == pytest.approx(1e-3)
+        assert b.shared_edge_m(a) == pytest.approx(1e-3)
+
+    def test_shared_edge_horizontal_neighbours(self):
+        a = Block("a", 0.0, 0.0, 1e-3, 1e-3)
+        b = Block("b", 0.0, 1e-3, 1e-3, 1e-3)
+        assert a.shared_edge_m(b) == pytest.approx(1e-3)
+
+    def test_partial_overlap(self):
+        a = Block("a", 0.0, 0.0, 1e-3, 1e-3)
+        b = Block("b", 1e-3, 0.5e-3, 1e-3, 1e-3)
+        assert a.shared_edge_m(b) == pytest.approx(0.5e-3)
+
+    def test_diagonal_blocks_share_nothing(self):
+        a = Block("a", 0.0, 0.0, 1e-3, 1e-3)
+        b = Block("b", 1e-3, 1e-3, 1e-3, 1e-3)
+        assert a.shared_edge_m(b) == pytest.approx(0.0)
+
+    def test_distant_blocks_share_nothing(self):
+        a = Block("a", 0.0, 0.0, 1e-3, 1e-3)
+        b = Block("b", 5e-3, 0.0, 1e-3, 1e-3)
+        assert a.shared_edge_m(b) == 0.0
+
+
+class TestFloorplan:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Floorplan([])
+
+    def test_rejects_duplicate_names(self):
+        blocks = [Block("a", 0.0, 0.0, 1e-3, 1e-3),
+                  Block("a", 1e-3, 0.0, 1e-3, 1e-3)]
+        with pytest.raises(ValueError):
+            Floorplan(blocks)
+
+    def test_lookup_by_name(self):
+        plan = Floorplan.grid(2, 2)
+        assert plan.block("core00").x_m == 0.0
+        assert plan.index_of("core11") == 3
+
+    def test_unknown_name_raises(self):
+        plan = Floorplan.grid(2, 2)
+        with pytest.raises(KeyError):
+            plan.index_of("missing")
+
+    def test_grid_block_count(self):
+        assert len(Floorplan.grid(3, 4)) == 12
+
+    def test_grid_adjacency_count(self):
+        # A rows x cols grid has r*(c-1) + c*(r-1) adjacent pairs.
+        plan = Floorplan.grid(3, 3)
+        assert len(plan.adjacency()) == 3 * 2 + 3 * 2
+
+    def test_corner_has_two_neighbours(self):
+        plan = Floorplan.grid(3, 3)
+        assert sorted(plan.neighbours_of("core00")) == ["core01",
+                                                        "core10"]
+
+    def test_centre_has_four_neighbours(self):
+        plan = Floorplan.grid(3, 3)
+        assert len(plan.neighbours_of("core11")) == 4
+
+    def test_grid_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            Floorplan.grid(0, 3)

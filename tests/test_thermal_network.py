@@ -1,0 +1,159 @@
+"""Tests for repro.thermal.network."""
+
+import numpy as np
+import pytest
+
+from repro import units
+from repro.errors import SimulationError
+from repro.thermal.floorplan import Floorplan
+from repro.thermal.network import ThermalNetworkConfig, ThermalRCNetwork
+
+
+@pytest.fixture()
+def network() -> ThermalRCNetwork:
+    return ThermalRCNetwork(Floorplan.grid(3, 3))
+
+
+class TestSteadyState:
+    def test_zero_power_sits_at_ambient(self, network):
+        temps = network.steady_state(np.zeros(9))
+        assert np.allclose(temps, network.config.ambient_k)
+
+    def test_power_raises_temperature(self, network):
+        temps = network.steady_state(np.full(9, 1.5))
+        assert np.all(temps > network.config.ambient_k)
+
+    def test_uniform_power_gives_uniform_temperature(self, network):
+        temps = network.steady_state(np.full(9, 1.0))
+        assert np.allclose(temps, temps[0])
+
+    def test_single_hot_block_heats_neighbours(self, network):
+        powers = np.zeros(9)
+        powers[4] = 2.0  # centre of the 3x3 grid
+        temps = network.steady_state(powers)
+        centre = temps[4]
+        neighbour = temps[1]
+        corner = temps[0]
+        ambient = network.config.ambient_k
+        assert centre > neighbour > corner > ambient
+
+    def test_dark_core_is_heated_by_neighbours(self, network):
+        """The paper's dark-silicon healing premise: an idle core next
+        to busy ones sits well above ambient."""
+        powers = np.full(9, 1.5)
+        powers[4] = 0.0
+        temps = network.steady_state(powers)
+        assert temps[4] > network.config.ambient_k + 10.0
+
+    def test_energy_balance(self, network):
+        """Total power in equals total heat flowing to ambient."""
+        powers = np.linspace(0.0, 2.0, 9)
+        temps = network.steady_state(powers)
+        heat_out = np.sum(network.g_ambient
+                          * (temps - network.config.ambient_k))
+        assert heat_out == pytest.approx(powers.sum(), rel=1e-9)
+
+    def test_steady_state_map(self, network):
+        temps = network.steady_state_map({"core11": 2.0})
+        assert temps["core11"] > temps["core00"]
+
+    def test_rejects_negative_power(self, network):
+        with pytest.raises(SimulationError):
+            network.steady_state(np.full(9, -1.0))
+
+    def test_rejects_wrong_length(self, network):
+        with pytest.raises(SimulationError):
+            network.steady_state(np.zeros(4))
+
+
+class TestTransient:
+    def test_transient_approaches_steady_state(self, network):
+        powers = np.full(9, 1.0)
+        target = network.steady_state(powers).copy()
+        network.temperatures_k = np.full(9, network.config.ambient_k)
+        tau = network.thermal_time_constant_s()
+        network.advance(10.0 * tau, powers, max_dt_s=tau / 20.0)
+        assert np.allclose(network.temperatures_k, target, atol=0.1)
+
+    def test_transient_moves_monotonically_when_heating(self, network):
+        powers = np.full(9, 1.0)
+        network.temperatures_k = np.full(9, network.config.ambient_k)
+        t1 = network.advance(0.01, powers).copy()
+        t2 = network.advance(0.01, powers).copy()
+        assert np.all(t2 >= t1)
+
+    def test_rejects_negative_duration(self, network):
+        with pytest.raises(SimulationError):
+            network.advance(-1.0, np.zeros(9))
+
+    def test_time_constant_is_positive(self, network):
+        assert network.thermal_time_constant_s() > 0.0
+
+
+class TestHeatingPower:
+    def test_zero_when_background_suffices(self, network):
+        """Dark-silicon case: busy neighbours already heat the block."""
+        powers = np.full(9, 2.5)
+        powers[4] = 0.0
+        hot = network.steady_state(powers.copy())[4]
+        needed = network.heating_power_w("core11", hot - 5.0, powers)
+        assert needed == 0.0
+
+    def test_heater_reaches_the_target(self, network):
+        powers = np.zeros(9)
+        target = units.celsius_to_kelvin(110.0)
+        heater = network.heating_power_w("core11", target, powers)
+        assert heater > 0.0
+        powers[4] = heater
+        temps = network.steady_state(powers)
+        assert temps[4] == pytest.approx(target, abs=0.01)
+
+    def test_hotter_target_needs_more_power(self, network):
+        powers = np.zeros(9)
+        mild = network.heating_power_w(
+            "core11", units.celsius_to_kelvin(80.0), powers)
+        hot = network.heating_power_w(
+            "core11", units.celsius_to_kelvin(120.0), powers)
+        assert hot > mild
+
+    def test_neighbour_heat_reduces_the_heater_bill(self, network):
+        target = units.celsius_to_kelvin(110.0)
+        idle = network.heating_power_w("core11", target, np.zeros(9))
+        busy = np.full(9, 1.5)
+        busy[4] = 0.0
+        assisted = network.heating_power_w("core11", target, busy)
+        assert assisted < idle
+
+    def test_healing_energy_scales_with_interval(self, network):
+        target = units.celsius_to_kelvin(110.0)
+        one = network.healing_energy_j("core11", target, np.zeros(9),
+                                       60.0)
+        two = network.healing_energy_j("core11", target, np.zeros(9),
+                                       120.0)
+        assert two == pytest.approx(2.0 * one)
+
+    def test_rejects_bad_target(self, network):
+        with pytest.raises(SimulationError):
+            network.heating_power_w("core11", 0.0, np.zeros(9))
+
+
+class TestConfig:
+    def test_sane_default_operating_point(self):
+        """A 2x2 mm core at 1.5 W lands at a plausible hot-spot temp."""
+        network = ThermalRCNetwork(Floorplan.grid(1, 1))
+        temps = network.steady_state([1.5])
+        celsius = units.kelvin_to_celsius(float(temps[0]))
+        assert 80.0 < celsius < 120.0
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            ThermalNetworkConfig(vertical_resistance_km2_w=0.0)
+
+    def test_temperature_of_lookup(self, network):
+        network.steady_state(np.zeros(9))
+        assert network.temperature_of("core00") == pytest.approx(
+            network.config.ambient_k)
+
+    def test_temperature_map_has_all_blocks(self, network):
+        assert set(network.temperature_map()) == {
+            f"core{r}{c}" for r in range(3) for c in range(3)}

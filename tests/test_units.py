@@ -1,0 +1,99 @@
+"""Tests for repro.units."""
+
+import math
+
+import pytest
+
+from repro import units
+
+
+class TestTemperatureConversion:
+    def test_celsius_to_kelvin_room(self):
+        assert units.celsius_to_kelvin(20.0) == pytest.approx(293.15)
+
+    def test_kelvin_to_celsius_roundtrip(self):
+        assert units.kelvin_to_celsius(
+            units.celsius_to_kelvin(110.0)) == pytest.approx(110.0)
+
+    def test_celsius_below_absolute_zero_rejected(self):
+        with pytest.raises(ValueError):
+            units.celsius_to_kelvin(-300.0)
+
+    def test_negative_kelvin_rejected(self):
+        with pytest.raises(ValueError):
+            units.kelvin_to_celsius(-1.0)
+
+    def test_room_temperature_constant(self):
+        assert units.ROOM_TEMPERATURE_K == pytest.approx(293.15)
+
+
+class TestDurations:
+    def test_hours(self):
+        assert units.hours(24.0) == 86400.0
+
+    def test_minutes(self):
+        assert units.minutes(90.0) == 5400.0
+
+    def test_days(self):
+        assert units.days(2.0) == 172800.0
+
+    def test_years_is_julian(self):
+        assert units.years(1.0) == pytest.approx(365.25 * 86400.0)
+
+    def test_to_hours_inverts_hours(self):
+        assert units.to_hours(units.hours(7.5)) == pytest.approx(7.5)
+
+    def test_to_minutes_inverts_minutes(self):
+        assert units.to_minutes(units.minutes(13.0)) == pytest.approx(13.0)
+
+    def test_to_years_inverts_years(self):
+        assert units.to_years(units.years(50.0)) == pytest.approx(50.0)
+
+
+class TestCurrentDensity:
+    def test_paper_stress_density(self):
+        # The paper stresses at 7.96 MA/cm^2.
+        assert units.ma_per_cm2(7.96) == pytest.approx(7.96e10)
+
+    def test_roundtrip(self):
+        assert units.to_ma_per_cm2(
+            units.ma_per_cm2(3.2)) == pytest.approx(3.2)
+
+
+class TestArrhenius:
+    def test_identity_at_reference(self):
+        assert units.arrhenius_factor(1.0, 350.0, 350.0) == 1.0
+
+    def test_hotter_is_faster(self):
+        assert units.arrhenius_factor(0.5, 383.15, 293.15) > 1.0
+
+    def test_colder_is_slower(self):
+        assert units.arrhenius_factor(0.5, 293.15, 383.15) < 1.0
+
+    def test_zero_activation_energy_is_flat(self):
+        assert units.arrhenius_factor(0.0, 400.0, 300.0) == 1.0
+
+    def test_known_value(self):
+        # exp(Ea/k * (1/T_ref - 1/T)) with Ea = kB * T products.
+        factor = units.arrhenius_factor(0.1, 400.0, 300.0)
+        expected = math.exp((0.1 / units.BOLTZMANN_EV)
+                            * (1.0 / 300.0 - 1.0 / 400.0))
+        assert factor == pytest.approx(expected)
+
+    def test_rejects_negative_temperature(self):
+        with pytest.raises(ValueError):
+            units.arrhenius_factor(0.5, -1.0, 300.0)
+
+    def test_rejects_negative_energy(self):
+        with pytest.raises(ValueError):
+            units.arrhenius_factor(-0.5, 300.0, 300.0)
+
+
+class TestThermalVoltage:
+    def test_room_value(self):
+        assert units.thermal_voltage(293.15) == pytest.approx(
+            0.02526, rel=1e-3)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            units.thermal_voltage(0.0)
