@@ -1,0 +1,272 @@
+"""Before/after benchmarks for the prefactored solver core.
+
+Each test times the seed's original dense/banded re-solve path (kept
+here as a verbatim replica) against the shared
+:mod:`repro.solvers` path on the three hot workloads:
+
+* Korhonen stress stepping, 10k implicit steps on the paper's
+  1201-node line;
+* thermal RC ``advance`` over 1k one-second epochs on an 8x8
+  floorplan;
+* PDN IR-drop re-solve across 100 load patterns on a 24x24 grid.
+
+Timings (best of a few repetitions) and speedups are written to
+``BENCH_solvers.json`` at the repo root when the module finishes, and
+each test asserts the acceptance threshold (>= 3x) plus numerical
+equivalence between the two paths.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+from scipy.linalg import solve_banded
+
+from repro import units
+from repro.em.korhonen import BoundaryKind, KorhonenConfig, \
+    KorhonenSolver
+from repro.em.statistics import WirePopulationSpec, \
+    sample_population_ttfs_parallel
+from repro.em.wire import COPPER
+from repro.pdn.grid import PdnGrid
+from repro.pdn.irdrop import solve_ir_drop_batch
+from repro.thermal.floorplan import Floorplan
+from repro.thermal.network import ThermalRCNetwork
+
+from benchmarks.conftest import run_once
+
+RESULTS = {}
+SPEEDUP_THRESHOLD = 3.0
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_report():
+    """Dump the collected before/after timings to BENCH_solvers.json."""
+    yield
+    if not RESULTS:
+        return
+    payload = {
+        "suite": "benchmarks/test_solver_core.py",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "units": "seconds, best of the recorded repetitions",
+        "timings": RESULTS,
+    }
+    path = Path(__file__).resolve().parent.parent / "BENCH_solvers.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def best_of(fn, reps):
+    """Best wall-clock of ``reps`` runs, plus the last return value."""
+    best = float("inf")
+    value = None
+    for _ in range(reps):
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def record(name, before_s, after_s, **extra):
+    entry = {"before_s": before_s, "after_s": after_s,
+             "speedup": before_s / after_s, **extra}
+    RESULTS[name] = entry
+    return entry
+
+
+def relative_error(result, reference):
+    reference = np.asarray(reference)
+    return float(np.abs(np.asarray(result) - reference).max()
+                 / np.abs(reference).max())
+
+
+class SeedKorhonen:
+    """The seed's per-step banded assembly + solve, verbatim."""
+
+    def __init__(self, length_m, n_nodes):
+        self.n = n_nodes
+        self.dx = length_m / (n_nodes - 1)
+        self.stress = np.zeros(n_nodes)
+
+    def step(self, dt, kappa, gradient):
+        n, dx = self.n, self.dx
+        r = kappa * dt / (dx * dx)
+        bands = np.zeros((3, n))
+        bands[0, 1:] = -r
+        bands[1, :] = 1.0 + 2.0 * r
+        bands[2, :-1] = -r
+        bands[0, 1] = -2.0 * r
+        bands[2, n - 2] = -2.0 * r
+        rhs = self.stress.copy()
+        rhs[0] += 2.0 * r * dx * gradient
+        rhs[n - 1] -= 2.0 * r * dx * gradient
+        self.stress = solve_banded((1, 1), bands, rhs,
+                                   overwrite_ab=True, overwrite_b=True)
+
+
+def test_korhonen_10k_step(benchmark):
+    length = 2.673e-3
+    temperature = units.celsius_to_kelvin(230.0)
+    kappa = COPPER.stress_diffusivity_at(temperature)
+    gradient = COPPER.wind_stress_gradient(7.96e10, temperature)
+    n_steps = 10_000
+    dt = 30.0
+
+    def run_new():
+        solver = KorhonenSolver(length, KorhonenConfig(n_nodes=1201,
+                                                       max_dt_s=dt))
+        solver.advance(n_steps * dt, kappa, gradient,
+                       BoundaryKind.BLOCKED, BoundaryKind.BLOCKED)
+        return solver.stress
+
+    def run_seed():
+        reference = SeedKorhonen(length, 1201)
+        for _ in range(n_steps):
+            reference.step(dt, kappa, gradient)
+        return reference.stress
+
+    after_s, after = best_of(run_new, reps=3)
+    before_s, before = best_of(run_seed, reps=3)
+    assert relative_error(after, before) < 1e-10
+    entry = record("korhonen_10k_step", before_s, after_s,
+                   n_nodes=1201, n_steps=n_steps)
+    run_once(benchmark, run_new)
+    assert entry["speedup"] >= SPEEDUP_THRESHOLD
+
+
+def seed_thermal_advance(network, duration_s, powers, max_dt_s):
+    """The seed's advance loop: rebuild + dense-solve every step."""
+    remaining = duration_s
+    while remaining > 1e-12:
+        dt = min(remaining, max_dt_s)
+        system = np.diag(network.capacity / dt) + network._conductance
+        rhs = network.capacity / dt * network.temperatures_k + powers \
+            + network.g_ambient * network.config.ambient_k
+        network.temperatures_k = np.linalg.solve(system, rhs)
+        remaining -= dt
+
+
+def make_manycore_floorplan():
+    """A 16x16 (256-core) floorplan, Fig. 12a style but full-chip."""
+    return Floorplan.grid(16, 16, name_format="core{row}_{col}")
+
+
+def test_thermal_1k_epoch_advance(benchmark):
+    floorplan = make_manycore_floorplan()
+    powers = np.linspace(0.2, 1.8, len(floorplan))
+    n_epochs = 1_000
+
+    def run_new():
+        network = ThermalRCNetwork(make_manycore_floorplan())
+        for _ in range(n_epochs):
+            network.advance(1.0, powers, max_dt_s=1.0)
+        return network.temperatures_k
+
+    def run_seed():
+        network = ThermalRCNetwork(make_manycore_floorplan())
+        for _ in range(n_epochs):
+            seed_thermal_advance(network, 1.0, powers, 1.0)
+        return network.temperatures_k
+
+    after_s, after = best_of(run_new, reps=3)
+    before_s, before = best_of(run_seed, reps=2)
+    assert relative_error(after, before) < 1e-10
+    entry = record("thermal_1k_epoch_advance", before_s, after_s,
+                   n_blocks=len(floorplan), n_epochs=n_epochs)
+    run_once(benchmark, run_new)
+    assert entry["speedup"] >= SPEEDUP_THRESHOLD
+
+
+def seed_pdn_solve(grid):
+    """The seed's dense assembly + np.linalg.solve, verbatim."""
+    n = grid.n_nodes
+    conductance = np.zeros((n, n))
+    current = np.zeros(n)
+    for segment in grid.segments():
+        i = grid.node_index(*segment.a)
+        j = grid.node_index(*segment.b)
+        g = 1.0 / segment.resistance_ohm
+        conductance[i, i] += g
+        conductance[j, j] += g
+        conductance[i, j] -= g
+        conductance[j, i] -= g
+    for address, amps in grid.loads_a.items():
+        current[grid.node_index(*address)] -= amps
+    for address in grid.pads:
+        index = grid.node_index(*address)
+        conductance[index, :] = 0.0
+        conductance[index, index] = 1.0
+        current[index] = grid.supply_v
+    return np.linalg.solve(conductance, current)
+
+
+def pdn_load_patterns(rows, cols, n_patterns, loads_per_pattern):
+    rng = np.random.default_rng(2024)
+    patterns = []
+    for _ in range(n_patterns):
+        pattern = {}
+        for _ in range(loads_per_pattern):
+            address = (int(rng.integers(rows)), int(rng.integers(cols)))
+            pattern[address] = pattern.get(address, 0.0) \
+                + float(rng.uniform(0.05, 0.4))
+        patterns.append(pattern)
+    return patterns
+
+
+def test_pdn_100_pattern_resolve(benchmark):
+    rows = cols = 24
+    patterns = pdn_load_patterns(rows, cols, n_patterns=100,
+                                 loads_per_pattern=24)
+
+    def run_new():
+        grid = PdnGrid.with_corner_pads(rows, cols)
+        solutions = solve_ir_drop_batch(grid, patterns)
+        return np.column_stack([s.node_voltages_v for s in solutions])
+
+    def run_seed():
+        columns = []
+        for pattern in patterns:
+            grid = PdnGrid.with_corner_pads(rows, cols)
+            for (row, col), amps in pattern.items():
+                grid.add_load(row, col, amps)
+            columns.append(seed_pdn_solve(grid))
+        return np.column_stack(columns)
+
+    after_s, after = best_of(run_new, reps=3)
+    before_s, before = best_of(run_seed, reps=2)
+    assert relative_error(after, before) < 1e-10
+    entry = record("pdn_100_pattern_resolve", before_s, after_s,
+                   grid=f"{rows}x{cols}", n_patterns=len(patterns))
+    run_once(benchmark, run_new)
+    assert entry["speedup"] >= SPEEDUP_THRESHOLD
+
+
+def test_sweep_runner_population_sampling(benchmark):
+    """Record-only: pool vs serial Monte Carlo (identical streams)."""
+    spec = WirePopulationSpec(n_wires=400,
+                              median_ttf_s=units.years(30.0),
+                              sigma=0.35)
+    n_chips = 4_000
+
+    def run_serial():
+        return sample_population_ttfs_parallel(spec, n_chips=n_chips,
+                                               seed=7, max_workers=1)
+
+    def run_pool():
+        return sample_population_ttfs_parallel(spec, n_chips=n_chips,
+                                               seed=7, max_workers=4)
+
+    serial_s, serial = best_of(run_serial, reps=2)
+    pool_s, pool = best_of(run_pool, reps=2)
+    assert np.array_equal(serial, pool)
+    RESULTS["sweep_population_sampling"] = {
+        "serial_s": serial_s, "pool_s": pool_s,
+        "speedup": serial_s / pool_s, "n_chips": n_chips,
+        "note": "record-only; determinism asserted, no threshold",
+    }
+    run_once(benchmark, run_pool)

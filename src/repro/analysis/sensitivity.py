@@ -15,9 +15,10 @@ headline results.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import SimulationError
+from repro.solvers import run_sweep
 
 #: A metric: maps a full parameter dict to one scalar result.
 Metric = Callable[[Mapping[str, float]], float]
@@ -54,9 +55,16 @@ class SensitivityResult:
         return self.swing / abs(self.baseline_metric)
 
 
+def _call_metric(task: Tuple[Metric, Dict[str, float]]) -> float:
+    """Sweep worker: evaluate one (metric, parameter dict) task."""
+    metric, params = task
+    return metric(params)
+
+
 def one_at_a_time(metric: Metric,
                   baseline: Mapping[str, float],
-                  spans: Mapping[str, Tuple[float, float]]
+                  spans: Mapping[str, Tuple[float, float]],
+                  max_workers: Optional[int] = 1
                   ) -> List[SensitivityResult]:
     """Tornado analysis: perturb each parameter across its span.
 
@@ -65,6 +73,11 @@ def one_at_a_time(metric: Metric,
         baseline: nominal parameter values.
         spans: per-parameter (low, high) values to probe; parameters
             absent from ``spans`` stay fixed.
+        max_workers: evaluate the (independent) metric calls over the
+            :func:`repro.solvers.run_sweep` process pool.  The default
+            of 1 stays serial and in-process; results are identical
+            either way (the metric must be a picklable top-level
+            callable to actually fan out).
 
     Returns:
         One :class:`SensitivityResult` per spanned parameter, sorted
@@ -76,9 +89,10 @@ def one_at_a_time(metric: Metric,
     if missing:
         raise SimulationError(
             f"spans refer to unknown parameters: {sorted(missing)}")
-    baseline_metric = metric(baseline)
-    results = []
-    for name, (low, high) in spans.items():
+    names = list(spans)
+    tasks = [(metric, dict(baseline))]
+    for name in names:
+        low, high = spans[name]
         if low > high:
             raise SimulationError(
                 f"span of {name!r} has low > high")
@@ -86,13 +100,20 @@ def one_at_a_time(metric: Metric,
         low_params[name] = low
         high_params = dict(baseline)
         high_params[name] = high
+        tasks.append((metric, low_params))
+        tasks.append((metric, high_params))
+    metrics = run_sweep(_call_metric, tasks, max_workers=max_workers)
+    baseline_metric = metrics[0]
+    results = []
+    for position, name in enumerate(names):
+        low, high = spans[name]
         results.append(SensitivityResult(
             parameter=name,
             baseline_value=float(baseline[name]),
             low_value=low, high_value=high,
             baseline_metric=baseline_metric,
-            low_metric=metric(low_params),
-            high_metric=metric(high_params)))
+            low_metric=metrics[1 + 2 * position],
+            high_metric=metrics[2 + 2 * position]))
     results.sort(key=lambda result: result.swing, reverse=True)
     return results
 

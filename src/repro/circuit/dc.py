@@ -18,9 +18,17 @@ import numpy as np
 from repro.circuit.elements import MnaSystem
 from repro.circuit.netlist import Circuit
 from repro.errors import ConvergenceError
+from repro.solvers import FactorizationCache, solve_dense_cached
 
 #: Maximum Newton iterations per gmin level.
 _MAX_ITERATIONS = 200
+
+#: Content-keyed LU reuse across Newton iterations and time steps.
+#: Linear (or converged) systems re-assemble an unchanged matrix, so
+#: the factorization is amortized; re-linearized MOSFET stamps change
+#: the matrix bytes and transparently refactor.  Shared with the
+#: transient solver.
+_LU_CACHE = FactorizationCache(maxsize=32)
 
 #: Per-iteration clamp on node-voltage updates (volts).
 _MAX_UPDATE_V = 0.3
@@ -92,7 +100,8 @@ def _newton(circuit: Circuit, estimate: np.ndarray, gmin: float
     for iteration in range(1, _MAX_ITERATIONS + 1):
         system = _assemble(circuit, x, gmin)
         try:
-            target = np.linalg.solve(system.matrix, system.rhs)
+            target = solve_dense_cached(system.matrix, system.rhs,
+                                        _LU_CACHE)
         except np.linalg.LinAlgError:
             return None, iteration
         if not np.all(np.isfinite(target)):

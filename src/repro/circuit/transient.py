@@ -15,8 +15,9 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
-from repro.circuit.dc import _MAX_ITERATIONS, _MAX_UPDATE_V, _VOLTAGE_TOL, \
-    _assemble, dc_operating_point
+from repro.solvers import solve_dense_cached
+from repro.circuit.dc import _LU_CACHE, _MAX_ITERATIONS, _MAX_UPDATE_V, \
+    _VOLTAGE_TOL, _assemble, dc_operating_point
 from repro.circuit.netlist import Circuit
 from repro.errors import ConvergenceError
 
@@ -89,7 +90,8 @@ def _solve_step(circuit: Circuit, estimate: np.ndarray,
         for capacitor in circuit.capacitors:
             capacitor.stamp_transient(system, dt)
         try:
-            target = np.linalg.solve(system.matrix, system.rhs)
+            target = solve_dense_cached(system.matrix, system.rhs,
+                                        _LU_CACHE)
         except np.linalg.LinAlgError as exc:
             raise ConvergenceError(
                 f"transient step of {circuit.title!r} is singular") from exc

@@ -42,6 +42,7 @@ from repro.em.statistics import (
     healing_gain_at_quantile,
     population_from_blacks,
     sample_population_ttfs,
+    sample_population_ttfs_parallel,
 )
 from repro.em.blech import (
     BlechAssessment,
@@ -66,6 +67,7 @@ __all__ = [
     "healing_gain_at_quantile",
     "population_from_blacks",
     "sample_population_ttfs",
+    "sample_population_ttfs_parallel",
     "Material",
     "Wire",
     "COPPER",

@@ -16,8 +16,13 @@ pure diffusion and the drive enters through the boundary conditions:
 
 The solver uses backward Euler in time (unconditionally stable -- EM
 time scales span minutes to years) and a second-order central scheme in
-space with ghost nodes for the flux boundaries.  Each step is one
-tridiagonal solve via ``scipy.linalg.solve_banded``.
+space with ghost nodes for the flux boundaries.  The tridiagonal
+backward-Euler matrix depends only on ``r = kappa dt / dx^2`` and the
+boundary kinds, so it is LU-factored once per operating condition
+(:class:`repro.solvers.TridiagonalOperator`) and every step is a
+single O(n) back-substitution; a change of ``dt``, ``kappa`` or
+boundary condition re-keys the factorization cache and transparently
+refactors.
 
 Sign convention: positive current density drives *tension* (positive
 stress) at ``x = 0`` -- the cathode of the paper's Fig. 1(b) -- and
@@ -32,9 +37,9 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 import numpy as np
-from scipy.linalg import solve_banded
 
 from repro.errors import SimulationError
+from repro.solvers import FactorizationCache, TridiagonalOperator
 
 
 class BoundaryKind(enum.Enum):
@@ -88,6 +93,7 @@ class KorhonenSolver:
         self.x = np.linspace(0.0, length_m, self.n)
         self.stress = np.zeros(self.n)
         self.time_s = 0.0
+        self._operators = FactorizationCache(maxsize=8)
 
     # -- observables ----------------------------------------------------
 
@@ -144,45 +150,85 @@ class KorhonenSolver:
             raise SimulationError("stress diffusivity must be positive")
         if duration_s == 0.0:
             return
+        # Group runs of equal dt (everything but a final partial step)
+        # so the operator lookup and boundary dispatch happen once per
+        # run and the hot loop is a bare back-substitution.  The
+        # ``remaining`` bookkeeping mirrors the plain one-step-per-
+        # iteration loop exactly, so the dt sequence is unchanged.
         remaining = duration_s
+        max_dt = self.config.max_dt_s
         while remaining > 1e-12:
-            dt = min(remaining, self.config.max_dt_s)
-            self._implicit_step(dt, kappa_m2_s, wind_gradient_pa_m,
-                                start_boundary, end_boundary)
-            self.time_s += dt
+            dt = min(remaining, max_dt)
             remaining -= dt
+            n_steps = 1
+            while remaining > 1e-12 and min(remaining, max_dt) == dt:
+                remaining -= dt
+                n_steps += 1
+            self._run_steps(n_steps, dt, kappa_m2_s,
+                            wind_gradient_pa_m, start_boundary,
+                            end_boundary)
+            self.time_s += n_steps * dt
+
+    def _operator(self, r: float, start_boundary: BoundaryKind,
+                  end_boundary: BoundaryKind) -> TridiagonalOperator:
+        """The factorized (I - dt * kappa * Laplacian) system.
+
+        Keyed by ``(n, r, boundaries)``, so any change of ``dt``,
+        ``kappa`` or boundary kind rebuilds while the common
+        fixed-condition stepping loop reuses one factorization.
+        """
+        key = (self.n, r, start_boundary, end_boundary)
+
+        def build() -> TridiagonalOperator:
+            n = self.n
+            lower = np.full(n - 1, -r)
+            diag = np.full(n, 1.0 + 2.0 * r)
+            upper = np.full(n - 1, -r)
+            if start_boundary is BoundaryKind.BLOCKED:
+                # Ghost node from d(sigma)/dx = -G at x=0:
+                # sigma[-1] = sigma[1] + 2 dx G
+                upper[0] = -2.0 * r
+            else:
+                diag[0] = 1.0
+                upper[0] = 0.0
+            if end_boundary is BoundaryKind.BLOCKED:
+                # Ghost node from d(sigma)/dx = -G at x=L:
+                # sigma[n] = sigma[n-2] - 2 dx G
+                lower[n - 2] = -2.0 * r
+            else:
+                diag[n - 1] = 1.0
+                lower[n - 2] = 0.0
+            return TridiagonalOperator(lower, diag, upper)
+
+        return self._operators.get_or_build(key, build)
 
     def _implicit_step(self, dt: float, kappa: float, gradient: float,
                        start_boundary: BoundaryKind,
                        end_boundary: BoundaryKind) -> None:
-        n, dx = self.n, self.dx
-        r = kappa * dt / (dx * dx)
-        # Banded matrix for (I - dt * kappa * Laplacian) sigma_new = rhs.
-        bands = np.zeros((3, n))
-        bands[0, 1:] = -r          # super-diagonal
-        bands[1, :] = 1.0 + 2.0 * r
-        bands[2, :-1] = -r         # sub-diagonal
-        rhs = self.stress.copy()
+        self._run_steps(1, dt, kappa, gradient, start_boundary,
+                        end_boundary)
 
-        if start_boundary is BoundaryKind.BLOCKED:
-            # Ghost node from d(sigma)/dx = -G at x=0:
-            # sigma[-1] = sigma[1] + 2 dx G
-            bands[0, 1] = -2.0 * r
-            rhs[0] += 2.0 * r * dx * gradient
-        else:
-            bands[1, 0] = 1.0
-            bands[0, 1] = 0.0
-            rhs[0] = 0.0
-
-        if end_boundary is BoundaryKind.BLOCKED:
-            # Ghost node from d(sigma)/dx = -G at x=L:
-            # sigma[n] = sigma[n-2] - 2 dx G
-            bands[2, n - 2] = -2.0 * r
-            rhs[n - 1] -= 2.0 * r * dx * gradient
-        else:
-            bands[1, n - 1] = 1.0
-            bands[2, n - 2] = 0.0
-            rhs[n - 1] = 0.0
-
-        self.stress = solve_banded((1, 1), bands, rhs,
-                                   overwrite_ab=True, overwrite_b=True)
+    def _run_steps(self, n_steps: int, dt: float, kappa: float,
+                   gradient: float, start_boundary: BoundaryKind,
+                   end_boundary: BoundaryKind) -> None:
+        r = kappa * dt / (self.dx * self.dx)
+        solve = self._operator(r, start_boundary, end_boundary).solve
+        start_blocked = start_boundary is BoundaryKind.BLOCKED
+        end_blocked = end_boundary is BoundaryKind.BLOCKED
+        injection = 2.0 * r * self.dx * gradient
+        last = self.n - 1
+        # The previous stress vector doubles as the RHS buffer: only
+        # the two boundary entries differ, and the back-substitution
+        # overwrites it with the new stress (allocation-free steps).
+        stress = self.stress
+        for _ in range(n_steps):
+            if start_blocked:
+                stress[0] += injection
+            else:
+                stress[0] = 0.0
+            if end_blocked:
+                stress[last] -= injection
+            else:
+                stress[last] = 0.0
+            stress = solve(stress, overwrite_rhs=True)
+        self.stress = stress

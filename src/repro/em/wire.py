@@ -14,6 +14,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro import units
 
 
@@ -108,6 +110,45 @@ class Material:
                  * self.resistivity_at(temperature_k)
                  * current_density_a_m2)
         return self.diffusivity_at(temperature_k) * force / kt_joule
+
+    # -- vectorized (fleet) variants --------------------------------------
+
+    def stress_diffusivities_at(self,
+                                temperatures_k: np.ndarray) -> np.ndarray:
+        """``kappa(T)`` for a whole temperature vector in one shot.
+
+        Batched counterpart of :meth:`stress_diffusivity_at` used by
+        the fleet aging states, where a per-core Python loop over the
+        Arrhenius evaluation dominates the epoch cost.
+        """
+        temperatures_k = np.asarray(temperatures_k, dtype=float)
+        kt_joule = units.BOLTZMANN_J * temperatures_k
+        diffusivity = self.diffusivity_prefactor_m2_s * np.exp(
+            -self.activation_energy_ev
+            / (units.BOLTZMANN_EV * temperatures_k))
+        return (diffusivity * self.effective_modulus_pa
+                * self.atomic_volume_m3 / kt_joule)
+
+    def drift_velocities(self, current_densities_a_m2: np.ndarray,
+                         temperatures_k: np.ndarray) -> np.ndarray:
+        """``v_d(j, T)`` for whole per-unit vectors in one shot.
+
+        Batched counterpart of :meth:`drift_velocity` (signed like
+        ``j``, elementwise).
+        """
+        current_densities_a_m2 = np.asarray(current_densities_a_m2,
+                                            dtype=float)
+        temperatures_k = np.asarray(temperatures_k, dtype=float)
+        kt_joule = units.BOLTZMANN_J * temperatures_k
+        delta = temperatures_k - self.reference_temperature_k
+        resistivity = self.resistivity_ohm_m * (
+            1.0 + self.tcr_per_k * delta)
+        diffusivity = self.diffusivity_prefactor_m2_s * np.exp(
+            -self.activation_energy_ev
+            / (units.BOLTZMANN_EV * temperatures_k))
+        force = (units.ELEMENTARY_CHARGE * self.effective_charge
+                 * resistivity * current_densities_a_m2)
+        return diffusivity * force / kt_joule
 
 
 #: Dual-damascene copper, calibrated to the paper's accelerated test:

@@ -14,11 +14,13 @@ current.  This package provides:
 """
 
 from repro.pdn.grid import GridSegment, PdnGrid
-from repro.pdn.irdrop import IrDropSolution, solve_ir_drop
+from repro.pdn.irdrop import IrDropSolution, solve_ir_drop, \
+    solve_ir_drop_batch
 
 __all__ = [
     "PdnGrid",
     "GridSegment",
     "IrDropSolution",
     "solve_ir_drop",
+    "solve_ir_drop_batch",
 ]

@@ -11,7 +11,9 @@ EM models.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.em.wire import COPPER, Material
 from repro.errors import SimulationError
@@ -76,6 +78,8 @@ class PdnGrid:
         resistivity = material.resistivity_ohm_m
         self._segment_resistance = (
             resistivity * pitch_m / (stripe_width_m * stripe_thickness_m))
+        self._segment_arrays: Optional[
+            Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
     # -- construction -------------------------------------------------------
 
@@ -139,6 +143,42 @@ class PdnGrid:
                         width_m=self.stripe_width_m,
                         thickness_m=self.stripe_thickness_m,
                         length_m=self.pitch_m)
+
+    def segment_index_arrays(self
+                             ) -> Tuple[np.ndarray, np.ndarray,
+                                        np.ndarray]:
+        """Vectorized segment topology ``(ia, ib, conductance_s)``.
+
+        Endpoint node indices and conductances of every segment in
+        :meth:`segments` order, computed once and cached (the mesh
+        topology is fixed at construction).  These arrays let the
+        IR-drop solver assemble the sparse nodal matrix and gather all
+        segment currents without per-segment Python loops.
+        """
+        if self._segment_arrays is None:
+            index_a = []
+            index_b = []
+            for segment in self.segments():
+                index_a.append(self.node_index(*segment.a))
+                index_b.append(self.node_index(*segment.b))
+            conductance = np.full(len(index_a),
+                                  1.0 / self._segment_resistance)
+            self._segment_arrays = (
+                np.asarray(index_a, dtype=np.intp),
+                np.asarray(index_b, dtype=np.intp),
+                conductance)
+        return self._segment_arrays
+
+    def matrix_fingerprint(self) -> Tuple[Hashable, ...]:
+        """Everything the nodal conductance matrix depends on.
+
+        Loads and the supply voltage only enter the right-hand side,
+        so two grids with equal fingerprints share one factorization
+        in :mod:`repro.pdn.irdrop`.
+        """
+        return (self.rows, self.cols, self._segment_resistance,
+                tuple(sorted(self.node_index(*pad)
+                             for pad in self.pads)))
 
     def total_load_a(self) -> float:
         """Sum of all attached load currents."""

@@ -1,26 +1,36 @@
 """IR-drop solving and EM exposure analysis for power grids.
 
 The grid is a linear resistive network: pads are ideal supplies, loads
-are ideal current sinks.  The nodal system ``G v = i`` is solved
-directly (grids of a few thousand nodes are comfortably dense-solvable;
-the paper's local grids are far smaller).  The solution exposes exactly
-what the EM substrate needs: per-segment currents and current
-densities, and the worst (most EM-exposed) segments that the assist
-circuitry of Fig. 11 is meant to protect.
+are ideal current sinks.  The nodal system ``G v = i`` is assembled
+sparse (a grid node couples only to its four neighbours) and LU
+factored once per grid *topology* -- the factorization is cached by
+:meth:`repro.pdn.grid.PdnGrid.matrix_fingerprint`, so re-solving the
+same grid under a new load pattern (the system simulator's per-epoch
+case) is a single sparse back-substitution, and
+:func:`solve_ir_drop_batch` solves many load patterns in one batched
+call.  The solution exposes exactly what the EM substrate needs:
+per-segment currents and current densities, and the worst (most
+EM-exposed) segments that the assist circuitry of Fig. 11 is meant to
+protect.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Mapping, Sequence, Tuple
 
 import numpy as np
+import scipy.sparse
 
 from repro.em.line import EmStressCondition
 from repro.em.lumped import LumpedEmModel
 from repro.em.wire import Wire
 from repro.errors import SimulationError
 from repro.pdn.grid import GridSegment, NodeAddress, PdnGrid
+from repro.solvers import FactorizationCache, SparseLuOperator
+
+#: Cached nodal-matrix factorizations, keyed by grid fingerprint.
+_OPERATORS = FactorizationCache(maxsize=8)
 
 
 @dataclass(frozen=True)
@@ -91,6 +101,49 @@ class IrDropSolution:
         return exposure
 
 
+def _grid_operator(grid: PdnGrid) -> SparseLuOperator:
+    """The factorized nodal matrix of a grid (cached by topology)."""
+    index_a, index_b, conductance = grid.segment_index_arrays()
+    pad_index = np.asarray(sorted(grid.node_index(*pad)
+                                  for pad in grid.pads), dtype=np.intp)
+
+    def build() -> SparseLuOperator:
+        n = grid.n_nodes
+        rows = np.concatenate([index_a, index_b, index_a, index_b])
+        cols = np.concatenate([index_a, index_b, index_b, index_a])
+        values = np.concatenate([conductance, conductance,
+                                 -conductance, -conductance])
+        # Pads: overwrite with Dirichlet rows (v = supply).
+        keep = ~np.isin(rows, pad_index)
+        rows = np.concatenate([rows[keep], pad_index])
+        cols = np.concatenate([cols[keep], pad_index])
+        values = np.concatenate([values[keep],
+                                 np.ones(len(pad_index))])
+        matrix = scipy.sparse.coo_matrix((values, (rows, cols)),
+                                         shape=(n, n)).tocsc()
+        return SparseLuOperator(matrix)
+
+    return _OPERATORS.get_or_build(grid.matrix_fingerprint(), build)
+
+
+def _load_rhs(grid: PdnGrid,
+              loads_a: Mapping[NodeAddress, float]) -> np.ndarray:
+    """Nodal current RHS for one load pattern (pads pinned to supply)."""
+    current = np.zeros(grid.n_nodes)
+    for address, amps in loads_a.items():
+        current[grid.node_index(*address)] -= amps
+    for address in grid.pads:
+        current[grid.node_index(*address)] = grid.supply_v
+    return current
+
+
+def _segment_currents(grid: PdnGrid,
+                      voltages: np.ndarray) -> np.ndarray:
+    """Vectorized gather of per-segment currents from node voltages."""
+    index_a, index_b, conductance = grid.segment_index_arrays()
+    return (voltages[index_a] - voltages[index_b]) * conductance
+
+
 def solve_ir_drop(grid: PdnGrid) -> IrDropSolution:
     """Solve the nodal voltages and segment currents of a power grid.
 
@@ -99,29 +152,34 @@ def solve_ir_drop(grid: PdnGrid) -> IrDropSolution:
     """
     if not grid.pads:
         raise SimulationError("grid has no pads; the network is floating")
-    n = grid.n_nodes
-    conductance = np.zeros((n, n))
-    current = np.zeros(n)
-    segments = list(grid.segments())
-    for segment in segments:
-        i = grid.node_index(*segment.a)
-        j = grid.node_index(*segment.b)
-        g = 1.0 / segment.resistance_ohm
-        conductance[i, i] += g
-        conductance[j, j] += g
-        conductance[i, j] -= g
-        conductance[j, i] -= g
-    for address, amps in grid.loads_a.items():
-        current[grid.node_index(*address)] -= amps
-    # Pads: overwrite with Dirichlet rows (v = supply).
-    for address in grid.pads:
-        index = grid.node_index(*address)
-        conductance[index, :] = 0.0
-        conductance[index, index] = 1.0
-        current[index] = grid.supply_v
-    voltages = np.linalg.solve(conductance, current)
-    segment_currents = np.array([
-        (voltages[grid.node_index(*segment.a)]
-         - voltages[grid.node_index(*segment.b)]) / segment.resistance_ohm
-        for segment in segments])
-    return IrDropSolution(grid, voltages, segment_currents)
+    operator = _grid_operator(grid)
+    voltages = operator.solve(_load_rhs(grid, grid.loads_a))
+    return IrDropSolution(grid, voltages, _segment_currents(grid, voltages))
+
+
+def solve_ir_drop_batch(grid: PdnGrid,
+                        load_patterns: Sequence[Mapping[NodeAddress,
+                                                        float]]
+                        ) -> List[IrDropSolution]:
+    """Solve one grid under many load patterns in a single batch.
+
+    All patterns share the grid's cached factorization and are
+    back-substituted as one multi-column RHS -- the per-epoch re-solve
+    path of the system simulator and the Monte Carlo load sweeps.
+    The grid's own attached loads are ignored; each pattern fully
+    specifies its load map.
+
+    Raises:
+        SimulationError: if the grid has no pads (floating network).
+    """
+    if not grid.pads:
+        raise SimulationError("grid has no pads; the network is floating")
+    if not load_patterns:
+        return []
+    operator = _grid_operator(grid)
+    rhs = np.column_stack([_load_rhs(grid, pattern)
+                           for pattern in load_patterns])
+    voltages = operator.solve(rhs)
+    return [IrDropSolution(grid, voltages[:, k],
+                           _segment_currents(grid, voltages[:, k]))
+            for k in range(voltages.shape[1])]

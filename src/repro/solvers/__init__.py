@@ -1,0 +1,29 @@
+"""Shared prefactored linear-algebra core and sweep runner.
+
+See :mod:`repro.solvers.factorized` for the operator/cache design and
+:mod:`repro.solvers.sweep` for the deterministic process-pool sweep,
+and ``docs/performance.md`` for the architecture overview.
+"""
+
+from repro.solvers.factorized import (
+    DenseLuOperator,
+    FactorizationCache,
+    FactorizedOperator,
+    SparseLuOperator,
+    TridiagonalOperator,
+    fingerprint,
+    solve_dense_cached,
+)
+from repro.solvers.sweep import run_sweep, task_seed_sequence
+
+__all__ = [
+    "DenseLuOperator",
+    "FactorizationCache",
+    "FactorizedOperator",
+    "SparseLuOperator",
+    "TridiagonalOperator",
+    "fingerprint",
+    "solve_dense_cached",
+    "run_sweep",
+    "task_seed_sequence",
+]

@@ -223,7 +223,9 @@ class FleetEmState:
         if np.any(temp <= 0.0):
             raise SimulationError("temperatures must be positive")
         material = self.wire.material
-        kappa = np.array([material.stress_diffusivity_at(t) for t in temp])
+        # One vectorized Arrhenius/drift evaluation for the whole
+        # fleet (the former per-core Python loops dominated the epoch).
+        kappa = material.stress_diffusivities_at(temp)
         rate = (j * j) * kappa / self._ref_rate
         signed_rate = np.where(j >= 0.0, rate, -rate)
         # Nucleation progress: accrues forward, unwinds in reverse.
@@ -231,9 +233,7 @@ class FleetEmState:
             self.progress_s + signed_rate * dt_s, 0.0)
         self.nucleated |= self.progress_s >= self.nucleation_time_ref_s
         # Void dynamics for nucleated units.
-        drift = np.array([
-            abs(material.drift_velocity(float(ji), float(ti)))
-            for ji, ti in zip(j, temp)])
+        drift = np.abs(material.drift_velocities(j, temp))
         growing = self.nucleated & (j > 0.0)
         self.void_reversible_m[growing] += drift[growing] * dt_s
         refilling = (j < 0.0) & (self.void_reversible_m > 0.0)

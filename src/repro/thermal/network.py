@@ -23,6 +23,7 @@ import numpy as np
 
 from repro import units
 from repro.errors import SimulationError
+from repro.solvers import DenseLuOperator, FactorizationCache
 from repro.thermal.floorplan import Floorplan
 
 
@@ -77,6 +78,12 @@ class ThermalRCNetwork:
             conductance[i, j] -= g
             conductance[j, i] -= g
         self._conductance = conductance
+        # G is fixed for the network's lifetime: factor it once and
+        # every steady-state / heater solve is a back-substitution.
+        # Transient systems (C/dt + G) are keyed by dt, covering the
+        # common fixed-step advance loop.
+        self._steady_operator = DenseLuOperator(conductance)
+        self._transient_operators = FactorizationCache(maxsize=8)
         self.temperatures_k = np.full(n, cfg.ambient_k)
 
     # -- queries ----------------------------------------------------------
@@ -100,7 +107,8 @@ class ThermalRCNetwork:
         """
         power = self._validate_power(powers_w)
         rhs = power + self.g_ambient * self.config.ambient_k
-        self.temperatures_k = np.linalg.solve(self._conductance, rhs)
+        self.temperatures_k = self._steady_operator.solve(
+            rhs, overwrite_rhs=True)
         return self.temperatures_k.copy()
 
     def steady_state_map(self, powers_w: Dict[str, float]) -> Dict[str, float]:
@@ -129,9 +137,11 @@ class ThermalRCNetwork:
         capacity = self.capacity
         while remaining > 1e-12:
             dt = min(remaining, max_dt_s)
-            system = np.diag(capacity / dt) + self._conductance
+            operator = self._transient_operators.get_or_build(
+                dt, lambda: DenseLuOperator(
+                    np.diag(capacity / dt) + self._conductance))
             rhs = capacity / dt * self.temperatures_k + rhs_const
-            self.temperatures_k = np.linalg.solve(system, rhs)
+            self.temperatures_k = operator.solve(rhs, overwrite_rhs=True)
             remaining -= dt
         return self.temperatures_k.copy()
 
@@ -155,15 +165,16 @@ class ThermalRCNetwork:
         index = self.floorplan.index_of(name)
         background = self._validate_power(background_powers_w)
         rhs = background + self.g_ambient * self.config.ambient_k
-        base_temps = np.linalg.solve(self._conductance, rhs)
-        deficit_k = target_k - float(base_temps[index])
+        # One batched back-substitution: the background operating
+        # point and the unit-injection response share the factors.
+        unit = np.zeros(len(self.floorplan))
+        unit[index] = 1.0
+        solved = self._steady_operator.solve(np.column_stack([rhs, unit]))
+        deficit_k = target_k - float(solved[index, 0])
         if deficit_k <= 0.0:
             return 0.0
         # Temperature response at `index` per watt injected there.
-        response = np.linalg.solve(
-            self._conductance,
-            np.eye(len(self.floorplan))[index])[index]
-        return deficit_k / float(response)
+        return deficit_k / float(solved[index, 1])
 
     def healing_energy_j(self, name: str, target_k: float,
                          background_powers_w: Sequence[float],

@@ -22,6 +22,7 @@ PACKAGES = [
     "repro.core",
     "repro.system",
     "repro.analysis",
+    "repro.solvers",
 ]
 
 MODULES = PACKAGES + [
@@ -53,6 +54,7 @@ MODULES = PACKAGES + [
     "repro.system.reliability",
     "repro.analysis.fitting", "repro.analysis.stats",
     "repro.analysis.reporting", "repro.analysis.sensitivity",
+    "repro.solvers.factorized", "repro.solvers.sweep",
 ]
 
 
