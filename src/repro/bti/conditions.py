@@ -22,6 +22,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
 
 from repro import units
 
@@ -176,6 +179,147 @@ class RecoveryAccelerationParams:
             raise ValueError("bias_efold_volts must be positive")
         if self.activation_energy_ev < 0.0:
             raise ValueError("activation_energy_ev must be non-negative")
+
+
+# ---------------------------------------------------------------------------
+# Array-native kernels for the system epoch loop.
+# ---------------------------------------------------------------------------
+
+
+class _AffineExponentTable:
+    """A log-acceleration exponent tabulated over ``u = 1/T``.
+
+    Every per-core acceleration in this module has the form
+    ``exp(e(u))`` with ``e`` *affine* in the reciprocal temperature
+    ``u``: the Arrhenius factor contributes ``(Ea/k) * (u_ref - u)``,
+    the synergy term is a scaled :func:`_normalized_thermal_drive`
+    (also linear in ``u``), and the bias factor is a constant offset.
+    Linear interpolation over a ``u`` grid is therefore *exact* (up to
+    one rounding of the fused multiply-add), including outside the
+    grid, where the edge-segment slope extrapolates the same affine
+    law.  That is what lets the vectorized epoch engine match the
+    scalar ``math.exp`` path to ~1e-15 instead of a table tolerance.
+    """
+
+    def __init__(self, u_grid: np.ndarray, values: np.ndarray):
+        self.u_grid = u_grid
+        self.values = values
+        self._slopes = np.diff(values) / np.diff(u_grid)
+        # The grid is uniform (np.linspace), so the segment index is a
+        # multiply + floor instead of a searchsorted; picking the
+        # neighbouring segment at a knot is harmless because every
+        # segment lies on the same affine law (1-ulp agreement).
+        self._u0 = float(u_grid[0])
+        self._inv_du = float((len(u_grid) - 1)
+                             / (u_grid[-1] - u_grid[0]))
+        self._max_index = len(u_grid) - 2
+
+    def __call__(self, u: np.ndarray) -> np.ndarray:
+        index = ((u - self._u0) * self._inv_du).astype(np.intp)
+        np.maximum(index, 0, out=index)
+        np.minimum(index, self._max_index, out=index)
+        return (self.values[index]
+                + self._slopes[index] * (u - self.u_grid[index]))
+
+
+class BtiConditionKernels:
+    """Vectorized capture/recovery accelerations for a core fleet.
+
+    Precomputes the exponent tables of the scalar
+    :meth:`BtiStressCondition.capture_acceleration` and
+    :meth:`BtiRecoveryCondition.acceleration` laws at a fixed stress
+    voltage / recovery bias, then evaluates whole temperature vectors
+    per epoch with one interpolation + one ``np.exp`` instead of
+    thousands of dataclass constructions and ``math.exp`` calls.
+
+    Args:
+        params: recovery-acceleration coefficients (calibrated).
+        reference: the capture-rate reference stress condition.
+        stress_voltage_v: gate overdrive of stressing cores.
+        recovery_bias_v: gate bias of actively recovering cores
+            (zero or negative; default the paper's -0.3 V).
+        temperature_range_k: ``(low, high)`` span of the 1/T grid.
+            Temperatures outside the span are extrapolated exactly
+            (the exponents are affine in 1/T), so the range only
+            positions the grid, it does not limit validity.
+        n_points: grid resolution.
+    """
+
+    def __init__(self, params: RecoveryAccelerationParams,
+                 reference: BtiStressCondition,
+                 stress_voltage_v: float,
+                 recovery_bias_v: float = ACTIVE_RECOVERY_BIAS_V,
+                 temperature_range_k: Tuple[float, float] = (250.0, 450.0),
+                 n_points: int = 128):
+        if stress_voltage_v < 0.0:
+            raise ValueError("stress_voltage_v must be non-negative")
+        if recovery_bias_v > 0.0:
+            raise ValueError("recovery_bias_v must be zero or negative")
+        low, high = temperature_range_k
+        if not 0.0 < low < high:
+            raise ValueError(
+                "temperature_range_k must be an increasing positive pair")
+        if n_points < 2:
+            raise ValueError("n_points must be at least 2")
+        self.params = params
+        self.reference = reference
+        self.stress_voltage_v = stress_voltage_v
+        self.recovery_bias_v = recovery_bias_v
+        # Grid in u = 1/T, ascending (so from high T down to low T).
+        u_grid = np.linspace(1.0 / high, 1.0 / low, n_points)
+        k = units.BOLTZMANN_EV
+
+        self._capture_field_factor = math.exp(
+            (stress_voltage_v - reference.voltage)
+            / _FIELD_ACCELERATION_VOLTS)
+        self._capture_table = _AffineExponentTable(
+            u_grid, (_STRESS_ACTIVATION_EV / k)
+            * (1.0 / reference.temperature_k - u_grid))
+
+        u_room = 1.0 / ROOM_TEMPERATURE_K
+        span = u_room - 1.0 / HIGH_TEMPERATURE_K
+        arrhenius = (params.activation_energy_ev / k) * (u_room - u_grid)
+        bias = abs(min(recovery_bias_v, 0.0))
+        synergy = (params.synergy_coefficient
+                   * (bias / abs(ACTIVE_RECOVERY_BIAS_V))
+                   * (u_room - u_grid) / span)
+        self._passive_table = _AffineExponentTable(u_grid, arrhenius)
+        self._active_table = _AffineExponentTable(
+            u_grid, bias / params.bias_efold_volts + arrhenius + synergy)
+
+    @staticmethod
+    def _reciprocal(temps_k: np.ndarray) -> np.ndarray:
+        temps = np.asarray(temps_k, dtype=float)
+        if np.any(temps <= 0.0):
+            raise ValueError("temperatures must be positive (kelvin)")
+        return 1.0 / temps
+
+    def capture_acceleration_array(self, temps_k: np.ndarray,
+                                   utilization: np.ndarray) -> np.ndarray:
+        """Per-core capture-rate multipliers, scaled by utilization.
+
+        Matches ``util * BtiStressCondition(stress_voltage_v,
+        T).capture_acceleration(reference)`` elementwise, with idle
+        cores (``util <= 0``) pinned to exactly 0.
+        """
+        u = self._reciprocal(temps_k)
+        util = np.asarray(utilization, dtype=float)
+        accel = self._capture_field_factor * np.exp(self._capture_table(u))
+        return np.where(util > 0.0, util * accel, 0.0)
+
+    def recovery_acceleration_array(self, temps_k: np.ndarray,
+                                    recovering: np.ndarray) -> np.ndarray:
+        """Per-core de-trapping multipliers.
+
+        Matches ``BtiRecoveryCondition(bias, T).acceleration(params)``
+        elementwise, with ``bias = recovery_bias_v`` where
+        ``recovering`` is True and 0 (passive recovery) elsewhere.
+        """
+        u = self._reciprocal(temps_k)
+        recovering = np.asarray(recovering, dtype=bool)
+        exponent = np.where(recovering, self._active_table(u),
+                            self._passive_table(u))
+        return np.exp(exponent)
 
 
 # ---------------------------------------------------------------------------

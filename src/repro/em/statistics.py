@@ -172,8 +172,9 @@ def sample_population_ttfs_parallel(spec: WirePopulationSpec,
                                     n_chips: int = 10000,
                                     seed: int = 0,
                                     max_workers: Optional[int] = None,
-                                    chunk_chips: int = 256
-                                    ) -> np.ndarray:
+                                    chunk_chips: int = 256,
+                                    min_tasks_for_pool: Optional[int]
+                                    = None) -> np.ndarray:
     """Monte Carlo chip TTFs over a process-pool sweep.
 
     The population is split into fixed ``chunk_chips``-sized chunks,
@@ -191,7 +192,8 @@ def sample_population_ttfs_parallel(spec: WirePopulationSpec,
     tasks = [(spec, min(chunk_chips, n_chips - start))
              for start in range(0, n_chips, chunk_chips)]
     chunks = run_sweep(_sample_chip_chunk, tasks,
-                       max_workers=max_workers, seed=seed)
+                       max_workers=max_workers, seed=seed,
+                       min_tasks_for_pool=min_tasks_for_pool)
     return np.concatenate(chunks)
 
 

@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import SensorError
 
 
@@ -78,3 +80,37 @@ class RingOscillator:
         if frequency <= 0.0:
             return float("inf")
         return self.fresh_frequency_hz / frequency - 1.0
+
+    # -- array-native paths (system epoch loop) -------------------------
+
+    def frequency_hz_array(self, delta_vth_v: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`frequency_hz` over a shift vector.
+
+        Elementwise identical to the scalar path (same power law, same
+        0 Hz clamp for exhausted overdrive).
+        """
+        shifts = np.asarray(delta_vth_v, dtype=float)
+        if (shifts < 0.0).any():
+            raise SensorError("delta_vth_v must be non-negative")
+        overdrive = self.supply_v - self.fresh_vth_v
+        remaining = np.maximum(overdrive - shifts, 0.0)
+        return (self.fresh_frequency_hz
+                * (remaining / overdrive) ** self.alpha)
+
+    def frequency_degradation_array(self,
+                                    delta_vth_v: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`frequency_degradation`."""
+        return 1.0 - (self.frequency_hz_array(delta_vth_v)
+                      / self.fresh_frequency_hz)
+
+    def delay_degradation_array(self,
+                                delta_vth_v: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`delay_degradation` (``inf`` at 0 Hz)."""
+        frequency = self.frequency_hz_array(delta_vth_v)
+        positive = frequency > 0.0
+        if positive.all():
+            return self.fresh_frequency_hz / frequency - 1.0
+        out = np.full(frequency.shape, np.inf)
+        np.divide(self.fresh_frequency_hz, frequency, out=out,
+                  where=positive)
+        return out - 1.0

@@ -172,21 +172,23 @@ class TridiagonalOperator(FactorizedOperator):
 
 
 class FactorizationCache:
-    """A small LRU of :class:`FactorizedOperator` keyed by fingerprint.
+    """A small fingerprint-keyed LRU of expensive derived entries.
 
-    The cache never inspects the operator: invalidation is purely
-    key-driven.  Callers key on everything the matrix depends on
-    (:func:`fingerprint` helps digest arrays), so a topology / ``dt``
-    / ``kappa`` change produces a new key, misses, and rebuilds.
-    ``hits`` / ``misses`` counters make reuse observable in tests.
+    Built for :class:`FactorizedOperator` reuse, but the cache never
+    inspects the entry, so any costly key-determined artifact fits
+    (steady-state temperature vectors, precomputed step kernels):
+    invalidation is purely key-driven.  Callers key on everything the
+    entry depends on (:func:`fingerprint` helps digest arrays), so a
+    topology / ``dt`` / ``kappa`` change produces a new key, misses,
+    and rebuilds.  ``hits`` / ``misses`` counters make reuse
+    observable in tests.
     """
 
     def __init__(self, maxsize: int = 16):
         if maxsize < 1:
             raise ValueError("maxsize must be at least 1")
         self.maxsize = maxsize
-        self._entries: "OrderedDict[Hashable, FactorizedOperator]" = \
-            OrderedDict()
+        self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self.hits = 0
         self.misses = 0
 
@@ -194,9 +196,8 @@ class FactorizationCache:
         return len(self._entries)
 
     def get_or_build(self, key: Hashable,
-                     factory: Callable[[], FactorizedOperator]
-                     ) -> FactorizedOperator:
-        """The cached operator for ``key``, building it on a miss."""
+                     factory: Callable[[], Any]) -> Any:
+        """The cached entry for ``key``, building it on a miss."""
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1

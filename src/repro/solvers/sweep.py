@@ -29,7 +29,14 @@ import numpy as np
 from repro.errors import SimulationError
 
 #: Below this many tasks a pool is never started (startup dominates).
-_MIN_TASKS_FOR_POOL = 4
+#: BENCH_solvers.json showed small pooled sweeps running ~2x *slower*
+#: than serial; callers with heavier per-task work can lower the
+#: threshold (and light-task callers raise it) via the
+#: ``min_tasks_for_pool`` argument of :func:`run_sweep`.
+DEFAULT_MIN_TASKS_FOR_POOL = 4
+
+# Backwards-compatible alias of the pre-threshold-parameter constant.
+_MIN_TASKS_FOR_POOL = DEFAULT_MIN_TASKS_FOR_POOL
 
 
 def task_seed_sequence(seed: int, index: int) -> np.random.SeedSequence:
@@ -72,7 +79,8 @@ def _picklable(*objects: Any) -> bool:
 def run_sweep(fn: Callable[..., Any], tasks: Sequence[Any], *,
               max_workers: Optional[int] = None,
               chunk_size: Optional[int] = None,
-              seed: Optional[int] = None) -> List[Any]:
+              seed: Optional[int] = None,
+              min_tasks_for_pool: Optional[int] = None) -> List[Any]:
     """Evaluate ``fn`` over every task, optionally in parallel.
 
     Args:
@@ -88,6 +96,12 @@ def run_sweep(fn: Callable[..., Any], tasks: Sequence[Any], *,
             split over ~4 chunks per worker).  Chunking only affects
             scheduling granularity, never results.
         seed: root seed for per-task deterministic randomness.
+        min_tasks_for_pool: below this many tasks the sweep runs
+            serially in-process (``None`` uses
+            ``DEFAULT_MIN_TASKS_FOR_POOL``); process startup and
+            pickling otherwise dominate small batches.  Serial and
+            pooled runs produce identical results, so the threshold is
+            purely a performance knob.
 
     Returns:
         The results in task order -- independent of worker count.
@@ -99,11 +113,15 @@ def run_sweep(fn: Callable[..., Any], tasks: Sequence[Any], *,
         max_workers = os.cpu_count() or 1
     if max_workers < 0:
         raise SimulationError("max_workers must be non-negative")
+    if min_tasks_for_pool is None:
+        min_tasks_for_pool = DEFAULT_MIN_TASKS_FOR_POOL
+    elif min_tasks_for_pool < 1:
+        raise SimulationError("min_tasks_for_pool must be at least 1")
 
     def serial() -> List[Any]:
         return _run_chunk(fn, tasks, range(len(tasks)), seed)
 
-    if max_workers <= 1 or len(tasks) < _MIN_TASKS_FOR_POOL:
+    if max_workers <= 1 or len(tasks) < min_tasks_for_pool:
         return serial()
     if not _picklable(fn, tasks[0]):
         return serial()

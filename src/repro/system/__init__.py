@@ -25,6 +25,12 @@ from repro.system.scheduler import (
 )
 from repro.system.dark_silicon import DarkSiliconRotationPolicy
 from repro.system.simulator import SystemResult, SystemSimulator
+from repro.system.sweeps import (
+    ChipConfig,
+    SweepCellResult,
+    SweepResult,
+    run_lifetime_sweep,
+)
 from repro.system.reliability import ReliabilityReport, \
     reliability_report
 
@@ -45,4 +51,8 @@ __all__ = [
     "DarkSiliconRotationPolicy",
     "SystemResult",
     "SystemSimulator",
+    "ChipConfig",
+    "SweepCellResult",
+    "SweepResult",
+    "run_lifetime_sweep",
 ]

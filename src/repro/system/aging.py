@@ -31,6 +31,7 @@ from repro.em.line import EmLineConfig, EmStressCondition
 from repro.em.lumped import LumpedEmModel
 from repro.em.wire import PAPER_TEST_WIRE, Wire
 from repro.errors import SimulationError
+from repro.solvers import FactorizationCache
 
 
 class FleetBtiState:
@@ -40,10 +41,20 @@ class FleetBtiState:
     :class:`repro.bti.traps.TrapPopulation`; every step takes
     *per-unit* boolean stress masks and rate multipliers, so different
     cores can stress, idle and heal in the same epoch.
+
+    The sub-step fill/drain/lock-in factors depend only on the epoch's
+    ``(step, stressing, capture, recovery)`` inputs, never on the trap
+    state, so they are hoisted out of the sub-step loop *and* memoized
+    across epochs in ``kernel_cache`` (scheduling loops revisit a small
+    set of stress patterns).  The cached kernels feed in-place masked
+    full-array updates (``where=`` ufunc writes), which replace the
+    boolean fancy-indexing of the original per-epoch code without
+    changing a single bit of the trajectory.
     """
 
     def __init__(self, n_units: int,
-                 config: Optional[TrapPopulationConfig] = None):
+                 config: Optional[TrapPopulationConfig] = None,
+                 kernel_cache_size: int = 64):
         if n_units < 1:
             raise SimulationError("n_units must be at least 1")
         self.n_units = n_units
@@ -57,6 +68,13 @@ class FleetBtiState:
         self.age_s = np.zeros((n_units, cfg.n_bins))
         self.permanent_v = np.zeros(n_units)
         self.time_s = 0.0
+        self.kernel_cache = FactorizationCache(maxsize=kernel_cache_size)
+        shape = (n_units, cfg.n_bins)
+        self._buf_a = np.empty(shape)
+        self._buf_b = np.empty(shape)
+        self._buf_c = np.empty(shape)
+        self._mask = np.empty(shape, dtype=bool)
+        self._mask_b = np.empty(shape, dtype=bool)
 
     # -- observables ----------------------------------------------------
 
@@ -66,7 +84,8 @@ class FleetBtiState:
 
     def recoverable_vth_v(self) -> np.ndarray:
         """Per-unit recoverable shift (volts)."""
-        return (self.occupancy * self.weights).sum(axis=1)
+        # Fused multiply-reduce: no (n_units, n_bins) temporary.
+        return np.einsum("ij,ij->i", self.occupancy, self.weights)
 
     def step(self, dt_s: float, stressing: np.ndarray,
              capture_acceleration: np.ndarray,
@@ -96,54 +115,107 @@ class FleetBtiState:
         # by the per-unit capture acceleration), mirroring
         # TrapPopulation.stress() -- including its bounded sub-step
         # count for extreme accelerations.
-        peak_accel = float(capture[stressing].max()) \
-            if np.any(stressing) else 1.0
+        any_stress = bool(stressing.any())
+        peak_accel = float(capture.max(initial=-np.inf,
+                                       where=stressing)) \
+            if any_stress else 1.0
         n_steps = int(np.ceil(dt_s * max(peak_accel, 1e-12)
                               / max(cfg.lock_age_s / 8.0, 1e-9)))
         n_steps = min(max(n_steps, 1), 64)
         step = dt_s / n_steps
-        tau_e = cfg.emission_scale * self.tau_c
+        key = (step, stressing.tobytes(), capture.tobytes(),
+               recovery.tobytes())
+        eq_full, stress_full, decay, inflow, fraction = \
+            self.kernel_cache.get_or_build(
+                key,
+                lambda: self._build_step_kernel(step, stressing, capture,
+                                                recovery))
+        occupancy = self.occupancy
+        age = self.age_s
+        weights = self.weights
+        buf_a, buf_b, buf_c = self._buf_a, self._buf_b, self._buf_c
+        mask = self._mask
+        # Every update below is an in-place masked write (`where=` /
+        # copyto) or a same-shape ufunc pass; both produce the same
+        # elementwise values as the boolean fancy indexing they
+        # replace, so the trajectory is bit-identical.
         for _ in range(n_steps):
-            equivalent = np.where(stressing, capture * step, 0.0)
-            # Stress update for stressing units.
-            if np.any(stressing):
-                fill = -np.expm1(-equivalent[stressing, None]
-                                 / self.tau_c[None, :])
-                self.occupancy[stressing] += (
-                    (1.0 - self.occupancy[stressing]) * fill)
-            # Recovery update for the rest.
-            resting = ~stressing
-            if np.any(resting):
-                drain = np.exp(-step * recovery[resting, None]
-                               / tau_e[None, :])
-                self.occupancy[resting] *= drain
-            # Age bookkeeping and lock-in (stress only).
-            occupied = self.occupancy >= cfg.age_on_occupancy
-            emptied = self.occupancy <= cfg.age_off_occupancy
-            self.age_s += np.where(occupied, equivalent[:, None], 0.0)
-            self.age_s[emptied] = 0.0
-            if cfg.lock_rate_per_s > 0.0 and np.any(stressing):
-                aged = (self.age_s > cfg.lock_age_s) \
-                    & stressing[:, None]
-                if np.any(aged):
-                    fraction = -np.expm1(
-                        -cfg.lock_rate_per_s * equivalent)[:, None]
-                    converted_v = np.where(
-                        aged, self.weights * self.occupancy * fraction,
-                        0.0)
-                    self.permanent_v += converted_v.sum(axis=1)
-                    new_weights = np.where(
-                        aged,
-                        self.weights * (1.0 - self.occupancy * fraction),
-                        self.weights)
-                    remaining_charge = self.weights * self.occupancy \
-                        - converted_v
-                    self.occupancy = np.where(
-                        aged & (new_weights > 0.0),
-                        remaining_charge / np.maximum(new_weights, 1e-300),
-                        self.occupancy)
-                    self.weights = new_weights
+            # The fill-towards-1 / drain updates fused into one affine
+            # map per bin: occupancy = occupancy * decay + inflow
+            # (see _build_step_kernel).
+            np.multiply(occupancy, decay, out=occupancy)
+            np.add(occupancy, inflow, out=occupancy)
+            # Age bookkeeping: occupied bins age in equivalent stress
+            # time, emptied bins reset.
+            np.greater_equal(occupancy, cfg.age_on_occupancy, out=mask)
+            np.add(age, eq_full, out=age, where=mask)
+            np.less_equal(occupancy, cfg.age_off_occupancy, out=mask)
+            np.copyto(age, 0.0, where=mask)
+            # Lock-in (stress only).
+            if fraction is not None and any_stress:
+                np.greater(age, cfg.lock_age_s, out=mask)
+                np.logical_and(mask, stress_full, out=mask)
+                if mask.any():
+                    aged = mask
+                    np.multiply(weights, occupancy, out=buf_a)
+                    np.multiply(buf_a, fraction, out=buf_b)
+                    # Masked row sum of the converted charge (the
+                    # False rows contribute exactly 0).
+                    self.permanent_v += np.einsum(
+                        "ij,ij->i", buf_b, aged)
+                    np.multiply(occupancy, fraction, out=buf_c)
+                    np.subtract(1.0, buf_c, out=buf_c)
+                    np.multiply(weights, buf_c, out=weights,
+                                where=aged)
+                    positive = self._mask_b
+                    np.greater(weights, 0.0, out=positive)
+                    np.logical_and(positive, aged, out=positive)
+                    # occupancy = remaining charge / new weight on the
+                    # aged, still-weighted bins.
+                    np.subtract(buf_a, buf_b, out=buf_a)
+                    np.maximum(weights, 1e-300, out=buf_c)
+                    np.divide(buf_a, buf_c, out=occupancy,
+                              where=positive)
             self.time_s += step
+
+    def _build_step_kernel(self, step: float, stressing: np.ndarray,
+                           capture: np.ndarray, recovery: np.ndarray):
+        """Sub-step-invariant factors for one ``(step, inputs)`` tuple.
+
+        Copies its inputs (the cache key is their content at build
+        time, so cached kernels must not alias caller buffers).
+        """
+        cfg = self.config
+        shape = (self.n_units, cfg.n_bins)
+        stressing = stressing.copy()
+        equivalent = np.where(stressing, capture * step, 0.0)
+        eq_col = equivalent[:, None]
+        # equivalent is 0 on resting units, so fill is exactly 0 there.
+        fill = -np.expm1(-eq_col / self.tau_c[None, :])
+        tau_e = cfg.emission_scale * self.tau_c
+        drain = np.ones(shape)
+        resting = ~stressing
+        if np.any(resting):
+            drain[resting] = np.exp(-step * recovery[resting, None]
+                                    / tau_e[None, :])
+        # occ' = (occ + (1 - occ) * fill) * drain, rearranged into the
+        # two-pass affine form occ' = occ * decay + inflow.  One extra
+        # rounding per bin vs the four-pass original (~1 ulp; the
+        # system equivalence tests bound the accumulated effect).
+        decay = (1.0 - fill) * drain
+        inflow = fill * drain
+        # The per-unit columns are materialized to full (units, bins)
+        # arrays once per kernel so every sub-step op is a contiguous
+        # same-shape pass (broadcasting in the hot loop is slower).
+        eq_full = np.ascontiguousarray(np.broadcast_to(eq_col, shape))
+        stress_full = np.ascontiguousarray(
+            np.broadcast_to(stressing[:, None], shape))
+        fraction = None
+        if cfg.lock_rate_per_s > 0.0:
+            fraction = np.ascontiguousarray(np.broadcast_to(
+                -np.expm1(-cfg.lock_rate_per_s * equivalent)[:, None],
+                shape))
+        return (eq_full, stress_full, decay, inflow, fraction)
 
 
 class FleetEmState:
@@ -186,6 +258,11 @@ class FleetEmState:
         self.void_reversible_m = np.zeros(n_units)
         self.void_locked_m = np.zeros(n_units)
         self.time_s = 0.0
+        # The Arrhenius/drift factors of a step depend only on
+        # (dt, j, T), never on the void state, so epoch loops that
+        # revisit a few (current, temperature) patterns skip both
+        # exponential evaluations on a hit.
+        self._step_cache = FactorizationCache(maxsize=64)
 
     # -- observables ----------------------------------------------------
 
@@ -220,26 +297,25 @@ class FleetEmState:
         if j.shape != (self.n_units,) or temp.shape != (self.n_units,):
             raise SimulationError(
                 f"per-unit arrays must have shape ({self.n_units},)")
-        if np.any(temp <= 0.0):
-            raise SimulationError("temperatures must be positive")
-        material = self.wire.material
-        # One vectorized Arrhenius/drift evaluation for the whole
-        # fleet (the former per-core Python loops dominated the epoch).
-        kappa = material.stress_diffusivities_at(temp)
-        rate = (j * j) * kappa / self._ref_rate
-        signed_rate = np.where(j >= 0.0, rate, -rate)
+        signed_rate, forward, reverse, growth_m, healed_m = \
+            self._step_cache.get_or_build(
+                (dt_s, j.tobytes(), temp.tobytes()),
+                lambda: self._build_step_rates(dt_s, j, temp))
         # Nucleation progress: accrues forward, unwinds in reverse.
         self.progress_s = np.maximum(
-            self.progress_s + signed_rate * dt_s, 0.0)
+            self.progress_s + signed_rate, 0.0)
         self.nucleated |= self.progress_s >= self.nucleation_time_ref_s
-        # Void dynamics for nucleated units.
-        drift = np.abs(material.drift_velocities(j, temp))
-        growing = self.nucleated & (j > 0.0)
-        self.void_reversible_m[growing] += drift[growing] * dt_s
-        refilling = (j < 0.0) & (self.void_reversible_m > 0.0)
-        healed = self.config.recovery_boost * drift * dt_s
-        self.void_reversible_m[refilling] = np.maximum(
-            self.void_reversible_m[refilling] - healed[refilling], 0.0)
+        # Void dynamics for nucleated units.  Masked full-array writes
+        # replace boolean fancy indexing: the update expressions are
+        # evaluated elementwise either way, so the written values are
+        # bit-identical.
+        growing = self.nucleated & forward
+        np.add(self.void_reversible_m, growth_m,
+               out=self.void_reversible_m, where=growing)
+        refilling = reverse & (self.void_reversible_m > 0.0)
+        np.copyto(self.void_reversible_m,
+                  np.maximum(self.void_reversible_m - healed_m, 0.0),
+                  where=refilling)
         # Lock-in of existing reversible void volume.
         if self.config.lock_rate_per_s > 0.0:
             locked = self.void_reversible_m * (
@@ -247,3 +323,23 @@ class FleetEmState:
             self.void_reversible_m -= locked
             self.void_locked_m += locked
         self.time_s += dt_s
+
+    def _build_step_rates(self, dt_s: float, j: np.ndarray,
+                          temp: np.ndarray):
+        """State-independent rate factors for one ``(dt, j, T)`` key.
+
+        Copies nothing: every returned array is freshly allocated and
+        consumed read-only by :meth:`step`.
+        """
+        if np.any(temp <= 0.0):
+            raise SimulationError("temperatures must be positive")
+        material = self.wire.material
+        # One vectorized Arrhenius/drift evaluation for the whole
+        # fleet (the former per-core Python loops dominated the epoch).
+        kappa = material.stress_diffusivities_at(temp)
+        rate = (j * j) * kappa / self._ref_rate
+        signed_rate = np.where(j >= 0.0, rate, -rate) * dt_s
+        drift = np.abs(material.drift_velocities(j, temp))
+        growth_m = drift * dt_s
+        healed_m = self.config.recovery_boost * drift * dt_s
+        return (signed_rate, j > 0.0, j < 0.0, growth_m, healed_m)

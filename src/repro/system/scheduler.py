@@ -42,9 +42,11 @@ class CoreAssignment:
         n = len(self.utilization)
         if len(self.bti_recovering) != n or len(self.em_recovering) != n:
             raise SimulationError("assignment arrays must align")
-        if np.any((self.utilization < 0.0) | (self.utilization > 1.0)):
+        low = self.utilization.min(initial=0.0)
+        high = self.utilization.max(initial=0.0)
+        if low < 0.0 or high > 1.0:
             raise SimulationError("utilizations must be within [0, 1]")
-        if np.any(self.bti_recovering & (self.utilization > 0.0)):
+        if (self.bti_recovering & (self.utilization > 0.0)).any():
             raise SimulationError(
                 "a BTI-recovering core cannot carry load")
 

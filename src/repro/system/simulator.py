@@ -13,25 +13,29 @@ Each epoch the simulator:
 The output exposes the Fig. 12(b) observables directly: the worst-core
 performance degradation over time with and without scheduled recovery,
 the implied guardband, and EM failure times of the local grids.
+
+The per-epoch hot path is fully array-native: per-core stress/recovery
+accelerations come from the precomputed
+:class:`~repro.bti.conditions.BtiConditionKernels` lookup tables, the
+power vector and the recorded delay degradations are single vectorized
+expressions, and the thermal steady state is memoized on the power
+vector (:meth:`~repro.thermal.network.ThermalRCNetwork
+.steady_state_cached`) so repeating schedules skip the solve.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Protocol
 
 import numpy as np
 
 from repro import units
 from repro.bti.calibration import BtiCalibration, default_calibration
-from repro.bti.conditions import (
-    ACTIVE_RECOVERY_BIAS_V,
-    BtiRecoveryCondition,
-    BtiStressCondition,
-)
+from repro.bti.conditions import BtiConditionKernels
 from repro.em.line import EmStressCondition
 from repro.errors import SimulationError
+from repro.solvers import FactorizationCache
 from repro.system.aging import FleetBtiState, FleetEmState
 from repro.system.chip import Chip
 from repro.system.scheduler import CoreAssignment
@@ -76,6 +80,9 @@ class SystemResult:
             need to be in retention mode, alternatively, workload can
             be shifted to other redundant resources").
         n_epochs: simulated epoch count (for overhead normalization).
+        total_demand: demanded core-epochs summed over *all* epochs
+            (not just the recorded ones).
+        total_dropped_demand: unplaced core-epochs over all epochs.
     """
 
     times_s: np.ndarray
@@ -88,6 +95,8 @@ class SystemResult:
     em_failures: np.ndarray
     migration_events: int = 0
     n_epochs: int = 0
+    total_demand: float = 0.0
+    total_dropped_demand: float = 0.0
 
     @property
     def guardband(self) -> float:
@@ -97,9 +106,15 @@ class SystemResult:
 
     @property
     def lost_demand_fraction(self) -> float:
-        """Unplaced fraction of total demanded compute."""
-        total = self.dropped_demand.sum()
-        return float(total / max(len(self.times_s), 1))
+        """Unplaced fraction of total demanded compute.
+
+        ``total_dropped_demand / total_demand`` over every simulated
+        epoch, so the value is independent of ``record_every`` (0 when
+        nothing was demanded).
+        """
+        if self.total_demand <= 0.0:
+            return 0.0
+        return float(self.total_dropped_demand / self.total_demand)
 
     def migration_overhead(self, cost_epoch_fraction: float = 0.01
                            ) -> float:
@@ -144,7 +159,6 @@ class SystemSimulator:
         population = self.calibration.model_config.population
         # Fewer bins per core: system horizons don't need the full
         # Table-I resolution, and the dynamics are identical.
-        from dataclasses import replace
         self.bti = FleetBtiState(
             n, replace(population, n_bins=64))
         self.em_reference = em_reference or EmStressCondition(
@@ -155,31 +169,45 @@ class SystemSimulator:
         self._accel_params = self.calibration.model_config.acceleration
         self._reference_stress = \
             self.calibration.model_config.reference_stress
+        self.kernels = BtiConditionKernels(
+            self._accel_params, self._reference_stress,
+            stress_voltage_v=chip.core.stress_voltage_v)
+        # Scheduling loops cycle through a small set of assignments;
+        # everything derived from one (power vector, thermal solve,
+        # condition-kernel evaluations, signed grid current) is a pure
+        # function of its content, so the whole bundle is memoized on
+        # the assignment bytes.  Cached arrays are shared, never
+        # mutated downstream.
+        self._condition_cache = FactorizationCache(maxsize=64)
 
-    # -- per-epoch condition helpers -----------------------------------
+    def _epoch_conditions(self, assignment: CoreAssignment):
+        key = (assignment.utilization.tobytes(),
+               assignment.bti_recovering.tobytes(),
+               assignment.em_recovering.tobytes())
+        return self._condition_cache.get_or_build(
+            key, lambda: self._build_epoch_conditions(assignment))
 
-    def _capture_acceleration(self, utilization: np.ndarray,
-                              temps_k: np.ndarray) -> np.ndarray:
-        accel = np.zeros(len(utilization))
-        for i, (util, temp) in enumerate(zip(utilization, temps_k)):
-            if util <= 0.0:
-                continue
-            condition = BtiStressCondition(
-                voltage=self.chip.core.stress_voltage_v,
-                temperature_k=float(temp))
-            accel[i] = util * condition.capture_acceleration(
-                self._reference_stress)
-        return accel
-
-    def _recovery_acceleration(self, bti_recovering: np.ndarray,
-                               temps_k: np.ndarray) -> np.ndarray:
-        accel = np.ones(len(bti_recovering))
-        for i, temp in enumerate(temps_k):
-            bias = ACTIVE_RECOVERY_BIAS_V if bti_recovering[i] else 0.0
-            condition = BtiRecoveryCondition(
-                gate_bias_v=bias, temperature_k=float(temp))
-            accel[i] = condition.acceleration(self._accel_params)
-        return accel
+    def _build_epoch_conditions(self, assignment: CoreAssignment):
+        core = self.chip.core
+        utilization = assignment.utilization
+        recovering = assignment.bti_recovering
+        powers = np.where(
+            recovering, core.recovery_power_w,
+            core.idle_power_w + utilization
+            * (core.active_power_w - core.idle_power_w))
+        temps = self.chip.thermal.steady_state_cached(powers)
+        capture = self.kernels.capture_acceleration_array(
+            temps, utilization)
+        # Cores that are "stressing" but idle (zero utilization)
+        # accumulate nothing and recover passively; model that by
+        # marking them as recovering at bias 0.
+        active = ~recovering & (utilization > 0.0)
+        recovery = self.kernels.recovery_acceleration_array(
+            temps, recovering)
+        capture_safe = np.where(capture > 0.0, capture, 1.0)
+        j = core.grid_current_density_a_m2 * utilization
+        j = np.where(assignment.em_recovering, -j, j)
+        return temps, active, capture_safe, recovery, j
 
     # -- main loop -------------------------------------------------------
 
@@ -198,55 +226,49 @@ class SystemSimulator:
             raise SimulationError("n_epochs must be at least 1")
         if record_every < 1:
             raise SimulationError("record_every must be at least 1")
-        n = self.chip.n_cores
-        oscillator = self.chip.core.oscillator
+        core = self.chip.core
+        thermal = self.chip.thermal
+        oscillator = core.oscillator
         previous_utilization: Optional[np.ndarray] = None
-        previous_recovering = np.zeros(n, dtype=bool)
+        previous_recovering = np.zeros(self.chip.n_cores, dtype=bool)
         migration_events = 0
+        total_demand = 0.0
+        total_dropped = 0.0
         times: List[float] = []
         worst: List[float] = []
         mean: List[float] = []
         dropped: List[float] = []
+        # The fleet BTI state only changes in bti.step, so the shift
+        # vector computed for recording is still current at the next
+        # epoch's assign.
+        delta_vth = self.bti.delta_vth_v()
         for epoch in range(n_epochs):
             demand = workload.demand(epoch)
             assignment = policy.assign(
-                epoch, demand, self.bti.delta_vth_v(),
-                previous_utilization)
-            powers = np.array([
-                self.chip.core.recovery_power_w
-                if assignment.bti_recovering[i]
-                else self.chip.core.power_w(
-                    float(assignment.utilization[i]))
-                for i in range(n)])
-            temps = self.chip.thermal.steady_state(powers)
-            stressing = ~assignment.bti_recovering
-            capture = self._capture_acceleration(
-                assignment.utilization, temps)
-            # Cores that are "stressing" but idle (zero utilization)
-            # accumulate nothing and recover passively; model that by
-            # marking them as recovering at bias 0.
-            active = stressing & (assignment.utilization > 0.0)
-            recovery = self._recovery_acceleration(
-                assignment.bti_recovering, temps)
-            capture_safe = np.where(capture > 0.0, capture, 1.0)
+                epoch, demand, delta_vth, previous_utilization)
+            recovering = assignment.bti_recovering
+            temps, active, capture_safe, recovery, j = \
+                self._epoch_conditions(assignment)
             self.bti.step(self.epoch_s, active, capture_safe, recovery)
-            j = (self.chip.core.grid_current_density_a_m2
-                 * assignment.utilization)
-            j = np.where(assignment.em_recovering, -j, j)
             self.em.step(self.epoch_s, j, temps)
             migration_events += int(np.count_nonzero(
-                assignment.bti_recovering & ~previous_recovering))
-            previous_recovering = assignment.bti_recovering
+                recovering & ~previous_recovering))
+            previous_recovering = recovering
             previous_utilization = assignment.utilization
+            total_demand += demand
+            total_dropped += assignment.dropped_demand
+            delta_vth = self.bti.delta_vth_v()
             if (epoch + 1) % record_every == 0 or epoch == n_epochs - 1:
-                degradation = np.array([
-                    oscillator.delay_degradation(float(dv))
-                    for dv in self.bti.delta_vth_v()])
+                degradation = oscillator.delay_degradation_array(
+                    delta_vth)
                 times.append((epoch + 1) * self.epoch_s)
                 worst.append(float(degradation.max()))
                 mean.append(float(degradation.mean()))
                 dropped.append(assignment.dropped_demand)
-        read_t = float(np.max(self.chip.thermal.temperatures_k))
+        # A bundle hit skips steady_state_cached, so refresh the
+        # network's read-out state from the last epoch's solve.
+        thermal.temperatures_k = temps.copy()
+        read_t = float(np.max(thermal.temperatures_k))
         return SystemResult(
             times_s=np.array(times),
             worst_degradation=np.array(worst),
@@ -257,4 +279,6 @@ class SystemSimulator:
             final_em_drift_ohm=self.em.delta_resistance_ohm(),
             em_failures=self.em.failed(read_t),
             migration_events=migration_events,
-            n_epochs=n_epochs)
+            n_epochs=n_epochs,
+            total_demand=total_demand,
+            total_dropped_demand=total_dropped)

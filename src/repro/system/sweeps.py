@@ -1,0 +1,318 @@
+"""Policy x workload x chip lifetime sweeps over the process pool.
+
+The Fig. 12(b) experiments compare a handful of scheduling policies on
+one chip; design-space work multiplies that by workload mixes and chip
+configurations.  :func:`run_lifetime_sweep` fans the full Cartesian
+grid out through :func:`repro.solvers.sweep.run_sweep`, so every cell
+runs a fresh :class:`~repro.system.simulator.SystemSimulator` in its
+own process with deterministic per-cell seeding, and the results come
+back as a structured :class:`SweepResult` table (guardband, permanent
+Vth, EM failures, migration overhead per cell).
+
+Cells are independent by construction: the worker deep-copies stateful
+policies/workloads (or builds them fresh from factories) and builds
+the chip inside the worker, so no mutable state crosses cell
+boundaries and serial and pooled runs are identical.
+"""
+
+from __future__ import annotations
+
+import copy
+import dataclasses
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import numpy as np
+
+from repro import units
+from repro.errors import SimulationError
+from repro.solvers.sweep import run_sweep
+from repro.system.chip import Chip, CoreSpec
+from repro.system.simulator import SystemSimulator
+from repro.thermal.network import ThermalNetworkConfig
+
+
+@dataclass(frozen=True)
+class ChipConfig:
+    """A buildable chip description (picklable, unlike a live Chip).
+
+    Attributes:
+        rows / cols: core-grid dimensions.
+        core: core specification (default :class:`CoreSpec`).
+        thermal: thermal network parameters (defaults apply).
+        name: label used in the result table; defaults to
+            ``"{rows}x{cols}"``.
+    """
+
+    rows: int
+    cols: int
+    core: Optional[CoreSpec] = None
+    thermal: Optional[ThermalNetworkConfig] = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.rows < 1 or self.cols < 1:
+            raise SimulationError("chip needs at least one core")
+
+    @property
+    def label(self) -> str:
+        """Table label of this configuration."""
+        return self.name or f"{self.rows}x{self.cols}"
+
+    def build(self) -> Chip:
+        """A fresh :class:`Chip` (thermal state included)."""
+        return Chip(self.rows, self.cols, core=self.core,
+                    thermal=self.thermal)
+
+
+@dataclass(frozen=True)
+class _SweepCell:
+    """One task of the sweep grid (everything the worker needs)."""
+
+    policy_label: str
+    workload_label: str
+    chip_label: str
+    policy: Any
+    workload: Any
+    chip: ChipConfig
+    n_epochs: int
+    epoch_s: float
+    record_every: int
+
+
+@dataclass(frozen=True)
+class SweepCellResult:
+    """Summary observables of one (policy, workload, chip) cell.
+
+    Attributes:
+        policy / workload / chip: the grid labels of this cell.
+        guardband: peak worst-core delay degradation over the horizon.
+        final_delta_vth_v: worst-core total Vth shift at the end.
+        final_permanent_vth_v: worst-core permanent Vth at the end.
+        em_failures: hard-failed local grids at the end.
+        migration_events: transitions into BTI recovery over the run.
+        migration_overhead: those transitions as a fraction of the
+            simulated core-epochs (at the default per-migration cost).
+        lost_demand_fraction: unplaced fraction of demanded compute.
+    """
+
+    policy: str
+    workload: str
+    chip: str
+    guardband: float
+    final_delta_vth_v: float
+    final_permanent_vth_v: float
+    em_failures: int
+    migration_events: int
+    migration_overhead: float
+    lost_demand_fraction: float
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """The full sweep grid with tabular accessors."""
+
+    cells: Tuple[SweepCellResult, ...]
+    n_epochs: int
+    epoch_s: float
+
+    _SCHEMA = ("policy", "workload", "chip", "guardband",
+               "final_delta_vth_v", "final_permanent_vth_v",
+               "em_failures", "migration_events",
+               "migration_overhead", "lost_demand_fraction")
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def column(self, name: str) -> np.ndarray:
+        """One result field across all cells, in grid order."""
+        if name not in self._SCHEMA:
+            raise SimulationError(
+                f"unknown column {name!r}; one of {self._SCHEMA}")
+        return np.array([getattr(cell, name) for cell in self.cells])
+
+    def cell(self, policy: str, workload: str,
+             chip: str) -> SweepCellResult:
+        """The cell with the given grid labels."""
+        for candidate in self.cells:
+            if (candidate.policy, candidate.workload,
+                    candidate.chip) == (policy, workload, chip):
+                return candidate
+        raise KeyError(f"no cell ({policy!r}, {workload!r}, {chip!r})")
+
+    def best_policy(self, metric: str = "guardband") -> str:
+        """Policy label with the lowest worst-case ``metric``."""
+        values: Dict[str, float] = {}
+        for cell in self.cells:
+            current = values.get(cell.policy, -np.inf)
+            values[cell.policy] = max(current, getattr(cell, metric))
+        return min(values, key=lambda label: values[label])
+
+    def table(self) -> str:
+        """A fixed-width text table of every cell."""
+        header = ("policy", "workload", "chip", "guardband",
+                  "perm dVth", "EM fails", "migr ovh", "lost")
+        rows = [(cell.policy, cell.workload, cell.chip,
+                 f"{cell.guardband:.2%}",
+                 f"{cell.final_permanent_vth_v * 1e3:.2f} mV",
+                 str(cell.em_failures),
+                 f"{cell.migration_overhead:.4%}",
+                 f"{cell.lost_demand_fraction:.2%}")
+                for cell in self.cells]
+        widths = [max(len(header[i]), *(len(row[i]) for row in rows))
+                  for i in range(len(header))]
+        def fmt(row: Sequence[str]) -> str:
+            return "  ".join(cell.ljust(width)
+                             for cell, width in zip(row, widths))
+        lines = [fmt(header), fmt(["-" * width for width in widths])]
+        lines.extend(fmt(row) for row in rows)
+        return "\n".join(lines)
+
+
+def _labelled(items: Union[Mapping[str, Any], Sequence[Any]],
+              kind: str) -> List[Tuple[str, Any]]:
+    """Normalize a mapping or sequence into unique (label, item) pairs."""
+    if isinstance(items, Mapping):
+        pairs = list(items.items())
+    else:
+        pairs = []
+        for index, item in enumerate(items):
+            name = getattr(item, "name", "") or type(item).__name__
+            pairs.append((f"{name}#{index}" if len(items) > 1
+                          else str(name), item))
+    if not pairs:
+        raise SimulationError(f"at least one {kind} is required")
+    labels = [label for label, _ in pairs]
+    if len(set(labels)) != len(labels):
+        raise SimulationError(f"{kind} labels must be unique")
+    return pairs
+
+
+def _as_chip_config(chip: Union[ChipConfig, Tuple[int, int]]
+                    ) -> ChipConfig:
+    if isinstance(chip, ChipConfig):
+        return chip
+    rows, cols = chip
+    return ChipConfig(rows=int(rows), cols=int(cols))
+
+
+def _run_cell(cell: _SweepCell,
+              seed_sequence: Optional[np.random.SeedSequence] = None
+              ) -> SweepCellResult:
+    """Simulate one grid cell (runs inside a pool worker)."""
+    chip = cell.chip.build()
+    policy = cell.policy
+    if not hasattr(policy, "assign"):
+        # A factory: build the policy against this cell's chip (the
+        # dark-silicon policy needs the floorplan for neighbour heat).
+        policy = policy(chip)
+    else:
+        policy = copy.deepcopy(policy)
+    workload = copy.deepcopy(cell.workload)
+    if (seed_sequence is not None and dataclasses.is_dataclass(workload)
+            and hasattr(workload, "seed")):
+        workload = dataclasses.replace(
+            workload, seed=int(seed_sequence.generate_state(1)[0]))
+    simulator = SystemSimulator(chip, epoch_s=cell.epoch_s)
+    result = simulator.run(cell.n_epochs, workload, policy,
+                           record_every=cell.record_every)
+    return SweepCellResult(
+        policy=cell.policy_label,
+        workload=cell.workload_label,
+        chip=cell.chip_label,
+        guardband=result.guardband,
+        final_delta_vth_v=float(result.final_delta_vth_v.max()),
+        final_permanent_vth_v=float(result.final_permanent_vth_v.max()),
+        em_failures=int(result.em_failures.sum()),
+        migration_events=result.migration_events,
+        migration_overhead=result.migration_overhead(),
+        lost_demand_fraction=result.lost_demand_fraction)
+
+
+def run_lifetime_sweep(
+        policies: Union[Mapping[str, Any], Sequence[Any]],
+        workloads: Union[Mapping[str, Any], Sequence[Any]],
+        chips: Sequence[Union[ChipConfig, Tuple[int, int]]],
+        *,
+        n_epochs: int,
+        epoch_s: float = units.hours(1.0),
+        record_every: int = 1,
+        seed: Optional[int] = 0,
+        max_workers: Optional[int] = None,
+        min_tasks_for_pool: Optional[int] = None) -> SweepResult:
+    """Simulate every policy x workload x chip cell of a design grid.
+
+    Args:
+        policies: scheduling policies, as a ``{label: policy}`` mapping
+            or a plain sequence (labelled by class name).  An entry
+            without an ``assign`` method is treated as a *factory*
+            called with the cell's freshly built :class:`Chip` --
+            use that for chip-bound policies like
+            :class:`~repro.system.dark_silicon
+            .DarkSiliconRotationPolicy` on heterogeneous chip grids.
+            Stateful policies are deep-copied per cell.
+        workloads: demand generators, mapping or sequence as above;
+            deep-copied per cell.  When ``seed`` is given, workloads
+            with a ``seed`` field (e.g.
+            :class:`~repro.system.workload.RandomWorkload`) are
+            re-seeded per cell from the sweep's deterministic
+            per-task stream.
+        chips: chip configurations (:class:`ChipConfig` or bare
+            ``(rows, cols)`` tuples).
+        n_epochs: horizon of every cell, in epochs.
+        epoch_s: epoch length in seconds.
+        record_every: timeline decimation inside each cell (guardband
+            is computed from the recorded timeline, so keep 1 unless
+            the horizon is very long).
+        seed: root seed of the per-cell workload reseeding; ``None``
+            runs every cell with the workloads' own seeds.
+        max_workers / min_tasks_for_pool: forwarded to
+            :func:`repro.solvers.sweep.run_sweep`; results are
+            identical whichever path runs.
+
+    Returns:
+        A :class:`SweepResult` with one cell per grid point, ordered
+        policy-major, then workload, then chip.
+    """
+    if n_epochs < 1:
+        raise SimulationError("n_epochs must be at least 1")
+    if epoch_s <= 0.0:
+        raise SimulationError("epoch_s must be positive")
+    if record_every < 1:
+        raise SimulationError("record_every must be at least 1")
+    policy_pairs = _labelled(policies, "policy")
+    workload_pairs = _labelled(workloads, "workload")
+    chip_configs = [_as_chip_config(chip) for chip in chips]
+    if not chip_configs:
+        raise SimulationError("at least one chip is required")
+    chip_labels = [config.label for config in chip_configs]
+    if len(set(chip_labels)) != len(chip_labels):
+        raise SimulationError("chip labels must be unique")
+    cells = [
+        _SweepCell(
+            policy_label=policy_label,
+            workload_label=workload_label,
+            chip_label=config.label,
+            policy=policy,
+            workload=workload,
+            chip=config,
+            n_epochs=n_epochs,
+            epoch_s=epoch_s,
+            record_every=record_every)
+        for policy_label, policy in policy_pairs
+        for workload_label, workload in workload_pairs
+        for config in chip_configs]
+    results = run_sweep(_run_cell, cells, max_workers=max_workers,
+                        seed=seed,
+                        min_tasks_for_pool=min_tasks_for_pool)
+    return SweepResult(cells=tuple(results), n_epochs=n_epochs,
+                       epoch_s=epoch_s)

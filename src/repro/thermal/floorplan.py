@@ -10,7 +10,7 @@ through its area.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -116,10 +116,22 @@ class Floorplan:
     @classmethod
     def grid(cls, rows: int, cols: int, core_width_m: float = 2e-3,
              core_height_m: float = 2e-3,
-             name_format: str = "core{row}{col}") -> "Floorplan":
-        """A regular rows x cols many-core floorplan (Fig. 12a style)."""
+             name_format: Optional[str] = None) -> "Floorplan":
+        """A regular rows x cols many-core floorplan (Fig. 12a style).
+
+        The default names zero-pad each axis to its digit width, so
+        grids up to 10x10 keep the historical ``core{row}{col}`` names
+        ("core00" .. "core99") while larger grids stay unambiguous
+        ("core0003", "core1502") instead of colliding ("core111" would
+        be both (1, 11) and (11, 1)).
+        """
         if rows < 1 or cols < 1:
             raise ValueError("grid dimensions must be positive")
+        if name_format is None:
+            row_digits = len(str(rows - 1))
+            col_digits = len(str(cols - 1))
+            name_format = (f"core{{row:0{row_digits}d}}"
+                           f"{{col:0{col_digits}d}}")
         blocks = []
         for row in range(rows):
             for col in range(cols):

@@ -59,12 +59,33 @@ class ThermalNetworkConfig:
 
 
 class ThermalRCNetwork:
-    """Thermal solver bound to one floorplan."""
+    """Thermal solver bound to one floorplan.
+
+    Args:
+        floorplan: the block layout.
+        config: material/package parameters.
+        steady_cache_size: LRU capacity of the memoized steady-state
+            solver (:meth:`steady_state_cached`).
+        steady_cache_quantum_w: power-vector quantization of the
+            memoization key.  0 (the default) keys on the exact power
+            bytes, so a hit is guaranteed bit-identical to a fresh
+            solve; a positive quantum buckets powers to that
+            granularity, trading a bounded temperature error
+            (``quantum * R_thermal``) for more hits on near-repeating
+            schedules.
+    """
 
     def __init__(self, floorplan: Floorplan,
-                 config: Optional[ThermalNetworkConfig] = None):
+                 config: Optional[ThermalNetworkConfig] = None,
+                 steady_cache_size: int = 64,
+                 steady_cache_quantum_w: float = 0.0):
+        if steady_cache_quantum_w < 0.0:
+            raise SimulationError(
+                "steady_cache_quantum_w must be non-negative")
         self.floorplan = floorplan
         self.config = config or ThermalNetworkConfig()
+        self.steady_cache = FactorizationCache(maxsize=steady_cache_size)
+        self.steady_cache_quantum_w = steady_cache_quantum_w
         n = len(floorplan)
         cfg = self.config
         areas = np.array([block.area_m2 for block in floorplan])
@@ -106,10 +127,38 @@ class ThermalRCNetwork:
         from this operating point.
         """
         power = self._validate_power(powers_w)
-        rhs = power + self.g_ambient * self.config.ambient_k
-        self.temperatures_k = self._steady_operator.solve(
-            rhs, overwrite_rhs=True)
+        self.temperatures_k = self._steady_solve(power)
         return self.temperatures_k.copy()
+
+    def steady_state_cached(self, powers_w: Sequence[float]) -> np.ndarray:
+        """Memoized :meth:`steady_state` for repeating power vectors.
+
+        Scheduling loops (round-robin healing, duty-cycled recovery)
+        revisit a small set of power vectors over millions of epochs;
+        this path keys the solve on the power bytes (optionally
+        quantized -- see ``steady_cache_quantum_w``) in a
+        :class:`~repro.solvers.FactorizationCache`, so a repeat is a
+        dictionary lookup plus a copy instead of a back-substitution.
+        State updates and return values are identical to
+        :meth:`steady_state` on every exact hit and on every miss.
+        """
+        power = self._validate_power(powers_w)
+        if self.steady_cache_quantum_w > 0.0:
+            key = np.round(
+                power / self.steady_cache_quantum_w).astype(
+                    np.int64).tobytes()
+        else:
+            # Raw power bytes: cheaper than a digest at these sizes,
+            # and exact, so a hit is guaranteed bit-identical.
+            key = power.tobytes()
+        solved = self.steady_cache.get_or_build(
+            key, lambda: self._steady_solve(power))
+        self.temperatures_k = solved.copy()
+        return solved.copy()
+
+    def _steady_solve(self, power: np.ndarray) -> np.ndarray:
+        rhs = power + self.g_ambient * self.config.ambient_k
+        return self._steady_operator.solve(rhs, overwrite_rhs=True)
 
     def steady_state_map(self, powers_w: Dict[str, float]) -> Dict[str, float]:
         """Steady state with powers keyed by block name (0 if absent)."""

@@ -39,6 +39,14 @@ class TestExamples:
         assert "dark-silicon rotation" in out
         assert "guardband" in out
 
+    def test_lifetime_sweep(self, capsys):
+        module = importlib.import_module("lifetime_sweep")
+        module.run(48)
+        out = capsys.readouterr().out
+        assert "lifetime sweep: 6 cells" in out
+        assert "best worst-case guardband" in out
+        assert "rr heal" in out
+
     def test_compensation_vs_healing(self, capsys):
         out = run_module_main("compensation_vs_healing", capsys)
         assert "derating" in out

@@ -382,3 +382,43 @@ class TestSweepDeterminism:
             spec, n_chips=600, seed=9, max_workers=3)
         assert serial.shape == (600,)
         assert np.array_equal(serial, parallel)
+
+
+class TestPoolThreshold:
+    """min_tasks_for_pool: small sweeps must never pay pool startup."""
+
+    @pytest.fixture()
+    def no_pool(self, monkeypatch):
+        """Make any pool start-up in run_sweep an immediate failure."""
+        import repro.solvers.sweep as sweep_module
+
+        class _Forbidden:
+            def __init__(self, *args, **kwargs):
+                raise AssertionError(
+                    "ProcessPoolExecutor must not start here")
+
+        monkeypatch.setattr(sweep_module, "ProcessPoolExecutor",
+                            _Forbidden)
+
+    def test_small_sweeps_stay_serial(self, no_pool):
+        # 3 tasks < DEFAULT_MIN_TASKS_FOR_POOL even with many workers.
+        assert run_sweep(_double, [1, 2, 3], max_workers=8) \
+            == [2, 4, 6]
+
+    def test_raised_threshold_forces_serial(self, no_pool):
+        tasks = list(range(12))
+        results = run_sweep(_double, tasks, max_workers=8,
+                            min_tasks_for_pool=13)
+        assert results == [task * 2 for task in tasks]
+
+    def test_threshold_is_a_pure_performance_knob(self):
+        tasks = list(range(9))
+        eager = run_sweep(_seeded_draw, tasks, max_workers=2,
+                          min_tasks_for_pool=1, seed=3)
+        serial = run_sweep(_seeded_draw, tasks, max_workers=1, seed=3)
+        assert eager == serial
+
+    def test_invalid_threshold_rejected(self):
+        from repro.errors import SimulationError
+        with pytest.raises(SimulationError):
+            run_sweep(_double, [1, 2], min_tasks_for_pool=0)
