@@ -1,0 +1,193 @@
+"""Verbatim pre-compilation replicas of the MNA circuit engine.
+
+The compiled circuit programs (:mod:`repro.circuit.compiled`) must
+match the seed's per-element Python stamping loop to 1e-10 on every
+waveform.  These functions keep that original path alive, byte for
+byte, as the timing baseline and the equivalence oracle for
+``benchmarks/test_circuit_engine.py`` and
+``tests/test_circuit_compiled.py``:
+
+* :func:`seed_dc_operating_point` -- damped Newton with gmin stepping,
+  re-stamping every element through ``MnaSystem`` on each iteration
+  and solving through the content-hashed dense LU cache.
+* :func:`seed_transient` -- fixed-step backward-Euler with per-step
+  waveform callables and per-capacitor companion stamping.
+
+Both paths mutate the circuit exactly as the seed did (source values
+follow the waveforms, capacitor states follow the solution), so a
+seed run and a compiled run on two identically-built circuits leave
+identical final netlist state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.circuit.dc import DcSolution
+from repro.circuit.elements import MnaSystem
+from repro.circuit.netlist import Circuit
+from repro.circuit.transient import TransientResult
+from repro.errors import ConvergenceError
+from repro.solvers import FactorizationCache, solve_dense_cached
+
+#: The seed's Newton constants, unchanged.
+_MAX_ITERATIONS = 200
+_MAX_UPDATE_V = 0.3
+_VOLTAGE_TOL = 1e-9
+
+#: The seed's shared content-keyed LU cache (DC + transient).
+_LU_CACHE = FactorizationCache(maxsize=32)
+
+Waveform = Callable[[float], float]
+
+
+def seed_assemble(circuit: Circuit, estimate: np.ndarray,
+                  gmin: float) -> MnaSystem:
+    """The seed's per-element Python assembly loop, verbatim."""
+    system = MnaSystem(circuit.n_nodes, len(circuit.voltage_sources))
+    for resistor in circuit.resistors:
+        resistor.stamp(system)
+    for source in circuit.voltage_sources:
+        source.stamp(system)
+    for source in circuit.current_sources:
+        source.stamp(system)
+    for mosfet in circuit.mosfets:
+        mosfet.stamp(system, estimate)
+    if gmin > 0.0:
+        for node in range(circuit.n_nodes):
+            system.matrix[node, node] += gmin
+    return system
+
+
+def _seed_newton(circuit: Circuit, estimate: np.ndarray, gmin: float
+                 ) -> Tuple[Optional[np.ndarray], int]:
+    """Damped Newton at a fixed gmin: (solution or None, iterations)."""
+    x = estimate.copy()
+    n_nodes = circuit.n_nodes
+    for iteration in range(1, _MAX_ITERATIONS + 1):
+        system = seed_assemble(circuit, x, gmin)
+        try:
+            target = solve_dense_cached(system.matrix, system.rhs,
+                                        _LU_CACHE)
+        except np.linalg.LinAlgError:
+            return None, iteration
+        if not np.all(np.isfinite(target)):
+            return None, iteration
+        delta = target - x
+        max_step = float(np.abs(delta[:n_nodes]).max()) if n_nodes else 0.0
+        if max_step > _MAX_UPDATE_V:
+            x = x + (_MAX_UPDATE_V / max_step) * delta
+            continue
+        x = target
+        if max_step <= _VOLTAGE_TOL:
+            return x, iteration
+    return None, _MAX_ITERATIONS
+
+
+def seed_dc_operating_point(circuit: Circuit,
+                            initial_guess: Optional[np.ndarray] = None
+                            ) -> DcSolution:
+    """The seed's DC operating-point analysis, verbatim."""
+    size = circuit.n_unknowns
+    if initial_guess is not None and initial_guess.shape == (size,):
+        estimate = initial_guess.copy()
+    else:
+        estimate = np.zeros(size)
+
+    solution, iterations = _seed_newton(circuit, estimate, gmin=0.0)
+    if solution is not None:
+        return DcSolution(circuit, solution, iterations)
+
+    total_iterations = iterations
+    for exponent in range(3, 13):
+        gmin = 10.0 ** (-exponent)
+        stepped, used = _seed_newton(circuit, estimate, gmin=gmin)
+        total_iterations += used
+        if stepped is None:
+            break
+        estimate = stepped
+    solution, used = _seed_newton(circuit, estimate, gmin=0.0)
+    total_iterations += used
+    if solution is None:
+        raise ConvergenceError(
+            f"DC analysis of {circuit.title!r} failed to converge")
+    return DcSolution(circuit, solution, total_iterations)
+
+
+def _seed_solve_step(circuit: Circuit, estimate: np.ndarray,
+                     dt: float) -> np.ndarray:
+    """One backward-Euler step: Newton on the companion network."""
+    x = estimate.copy()
+    n_nodes = circuit.n_nodes
+    for _ in range(_MAX_ITERATIONS):
+        system = seed_assemble(circuit, x, gmin=0.0)
+        for capacitor in circuit.capacitors:
+            capacitor.stamp_transient(system, dt)
+        try:
+            target = solve_dense_cached(system.matrix, system.rhs,
+                                        _LU_CACHE)
+        except np.linalg.LinAlgError as exc:
+            raise ConvergenceError(
+                f"transient step of {circuit.title!r} is singular") from exc
+        delta = target - x
+        max_step = float(np.abs(delta[:n_nodes]).max()) if n_nodes else 0.0
+        if max_step > _MAX_UPDATE_V:
+            x = x + (_MAX_UPDATE_V / max_step) * delta
+            continue
+        x = target
+        if max_step <= _VOLTAGE_TOL:
+            return x
+    raise ConvergenceError(
+        f"transient step of {circuit.title!r} failed to converge")
+
+
+def seed_transient(circuit: Circuit, stop_s: float, dt_s: float,
+                   waveforms: Optional[Dict[str, Waveform]] = None,
+                   from_dc: bool = True) -> TransientResult:
+    """The seed's fixed-step backward-Euler transient, verbatim.
+
+    (The seed raised ``ConvergenceError`` for an unknown waveform name;
+    that pre-validation quirk is not part of the numerical engine and
+    is irrelevant here, so the replica validates the same way the fixed
+    public API does.)
+    """
+    if stop_s <= 0.0 or dt_s <= 0.0:
+        raise ValueError("stop_s and dt_s must be positive")
+    waveforms = waveforms or {}
+    sources_by_name = {source.name: source
+                       for source in circuit.voltage_sources}
+    sources_by_name.update({source.name: source
+                            for source in circuit.current_sources})
+    for name in waveforms:
+        if name not in sources_by_name:
+            raise ValueError(f"no source named {name!r} to drive")
+
+    def apply_waveforms(t: float) -> None:
+        for name, waveform in waveforms.items():
+            source = sources_by_name[name]
+            if hasattr(source, "volts"):
+                source.volts = float(waveform(t))
+            else:
+                source.amps = float(waveform(t))
+
+    apply_waveforms(0.0)
+    if from_dc:
+        x = seed_dc_operating_point(circuit).solution
+    else:
+        x = np.zeros(circuit.n_unknowns)
+    for capacitor in circuit.capacitors:
+        capacitor.update_state(x)
+
+    n_steps = int(round(stop_s / dt_s))
+    times = np.linspace(0.0, n_steps * dt_s, n_steps + 1)
+    solutions = np.empty((n_steps + 1, circuit.n_unknowns))
+    solutions[0] = x
+    for step in range(1, n_steps + 1):
+        apply_waveforms(times[step])
+        x = _seed_solve_step(circuit, x, dt_s)
+        for capacitor in circuit.capacitors:
+            capacitor.update_state(x)
+        solutions[step] = x
+    return TransientResult(circuit, times, solutions)

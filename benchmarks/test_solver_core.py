@@ -247,7 +247,14 @@ def test_pdn_100_pattern_resolve(benchmark):
 
 
 def test_sweep_runner_population_sampling(benchmark):
-    """Record-only: pool vs serial Monte Carlo (identical streams)."""
+    """Record-only: pool vs serial Monte Carlo (identical streams).
+
+    At 4k x 400 = 1.6M lognormal draws this workload sits below the
+    sampler's work-aware pool gate (``_MIN_POOL_SAMPLES``), so both
+    paths now run serially in-process and the recorded ratio should
+    hover around 1.0 -- the earlier 0.37x pooled regression came from
+    paying ~100 ms of process startup for ~15 ms of numpy sampling.
+    """
     spec = WirePopulationSpec(n_wires=400,
                               median_ttf_s=units.years(30.0),
                               sigma=0.35)
@@ -267,6 +274,7 @@ def test_sweep_runner_population_sampling(benchmark):
     RESULTS["sweep_population_sampling"] = {
         "serial_s": serial_s, "pool_s": pool_s,
         "speedup": serial_s / pool_s, "n_chips": n_chips,
-        "note": "record-only; determinism asserted, no threshold",
+        "note": "record-only; below the work-aware pool gate both "
+                "paths run serially (determinism still asserted)",
     }
     run_once(benchmark, run_pool)

@@ -1,0 +1,81 @@
+"""Pooled Fig. 10 load-sizing study on the compiled circuit engine.
+
+Fans the paper's load-size sweep through
+:func:`repro.assist.sweeps.sweep_load_size_pooled`: every point builds
+a fresh assist netlist, solves the Normal-mode DC operating point and
+runs a full mode-switch transient -- independently, so the grid
+parallelizes over the process pool with results identical to a serial
+run.  Also prints the Fig. 9 mode-switch matrix (all six ordered mode
+transitions) from :func:`repro.assist.sweeps.mode_switch_matrix`.
+
+Reproduces the paper's Fig. 10 trade-off: load delay rises with load
+size (deeper droop through the fixed headers/footers) while
+mode-switching time falls.
+
+Usage::
+
+    python examples/assist_sweep.py [max_loads]
+"""
+
+import sys
+
+from repro.assist import (
+    AssistCircuitConfig,
+    mode_switch_matrix,
+    sweep_load_size_pooled,
+)
+
+
+def run(max_loads: int) -> None:
+    config = AssistCircuitConfig()
+    sizes = tuple(range(1, max_loads + 1))
+    points = sweep_load_size_pooled(sizes, config)
+
+    print(f"Fig. 10 load-size sweep ({len(points)} pooled points)")
+    print()
+    header = (f"{'loads':>5}  {'swing (V)':>9}  {'delay (norm)':>12}  "
+              f"{'switch (ns)':>11}  {'switch (norm)':>13}")
+    print(header)
+    print("-" * len(header))
+    for point in points:
+        print(f"{point.n_loads:>5}  {point.load_swing_v:>9.4f}  "
+              f"{point.delay_normalized:>12.3f}  "
+              f"{point.switching_time_s * 1e9:>11.2f}  "
+              f"{point.switching_time_normalized:>13.3f}")
+    print()
+    rising = points[-1].delay_normalized >= points[0].delay_normalized
+    falling = points[-1].switching_time_normalized \
+        <= points[0].switching_time_normalized
+    print("trade-off: delay "
+          + ("rises" if rising else "does not rise")
+          + " with load size, switching time "
+          + ("falls" if falling else "does not fall")
+          + " -- each load has its own optimal design point.")
+
+    print()
+    print("Fig. 9 mode-switch matrix (pooled transients)")
+    print()
+    cells = mode_switch_matrix(config)
+    for cell in cells:
+        switch = cell.switching_time_s
+        if switch == float("inf"):
+            label = "never"
+        elif switch <= 0.0:
+            # Rails never left tolerance: the load keeps operating
+            # through the switch (the EM-recovery property).
+            label = "immediately"
+        else:
+            label = f"{switch * 1e9:.2f} ns"
+        print(f"  {cell.from_mode.name:>12} -> "
+              f"{cell.to_mode.name:<12} settles in {label}  "
+              f"(rails -> lvdd {cell.settled_load_vdd_v:.3f} V, "
+              f"lvss {cell.settled_load_vss_v:.3f} V)")
+
+
+def main() -> None:
+    max_loads = int(sys.argv[1]) if len(sys.argv) > 1 else 5
+    run(max_loads)
+
+
+if __name__ == "__main__":
+    main()

@@ -12,7 +12,8 @@ Implements the Fig. 8 scheme as a real netlist on top of
   -- load-VDD is pulled near VSS and load-VSS near VDD, with the
   ~0.2 V pass-device droop the paper reports (Fig. 9b),
 * the load-size vs performance / switching-time trade-off of Fig. 10
-  (:mod:`repro.assist.sizing`).
+  (:mod:`repro.assist.sizing`), with pooled sweep-scale variants of
+  the Fig. 9 / Fig. 10 studies in :mod:`repro.assist.sweeps`.
 """
 
 from repro.assist.modes import AssistMode, DeviceState, TRUTH_TABLE
@@ -20,8 +21,16 @@ from repro.assist.circuitry import (
     AssistCircuit,
     AssistCircuitConfig,
     ModeOperatingPoint,
+    mode_switch_waveforms,
 )
 from repro.assist.sizing import LoadSizingPoint, sweep_load_size
+from repro.assist.sweeps import (
+    FleetMember,
+    ModeSwitchCell,
+    mode_switch_matrix,
+    ring_oscillator_fleet,
+    sweep_load_size_pooled,
+)
 from repro.assist.area import (
     AssistAreaModel,
     SharingDesignPoint,
@@ -40,6 +49,12 @@ __all__ = [
     "AssistCircuit",
     "AssistCircuitConfig",
     "ModeOperatingPoint",
+    "mode_switch_waveforms",
     "LoadSizingPoint",
     "sweep_load_size",
+    "sweep_load_size_pooled",
+    "ModeSwitchCell",
+    "mode_switch_matrix",
+    "FleetMember",
+    "ring_oscillator_fleet",
 ]

@@ -34,7 +34,9 @@ load rail voltages, droop, and mode-switching time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
+
+import numpy as np
 
 from repro.assist.modes import (
     AssistMode,
@@ -46,6 +48,26 @@ from repro.circuit.netlist import Circuit
 from repro.circuit.dc import DcSolution, dc_operating_point
 from repro.circuit.transient import TransientResult, transient
 from repro.errors import NetlistError
+
+
+def mode_switch_waveforms(from_mode: AssistMode, to_mode: AssistMode,
+                          supply_v: float, switch_at_s: float
+                          ) -> Dict[str, Callable]:
+    """Gate-drive step waveforms for a mode change at ``switch_at_s``.
+
+    One waveform per assist device, keyed by its gate-source name.
+    Each is array-aware (``np.where`` over a whole time grid) so the
+    transient engine evaluates it in a single vectorized call; for a
+    scalar ``t`` the selection reduces to the same two-level step.
+    """
+    before = gate_voltages(from_mode, supply_v)
+    after = gate_voltages(to_mode, supply_v)
+    waveforms = {}
+    for device in DEVICE_NAMES:
+        def waveform(t, lo=before[device], hi=after[device]):
+            return np.where(np.asarray(t) >= switch_at_s, hi, lo)
+        waveforms[f"vg_{device}"] = waveform
+    return waveforms
 
 
 @dataclass(frozen=True)
@@ -242,14 +264,9 @@ class AssistCircuit:
         The circuit starts in the DC state of ``from_mode``; at the
         switch instant every gate drive steps to the ``to_mode`` value.
         """
-        before = gate_voltages(from_mode, self.config.supply_v)
-        after = gate_voltages(to_mode, self.config.supply_v)
-        waveforms = {}
-        for device in DEVICE_NAMES:
-            def waveform(t: float, lo=before[device], hi=after[device]
-                         ) -> float:
-                return hi if t >= switch_at_s else lo
-            waveforms[f"vg_{device}"] = waveform
+        waveforms = mode_switch_waveforms(from_mode, to_mode,
+                                          self.config.supply_v,
+                                          switch_at_s)
         self.set_mode(from_mode)
         return transient(self.circuit, stop_s=stop_s, dt_s=dt_s,
                          waveforms=waveforms)

@@ -58,6 +58,39 @@ class LoadSizingPoint:
     switching_time_normalized: float
 
 
+def _evaluate_load_point(base_config: AssistCircuitConfig,
+                         n_loads: int) -> dict:
+    """Raw (un-normalized) observables of one Fig. 10 sweep point.
+
+    Module-level (not a closure) so the pooled runner in
+    :mod:`repro.assist.sweeps` can pickle it into worker processes;
+    each point is an independent DC solve plus a switching transient.
+    """
+    circuit = AssistCircuit(replace(base_config, n_loads=n_loads))
+    normal = circuit.solve_mode(AssistMode.NORMAL)
+    switching = circuit.switching_time_s(AssistMode.NORMAL,
+                                         AssistMode.BTI_RECOVERY)
+    return {
+        "n_loads": n_loads,
+        "swing": normal.load_swing_v,
+        "delay": _alpha_power_delay(normal.load_swing_v),
+        "switching": switching,
+    }
+
+
+def _normalize_load_points(raw: Sequence[dict]) -> List[LoadSizingPoint]:
+    """Normalize raw sweep points to the first entry (Fig. 10 axes)."""
+    delay_ref = raw[0]["delay"]
+    switching_ref = raw[0]["switching"]
+    return [LoadSizingPoint(
+        n_loads=point["n_loads"],
+        load_swing_v=point["swing"],
+        delay_normalized=point["delay"] / delay_ref,
+        switching_time_s=point["switching"],
+        switching_time_normalized=point["switching"] / switching_ref,
+    ) for point in raw]
+
+
 def sweep_load_size(n_loads_values: Sequence[int] = (1, 2, 3, 4, 5),
                     base_config: Optional[AssistCircuitConfig] = None,
                     ) -> List[LoadSizingPoint]:
@@ -75,24 +108,6 @@ def sweep_load_size(n_loads_values: Sequence[int] = (1, 2, 3, 4, 5),
     if not n_loads_values:
         raise ValueError("n_loads_values must not be empty")
     base = base_config or AssistCircuitConfig()
-    raw: List[dict] = []
-    for n_loads in n_loads_values:
-        circuit = AssistCircuit(replace(base, n_loads=n_loads))
-        normal = circuit.solve_mode(AssistMode.NORMAL)
-        switching = circuit.switching_time_s(AssistMode.NORMAL,
-                                             AssistMode.BTI_RECOVERY)
-        raw.append({
-            "n_loads": n_loads,
-            "swing": normal.load_swing_v,
-            "delay": _alpha_power_delay(normal.load_swing_v),
-            "switching": switching,
-        })
-    delay_ref = raw[0]["delay"]
-    switching_ref = raw[0]["switching"]
-    return [LoadSizingPoint(
-        n_loads=point["n_loads"],
-        load_swing_v=point["swing"],
-        delay_normalized=point["delay"] / delay_ref,
-        switching_time_s=point["switching"],
-        switching_time_normalized=point["switching"] / switching_ref,
-    ) for point in raw]
+    raw = [_evaluate_load_point(base, n_loads)
+           for n_loads in n_loads_values]
+    return _normalize_load_points(raw)

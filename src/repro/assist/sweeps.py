@@ -1,0 +1,200 @@
+"""Pooled assist-circuit studies (Fig. 9 / Fig. 10 at sweep scale).
+
+The assist observables are embarrassingly parallel: every Fig. 10
+load-size point, every Fig. 9 mode-switch cell and every member of a
+ring-oscillator fleet is an independent netlist build plus DC /
+transient solve (tens of milliseconds each on the compiled engine).
+This module fans those studies over
+:func:`repro.solvers.run_sweep` -- the same deterministic process-pool
+runner the EM Monte Carlo and tornado studies use -- so they inherit
+its guarantees:
+
+* results come back in task order, byte-identical to a serial run;
+* per-cell randomness (fleet process variation) is seeded from
+  ``(seed, cell index)`` via
+  :func:`repro.solvers.task_seed_sequence`, so the draw of cell *k*
+  never depends on worker count or chunking;
+* sweeps below the pool threshold run serially in-process, with the
+  threshold overridable through ``min_tasks_for_pool``.
+
+Every task function is a module-level callable bound with
+``functools.partial`` over frozen dataclasses, which keeps the work
+picklable for the pool.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from functools import partial
+from itertools import permutations
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.assist.circuitry import AssistCircuit, AssistCircuitConfig
+from repro.assist.modes import AssistMode
+from repro.assist.sizing import (
+    LoadSizingPoint,
+    _evaluate_load_point,
+    _normalize_load_points,
+)
+from repro.circuit.oscillator import RingOscillatorNetlist
+from repro.solvers import run_sweep
+
+
+# -- Fig. 10: load-size trade-off ------------------------------------------
+
+
+def sweep_load_size_pooled(
+        n_loads_values: Sequence[int] = (1, 2, 3, 4, 5),
+        base_config: Optional[AssistCircuitConfig] = None, *,
+        max_workers: Optional[int] = None,
+        min_tasks_for_pool: Optional[int] = None,
+) -> List[LoadSizingPoint]:
+    """The Fig. 10 sweep with every load point solved in parallel.
+
+    Point-for-point identical to
+    :func:`repro.assist.sizing.sweep_load_size` (same evaluator, same
+    normalization to the first entry); only the scheduling differs.
+    """
+    if not n_loads_values:
+        raise ValueError("n_loads_values must not be empty")
+    base = base_config or AssistCircuitConfig()
+    raw = run_sweep(partial(_evaluate_load_point, base),
+                    list(n_loads_values), max_workers=max_workers,
+                    min_tasks_for_pool=min_tasks_for_pool)
+    return _normalize_load_points(raw)
+
+
+# -- Fig. 9: mode-switch matrix --------------------------------------------
+
+
+@dataclass(frozen=True)
+class ModeSwitchCell:
+    """One ordered mode transition of the Fig. 9 matrix.
+
+    Attributes:
+        from_mode / to_mode: the transition endpoints.
+        switching_time_s: settle time of both load rails after the
+            switch instant (``inf`` if a rail never settles).
+        settled_load_vdd_v / settled_load_vss_v: the target-mode DC
+            rail voltages the transient settles towards.
+    """
+
+    from_mode: AssistMode
+    to_mode: AssistMode
+    switching_time_s: float
+    settled_load_vdd_v: float
+    settled_load_vss_v: float
+
+
+def _evaluate_mode_switch(config: AssistCircuitConfig, stop_s: float,
+                          dt_s: float, switch_at_s: float,
+                          pair: Tuple[AssistMode, AssistMode]
+                          ) -> ModeSwitchCell:
+    """Sweep worker: one cell of the mode-switch matrix."""
+    from_mode, to_mode = pair
+    circuit = AssistCircuit(config)
+    target = circuit.solve_mode(to_mode)
+    switching = circuit.switching_time_s(from_mode, to_mode,
+                                         stop_s=stop_s, dt_s=dt_s,
+                                         switch_at_s=switch_at_s)
+    return ModeSwitchCell(
+        from_mode=from_mode,
+        to_mode=to_mode,
+        switching_time_s=switching,
+        settled_load_vdd_v=target.load_vdd_v,
+        settled_load_vss_v=target.load_vss_v,
+    )
+
+
+def mode_switch_matrix(
+        config: Optional[AssistCircuitConfig] = None,
+        mode_pairs: Optional[Sequence[Tuple[AssistMode,
+                                            AssistMode]]] = None, *,
+        stop_s: float = 100e-9,
+        dt_s: float = 0.2e-9,
+        switch_at_s: float = 5e-9,
+        max_workers: Optional[int] = None,
+        min_tasks_for_pool: Optional[int] = None,
+) -> List[ModeSwitchCell]:
+    """Switching times of every ordered mode transition.
+
+    The paper's Fig. 9 exercises Normal <-> EM and Normal <-> BTI
+    transitions; by default all six ordered pairs of the three modes
+    are solved, one transient per cell, fanned over the process pool.
+    """
+    if mode_pairs is None:
+        mode_pairs = list(permutations(AssistMode, 2))
+    if not mode_pairs:
+        raise ValueError("mode_pairs must not be empty")
+    worker = partial(_evaluate_mode_switch,
+                     config or AssistCircuitConfig(), stop_s, dt_s,
+                     switch_at_s)
+    return run_sweep(worker, list(mode_pairs), max_workers=max_workers,
+                     min_tasks_for_pool=min_tasks_for_pool)
+
+
+# -- ring-oscillator fleet -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetMember:
+    """One simulated oscillator of a process-varied fleet.
+
+    Attributes:
+        index: position in the fleet (also the seed key).
+        delta_vth_v: the member's effective BTI shift after process
+            variation (clamped non-negative).
+        frequency_hz: measured oscillation frequency of the aged ring.
+    """
+
+    index: int
+    delta_vth_v: float
+    frequency_hz: float
+
+
+def _evaluate_fleet_member(netlist: RingOscillatorNetlist,
+                           delta_vth_v: float, sigma_vth_v: float,
+                           index: int,
+                           seed_sequence: np.random.SeedSequence
+                           ) -> FleetMember:
+    """Sweep worker: age, simulate and measure one fleet member."""
+    rng = np.random.default_rng(seed_sequence)
+    shift = delta_vth_v + sigma_vth_v * float(rng.standard_normal())
+    shift = max(shift, 0.0)
+    aged = netlist.aged(shift)
+    frequency = aged.measured_frequency_hz()
+    return FleetMember(index=index, delta_vth_v=shift,
+                       frequency_hz=frequency)
+
+
+def ring_oscillator_fleet(
+        n_rings: int,
+        delta_vth_v: float = 0.0,
+        sigma_vth_v: float = 0.0,
+        netlist: Optional[RingOscillatorNetlist] = None, *,
+        seed: int = 0,
+        max_workers: Optional[int] = None,
+        min_tasks_for_pool: Optional[int] = None,
+) -> List[FleetMember]:
+    """Simulate a fleet of process-varied transistor-level rings.
+
+    Each member ages the base ``netlist`` by ``delta_vth_v`` plus a
+    member-specific Gaussian draw of width ``sigma_vth_v`` (clamped at
+    zero -- :meth:`RingOscillatorNetlist.aged` models wearout, not
+    rejuvenation), runs a full transient, and measures the frequency
+    from the waveform.  Member ``k``'s draw comes from
+    ``task_seed_sequence(seed, k)``, so the fleet is reproducible at
+    any worker count.
+    """
+    if n_rings < 1:
+        raise ValueError("n_rings must be at least 1")
+    if sigma_vth_v < 0.0:
+        raise ValueError("sigma_vth_v must be non-negative")
+    worker = partial(_evaluate_fleet_member,
+                     netlist or RingOscillatorNetlist(), delta_vth_v,
+                     sigma_vth_v)
+    return run_sweep(worker, list(range(n_rings)), seed=seed,
+                     max_workers=max_workers,
+                     min_tasks_for_pool=min_tasks_for_pool)

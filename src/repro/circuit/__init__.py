@@ -17,8 +17,15 @@ implements:
   (:func:`~repro.circuit.dc.dc_operating_point`), and
 * backward-Euler transient analysis with time-varying sources
   (:func:`~repro.circuit.transient.transient`).
+
+Both analyses execute on compiled circuit programs
+(:class:`~repro.circuit.compiled.CompiledCircuit`): the netlist is
+flattened once into scatter-ready stamp index/value arrays, device
+models evaluate as single ufunc passes, and the dense LU factors are
+reused through an input-keyed cache.
 """
 
+from repro.circuit.compiled import CompiledCircuit, evaluate_waveform_grid
 from repro.circuit.elements import (
     Capacitor,
     CurrentSource,
@@ -34,6 +41,8 @@ from repro.circuit.oscillator import RingOscillatorNetlist
 __all__ = [
     "RingOscillatorNetlist",
     "Circuit",
+    "CompiledCircuit",
+    "evaluate_waveform_grid",
     "GROUND",
     "Resistor",
     "Capacitor",

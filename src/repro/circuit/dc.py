@@ -1,40 +1,40 @@
 """Newton-Raphson DC operating-point analysis with gmin stepping.
 
-The solver assembles the MNA system at the current voltage estimate,
-stamps linearized device companions, and iterates with a damped Newton
-update.  If plain Newton fails (strongly nonlinear bias points), it
-falls back to gmin stepping: a large conductance from every node to
-ground is added and progressively relaxed, dragging the solution from
-an almost-linear problem to the real one.
+The solver linearizes the netlist at the current voltage estimate and
+iterates with a damped Newton update.  If plain Newton fails (strongly
+nonlinear bias points), it falls back to gmin stepping: a large
+conductance from every node to ground is added and progressively
+relaxed, dragging the solution from an almost-linear problem to the
+real one.
+
+Assembly and the linearized solves run through a
+:class:`~repro.circuit.compiled.CompiledCircuit` -- the netlist is
+flattened once into scatter-ready stamp arrays and each Newton
+iteration costs one vectorized device evaluation plus one (cached)
+dense LU solve, instead of the seed engine's per-element Python
+stamping loop.  The iteration path is bit-identical to the seed's
+(same damping, tolerances and gmin ladder), which
+``tests/test_circuit_compiled.py`` checks against the verbatim replica
+in ``benchmarks/seed_circuit.py``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 import numpy as np
 
-from repro.circuit.elements import MnaSystem
+from repro.circuit.compiled import (
+    CompiledCircuit,
+    MAX_ITERATIONS as _MAX_ITERATIONS,
+    MAX_UPDATE_V as _MAX_UPDATE_V,
+    VOLTAGE_TOL as _VOLTAGE_TOL,
+)
 from repro.circuit.netlist import Circuit
 from repro.errors import ConvergenceError
-from repro.solvers import FactorizationCache, solve_dense_cached
 
-#: Maximum Newton iterations per gmin level.
-_MAX_ITERATIONS = 200
-
-#: Content-keyed LU reuse across Newton iterations and time steps.
-#: Linear (or converged) systems re-assemble an unchanged matrix, so
-#: the factorization is amortized; re-linearized MOSFET stamps change
-#: the matrix bytes and transparently refactor.  Shared with the
-#: transient solver.
-_LU_CACHE = FactorizationCache(maxsize=32)
-
-#: Per-iteration clamp on node-voltage updates (volts).
-_MAX_UPDATE_V = 0.3
-
-#: Convergence tolerance on node voltages (volts).
-_VOLTAGE_TOL = 1e-9
+__all__ = ["DcSolution", "dc_operating_point"]
 
 
 @dataclass(frozen=True)
@@ -75,50 +75,9 @@ class DcSolution:
         return self.circuit.find_mosfet(name).current(self.solution)
 
 
-def _assemble(circuit: Circuit, estimate: np.ndarray,
-              gmin: float) -> MnaSystem:
-    system = MnaSystem(circuit.n_nodes, len(circuit.voltage_sources))
-    for resistor in circuit.resistors:
-        resistor.stamp(system)
-    for source in circuit.voltage_sources:
-        source.stamp(system)
-    for source in circuit.current_sources:
-        source.stamp(system)
-    for mosfet in circuit.mosfets:
-        mosfet.stamp(system, estimate)
-    if gmin > 0.0:
-        for node in range(circuit.n_nodes):
-            system.matrix[node, node] += gmin
-    return system
-
-
-def _newton(circuit: Circuit, estimate: np.ndarray, gmin: float
-            ) -> Tuple[Optional[np.ndarray], int]:
-    """Damped Newton at a fixed gmin: (solution or None, iterations)."""
-    x = estimate.copy()
-    n_nodes = circuit.n_nodes
-    for iteration in range(1, _MAX_ITERATIONS + 1):
-        system = _assemble(circuit, x, gmin)
-        try:
-            target = solve_dense_cached(system.matrix, system.rhs,
-                                        _LU_CACHE)
-        except np.linalg.LinAlgError:
-            return None, iteration
-        if not np.all(np.isfinite(target)):
-            return None, iteration
-        delta = target - x
-        max_step = float(np.abs(delta[:n_nodes]).max()) if n_nodes else 0.0
-        if max_step > _MAX_UPDATE_V:
-            x = x + (_MAX_UPDATE_V / max_step) * delta
-            continue
-        x = target
-        if max_step <= _VOLTAGE_TOL:
-            return x, iteration
-    return None, _MAX_ITERATIONS
-
-
 def dc_operating_point(circuit: Circuit,
-                       initial_guess: Optional[np.ndarray] = None
+                       initial_guess: Optional[np.ndarray] = None,
+                       program: Optional[CompiledCircuit] = None
                        ) -> DcSolution:
     """Solve the DC operating point of a circuit.
 
@@ -126,6 +85,11 @@ def dc_operating_point(circuit: Circuit,
         circuit: the netlist to analyse.
         initial_guess: optional starting MNA vector (e.g. the previous
             transient step), which speeds up and stabilizes Newton.
+        program: optional pre-built compiled program for ``circuit``
+            (lets a caller that already flattened the netlist -- e.g.
+            the transient driver -- reuse its stamp arrays and LU
+            cache).  Built fresh when omitted, so any mutated source
+            values or aged device parameters are picked up.
 
     Returns:
         The converged :class:`DcSolution`.
@@ -133,13 +97,16 @@ def dc_operating_point(circuit: Circuit,
     Raises:
         ConvergenceError: if Newton fails even with gmin stepping.
     """
+    if program is None:
+        program = CompiledCircuit(circuit)
+    rhs = program.static_rhs()
     size = circuit.n_unknowns
     if initial_guess is not None and initial_guess.shape == (size,):
         estimate = initial_guess.copy()
     else:
         estimate = np.zeros(size)
 
-    solution, iterations = _newton(circuit, estimate, gmin=0.0)
+    solution, iterations = program.newton(estimate, rhs, gmin=0.0)
     if solution is not None:
         return DcSolution(circuit, solution, iterations)
 
@@ -147,12 +114,12 @@ def dc_operating_point(circuit: Circuit,
     total_iterations = iterations
     for exponent in range(3, 13):
         gmin = 10.0 ** (-exponent)
-        stepped, used = _newton(circuit, estimate, gmin=gmin)
+        stepped, used = program.newton(estimate, rhs, gmin=gmin)
         total_iterations += used
         if stepped is None:
             break
         estimate = stepped
-    solution, used = _newton(circuit, estimate, gmin=0.0)
+    solution, used = program.newton(estimate, rhs, gmin=0.0)
     total_iterations += used
     if solution is None:
         raise ConvergenceError(

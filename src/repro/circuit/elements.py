@@ -88,9 +88,14 @@ class Resistor:
         if self.ohms <= 0.0:
             raise NetlistError(f"resistor {self.name}: ohms must be positive")
 
+    @property
+    def conductance(self) -> float:
+        """Conductance ``1 / ohms`` (the value the MNA stamp uses)."""
+        return 1.0 / self.ohms
+
     def stamp(self, system: MnaSystem) -> None:
         """Stamp the conductance into the system."""
-        system.add_conductance(self.a, self.b, 1.0 / self.ohms)
+        system.add_conductance(self.a, self.b, self.conductance)
 
     def current(self, solution_v: np.ndarray) -> float:
         """Current from ``a`` to ``b`` given a node-voltage solution."""

@@ -24,7 +24,9 @@ simulated directly: ``mosfet.params = mosfet.params.with_vth_shift(dv)``.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Tuple
+from typing import Sequence, Tuple
+
+import numpy as np
 
 from repro.circuit.elements import MnaSystem
 from repro.errors import NetlistError
@@ -193,3 +195,107 @@ class Mosfet:
     def current(self, v) -> float:
         """Drain-to-source current at a solved bias point."""
         return self.evaluate(v)[0]
+
+
+class MosfetBank:
+    """Vectorized level-1 evaluation of a fixed list of MOSFETs.
+
+    The compiled circuit engine (:mod:`repro.circuit.compiled`)
+    evaluates every device of a netlist in one ufunc pass instead of
+    calling :meth:`Mosfet.evaluate` per device per Newton iteration.
+    Each elementwise expression below follows the *exact* operation
+    tree of the scalar path (:func:`_nmos_core` / ``evaluate``) --
+    same associativity, same constant folding -- so the vectorized
+    lanes reproduce the scalar results bit for bit, which is what lets
+    the compiled engine match the seed engine to well below 1e-10.
+
+    Ground terminals are mapped to ``pad_index``, the extra
+    always-zero trailing slot of the padded solution vector the
+    compiled engine gathers from.
+    """
+
+    def __init__(self, mosfets: Sequence[Mosfet], pad_index: int):
+        self.n_devices = len(mosfets)
+        pad = pad_index
+
+        def padded(node: int) -> int:
+            return node if node >= 0 else pad
+
+        # Gather index: rows are (drain, gate, source) per device.
+        self.dgs_index = np.array(
+            [[padded(m.drain) for m in mosfets],
+             [padded(m.gate) for m in mosfets],
+             [padded(m.source) for m in mosfets]], dtype=np.intp)
+        params = [m.params for m in mosfets]
+        self.mirror = np.array([-1.0 if p.polarity == "pmos" else 1.0
+                                for p in params])
+        self.vth = np.array([p.vth_v for p in params])
+        self.beta = np.array([p.beta for p in params])
+        # The scalar path computes ``0.5 * beta`` afresh each call;
+        # one multiply on the same operands gives the same bits.
+        self.half_beta = 0.5 * self.beta
+        self.lam = np.array([p.lambda_per_v for p in params])
+        self.leak = np.array([p.leak_s for p in params])
+
+    def evaluate(self, x_padded: np.ndarray
+                 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-device Newton companion values at a padded bias vector.
+
+        Returns ``(g_drain, g_gate, residual)`` where the first two are
+        the Jacobian stamps of :meth:`Mosfet.stamp` and ``residual`` is
+        its constant companion current
+        ``ids - g_drain*vds0 - g_gate*vgs0``.
+        """
+        vdgs = x_padded.take(self.dgs_index)
+        u = self.mirror * vdgs
+        ud, ug, us = u[0], u[1], u[2]
+        swap = ud < us
+        # Effective (drain, source) after symmetric-conduction swap.
+        ed = np.where(swap, us, ud)
+        es = np.where(swap, ud, us)
+        vgs = ug - es
+        vds = ed - es
+        vov = vgs - self.vth
+        lamvds = self.lam * vds
+        clm = 1.0 + lamvds
+        half_vds = 0.5 * vds
+        a = vov - half_vds
+        # Triode branch (expression trees mirror _nmos_core verbatim).
+        t1 = self.beta * a
+        t2 = t1 * vds
+        ids_triode = t2 * clm
+        bvds = self.beta * vds
+        gm_triode = bvds * clm
+        w = vov - vds
+        p = w * clm
+        q = a * vds
+        r = q * self.lam
+        gds_triode = self.beta * (p + r)
+        # Saturation branch.
+        hv = self.half_beta * vov
+        hvv = hv * vov
+        ids_sat = hvv * clm
+        bv = self.beta * vov
+        gm_sat = bv * clm
+        gds_sat = hvv * self.lam
+        active = vov > 0.0
+        triode = active & (vds < vov)
+        on_sat = active & ~triode
+        ids = np.where(triode, ids_triode,
+                       np.where(on_sat, ids_sat, 0.0))
+        gm = np.where(triode, gm_triode,
+                      np.where(on_sat, gm_sat, 0.0))
+        gds = np.where(triode, gds_triode,
+                       np.where(on_sat, gds_sat, 0.0))
+        # Undo the swap: current negates, derivatives re-map.
+        current_n = np.where(swap, -ids, ids)
+        g_drain = np.where(swap, gm + gds, gds)
+        g_gate = np.where(swap, -gm, gm)
+        duds = ud - us
+        current_n = current_n + self.leak * duds
+        g_drain = g_drain + self.leak
+        ids_out = self.mirror * current_n
+        vds0 = vdgs[0] - vdgs[2]
+        vgs0 = vdgs[1] - vdgs[2]
+        residual = ids_out - g_drain * vds0 - g_gate * vgs0
+        return g_drain, g_gate, residual

@@ -14,6 +14,7 @@ from typing import Dict, List, Optional, TYPE_CHECKING
 from repro.errors import NetlistError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.circuit.compiled import CompiledCircuit
     from repro.circuit.elements import (
         Capacitor, CurrentSource, Resistor, VoltageSource)
     from repro.circuit.mosfet import Mosfet
@@ -139,3 +140,13 @@ class Circuit:
     def n_unknowns(self) -> int:
         """MNA system size: node voltages plus source branch currents."""
         return self.n_nodes + len(self.voltage_sources)
+
+    def compile(self) -> "CompiledCircuit":
+        """Flatten the netlist into a compiled MNA program.
+
+        The program snapshots topology, element values and *current*
+        source values; mutate the netlist afterwards and you must
+        compile again (the analysis entry points do this for you).
+        """
+        from repro.circuit.compiled import CompiledCircuit
+        return CompiledCircuit(self)

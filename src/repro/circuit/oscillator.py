@@ -12,7 +12,7 @@ model against the transistor-level one (fresh and BTI-aged).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -77,13 +77,14 @@ class RingOscillatorNetlist:
                                   initial_v=initial)
         return circuit
 
-    def simulate(self, n_periods_hint: float = 8.0,
-                 points_per_period: int = 60) -> TransientResult:
-        """Run a transient long enough to observe several periods.
+    def simulation_window(self, n_periods_hint: float = 8.0,
+                          points_per_period: int = 60
+                          ) -> Tuple[float, float]:
+        """``(stop_s, dt_s)`` sized from a first-order delay estimate.
 
-        The run length is sized from a first-order delay estimate
-        ``stages * C * V / I_sat``; the measurement then uses only the
-        settled second half of the waveform.
+        The estimate is ``stages * C * V / I_sat`` per edge; exposing
+        it lets alternative drivers (the seed-engine benchmark, the
+        pooled fleet runner) run the exact same time grid.
         """
         i_sat = 0.5 * self.nmos.beta \
             * max(self.supply_v - self.nmos.vth_v, 0.05) ** 2
@@ -91,6 +92,18 @@ class RingOscillatorNetlist:
         period_estimate = 2.0 * self.stages * stage_delay
         stop = n_periods_hint * period_estimate
         dt = period_estimate / points_per_period
+        return stop, dt
+
+    def simulate(self, n_periods_hint: float = 8.0,
+                 points_per_period: int = 60) -> TransientResult:
+        """Run a transient long enough to observe several periods.
+
+        The run length is sized by :meth:`simulation_window`; the
+        measurement then uses only the settled second half of the
+        waveform.
+        """
+        stop, dt = self.simulation_window(n_periods_hint,
+                                          points_per_period)
         circuit = self.build()
         return transient(circuit, stop_s=stop, dt_s=dt, from_dc=False)
 
@@ -119,12 +132,10 @@ class RingOscillatorNetlist:
             raise SimulationError(
                 "no sustained oscillation observed; the ring may be "
                 "aged past cutoff or the run too short")
-        # Linear interpolation of each crossing instant.
-        crossings = []
-        for index in rising:
-            v0, v1 = wave[index], wave[index + 1]
-            t0, t1 = times[index], times[index + 1]
-            crossings.append(t0 + (mid - v0) / (v1 - v0) * (t1 - t0))
+        # Linear interpolation of every crossing instant at once.
+        v0, v1 = wave[rising], wave[rising + 1]
+        t0, t1 = times[rising], times[rising + 1]
+        crossings = t0 + (mid - v0) / (v1 - v0) * (t1 - t0)
         periods = np.diff(crossings)
         return float(1.0 / periods.mean())
 

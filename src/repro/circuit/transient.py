@@ -6,22 +6,34 @@ resistive nonlinear network is solved with the same damped Newton used
 for DC.  Source waveforms are supplied as callables ``f(t) -> value``
 keyed by element name, which is how the assist-circuit benches drive
 the mode-control gate signals.
+
+The run executes on a :class:`~repro.circuit.compiled.CompiledCircuit`
+program: every source waveform is evaluated over the whole time grid
+up front (one vectorized call per array-aware waveform, a scalar loop
+otherwise) and folded into a per-step RHS grid, the capacitor
+companion conductances for the fixed ``dt`` become one precomputed
+flat stamp, and each Newton iteration is a single vectorized device
+evaluation plus a cached dense LU solve.  The produced waveforms are
+bit-compatible with the seed engine's per-step Python stamping loop
+(kept verbatim in ``benchmarks/seed_circuit.py``), including the final
+mutated netlist state: driven sources end at their last waveform value
+and capacitors at their last solved voltage.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Optional
 
 import numpy as np
 
-from repro.solvers import solve_dense_cached
-from repro.circuit.dc import _LU_CACHE, _MAX_ITERATIONS, _MAX_UPDATE_V, \
-    _VOLTAGE_TOL, _assemble, dc_operating_point
+from repro.circuit.compiled import CompiledCircuit, evaluate_waveform_grid
+from repro.circuit.dc import dc_operating_point
 from repro.circuit.netlist import Circuit
-from repro.errors import ConvergenceError
 
 #: A source waveform: maps time (s) to the source value (V or A).
+#: Array-aware waveforms (``f(times) -> values``) are evaluated in one
+#: vectorized call over the whole run.
 Waveform = Callable[[float], float]
 
 
@@ -49,7 +61,9 @@ class TransientResult:
     def resistor_current(self, name: str) -> np.ndarray:
         """Current waveform through a named resistor (a -> b)."""
         element = self.circuit.find_resistor(name)
-        return np.array([element.current(row) for row in self.solutions])
+        va = self.solutions[:, element.a] if element.a >= 0 else 0.0
+        vb = self.solutions[:, element.b] if element.b >= 0 else 0.0
+        return (va - vb) / element.ohms
 
     def source_current(self, name: str) -> np.ndarray:
         """Branch-current waveform of a named voltage source."""
@@ -71,40 +85,25 @@ class TransientResult:
         """
         wave = self.voltage(node)
         within = np.abs(wave - target_v) <= tolerance_v
-        # Find the earliest index from which `within` holds to the end.
         if not within[-1]:
             return float("inf")
-        idx = len(within) - 1
-        while idx > 0 and within[idx - 1]:
-            idx -= 1
+        # The trailing all-within run starts right after the last
+        # out-of-tolerance sample (at 0 if the node never left).
+        outside = np.nonzero(~within)[0]
+        idx = int(outside[-1]) + 1 if outside.size else 0
         return float(self.times_s[idx])
 
 
-def _solve_step(circuit: Circuit, estimate: np.ndarray,
-                dt: float) -> np.ndarray:
-    """One backward-Euler step: Newton on the companion network."""
-    x = estimate.copy()
-    n_nodes = circuit.n_nodes
-    for _ in range(_MAX_ITERATIONS):
-        system = _assemble(circuit, x, gmin=0.0)
-        for capacitor in circuit.capacitors:
-            capacitor.stamp_transient(system, dt)
-        try:
-            target = solve_dense_cached(system.matrix, system.rhs,
-                                        _LU_CACHE)
-        except np.linalg.LinAlgError as exc:
-            raise ConvergenceError(
-                f"transient step of {circuit.title!r} is singular") from exc
-        delta = target - x
-        max_step = float(np.abs(delta[:n_nodes]).max()) if n_nodes else 0.0
-        if max_step > _MAX_UPDATE_V:
-            x = x + (_MAX_UPDATE_V / max_step) * delta
-            continue
-        x = target
-        if max_step <= _VOLTAGE_TOL:
-            return x
-    raise ConvergenceError(
-        f"transient step of {circuit.title!r} failed to converge")
+def _apply_grid_values(sources_by_name: Dict[str, object],
+                       grids: Dict[str, np.ndarray], step: int) -> None:
+    """Write the step's waveform values onto the driven sources."""
+    for name, grid in grids.items():
+        source = sources_by_name[name]
+        value = float(grid[step])
+        if hasattr(source, "volts"):
+            source.volts = value
+        else:
+            source.amps = value
 
 
 def transient(circuit: Circuit, stop_s: float, dt_s: float,
@@ -125,6 +124,10 @@ def transient(circuit: Circuit, stop_s: float, dt_s: float,
 
     Returns:
         The collected :class:`TransientResult`.
+
+    Raises:
+        ValueError: for invalid timing or an unknown waveform name.
+        ConvergenceError: if a time step fails to converge.
     """
     if stop_s <= 0.0 or dt_s <= 0.0:
         raise ValueError("stop_s and dt_s must be positive")
@@ -135,32 +138,36 @@ def transient(circuit: Circuit, stop_s: float, dt_s: float,
                             for source in circuit.current_sources})
     for name in waveforms:
         if name not in sources_by_name:
-            raise ConvergenceError(f"no source named {name!r} to drive")
+            raise ValueError(f"no source named {name!r} to drive")
 
-    def apply_waveforms(t: float) -> None:
-        for name, waveform in waveforms.items():
-            source = sources_by_name[name]
-            if hasattr(source, "volts"):
-                source.volts = float(waveform(t))
-            else:
-                source.amps = float(waveform(t))
+    n_steps = int(round(stop_s / dt_s))
+    times = np.linspace(0.0, n_steps * dt_s, n_steps + 1)
+    grids = {name: evaluate_waveform_grid(waveform, times)
+             for name, waveform in waveforms.items()}
 
-    apply_waveforms(0.0)
+    # The t=0 values go onto the sources before the program is built,
+    # so both the compiled RHS grid and the DC start see them.
+    _apply_grid_values(sources_by_name, grids, 0)
+    program = CompiledCircuit(circuit)
     if from_dc:
-        x = dc_operating_point(circuit).solution
+        x = dc_operating_point(circuit, program=program).solution
     else:
         x = np.zeros(circuit.n_unknowns)
     for capacitor in circuit.capacitors:
         capacitor.update_state(x)
 
-    n_steps = int(round(stop_s / dt_s))
-    times = np.linspace(0.0, n_steps * dt_s, n_steps + 1)
     solutions = np.empty((n_steps + 1, circuit.n_unknowns))
     solutions[0] = x
+    rhs_grid = program.rhs_grid(grids, n_steps)
+    cap_g = program.cap_conductances(dt_s)
     for step in range(1, n_steps + 1):
-        apply_waveforms(times[step])
-        x = _solve_step(circuit, x, dt_s)
-        for capacitor in circuit.capacitors:
-            capacitor.update_state(x)
+        x = program.solve_step(x, rhs_grid[step], dt_s, cap_g)
         solutions[step] = x
+
+    # Leave the netlist in the same state the per-step seed loop did:
+    # sources at their final waveform values, capacitors at their last
+    # solved voltages.
+    _apply_grid_values(sources_by_name, grids, n_steps)
+    for capacitor in circuit.capacitors:
+        capacitor.update_state(x)
     return TransientResult(circuit, times, solutions)

@@ -168,6 +168,17 @@ def _sample_chip_chunk(task: "Tuple[WirePopulationSpec, int]",
     return np.exp(samples.min(axis=1))
 
 
+#: Below this many total lognormal draws (``n_chips * n_wires``) the
+#: population sampler runs serially: vectorized numpy sampling clears
+#: ~100M draws/s in-process, so under ~8e6 draws the ~100 ms of
+#: process-pool startup and result pickling can only lose
+#: (BENCH_solvers.json measured a pooled 10k x 64 sweep at 0.37x
+#: serial).  Chunk *count* is the wrong gate here -- a sign-off sweep
+#: always has many chunks; what decides pool profitability is the
+#: work inside them.
+_MIN_POOL_SAMPLES = 8_000_000
+
+
 def sample_population_ttfs_parallel(spec: WirePopulationSpec,
                                     n_chips: int = 10000,
                                     seed: int = 0,
@@ -181,9 +192,13 @@ def sample_population_ttfs_parallel(spec: WirePopulationSpec,
     each seeded from ``(seed, chunk index)`` via
     :func:`repro.solvers.run_sweep` -- so the returned array is
     byte-identical for a fixed seed *regardless of worker count*
-    (``chunk_chips`` itself is part of the stream definition).  Use
-    this instead of :func:`sample_population_ttfs` when the chip
-    count is sign-off sized.
+    (``chunk_chips`` itself is part of the stream definition, which is
+    also why the serial fallback keeps the same chunking).  By default
+    the pool is only started once the total sample count
+    (``n_chips * n_wires``) is large enough to amortize process
+    startup (:data:`_MIN_POOL_SAMPLES`); pass ``min_tasks_for_pool``
+    to override that work-aware gate with an explicit chunk-count
+    threshold.
     """
     if n_chips < 1:
         raise SimulationError("n_chips must be at least 1")
@@ -191,6 +206,11 @@ def sample_population_ttfs_parallel(spec: WirePopulationSpec,
         raise SimulationError("chunk_chips must be at least 1")
     tasks = [(spec, min(chunk_chips, n_chips - start))
              for start in range(0, n_chips, chunk_chips)]
+    if min_tasks_for_pool is None \
+            and n_chips * spec.n_wires < _MIN_POOL_SAMPLES:
+        # Serial and pooled runs are byte-identical, so the gate is
+        # purely a performance decision.
+        min_tasks_for_pool = len(tasks) + 1
     chunks = run_sweep(_sample_chip_chunk, tasks,
                        max_workers=max_workers, seed=seed,
                        min_tasks_for_pool=min_tasks_for_pool)

@@ -103,6 +103,25 @@ class RingOscillator:
         return 1.0 - (self.frequency_hz_array(delta_vth_v)
                       / self.fresh_frequency_hz)
 
+    def infer_delta_vth_v_array(self,
+                                measured_frequency_hz: np.ndarray
+                                ) -> np.ndarray:
+        """Vectorized :meth:`infer_delta_vth_v` over a frequency vector.
+
+        Matches the scalar inversion to floating-point rounding
+        (numpy's ``**`` and libm's can differ in the last ulp),
+        including the zero clamp for frequencies above fresh; lets a
+        fleet of sensor readouts -- e.g. from
+        :func:`repro.assist.sweeps.ring_oscillator_fleet` -- be
+        inverted in one call.
+        """
+        frequencies = np.asarray(measured_frequency_hz, dtype=float)
+        if (frequencies <= 0.0).any():
+            raise SensorError("measured frequency must be positive")
+        overdrive = self.supply_v - self.fresh_vth_v
+        ratio = np.minimum(frequencies / self.fresh_frequency_hz, 1.0)
+        return overdrive * (1.0 - ratio ** (1.0 / self.alpha))
+
     def delay_degradation_array(self,
                                 delta_vth_v: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`delay_degradation` (``inf`` at 0 Hz)."""

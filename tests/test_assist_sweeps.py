@@ -1,0 +1,116 @@
+"""Tests for repro.assist.sweeps (pooled assist studies)."""
+
+import numpy as np
+import pytest
+
+from repro.assist import (
+    AssistCircuitConfig,
+    AssistMode,
+    mode_switch_matrix,
+    ring_oscillator_fleet,
+    sweep_load_size,
+    sweep_load_size_pooled,
+)
+from repro.circuit import RingOscillatorNetlist
+from repro.sensors import RingOscillator
+
+
+class TestLoadSizeSweep:
+    def test_matches_serial_sweep(self):
+        config = AssistCircuitConfig()
+        serial = sweep_load_size((1, 2, 3), config)
+        pooled = sweep_load_size_pooled((1, 2, 3), config,
+                                        min_tasks_for_pool=2)
+        assert pooled == serial
+
+    def test_rejects_empty_grid(self):
+        with pytest.raises(ValueError):
+            sweep_load_size_pooled(())
+
+
+class TestModeSwitchMatrix:
+    def test_covers_all_ordered_pairs(self):
+        cells = mode_switch_matrix(stop_s=40e-9, dt_s=0.4e-9,
+                                   max_workers=1)
+        pairs = {(cell.from_mode, cell.to_mode) for cell in cells}
+        assert len(cells) == 6
+        assert all(a != b for a, b in pairs)
+        assert pairs == {(a, b) for a in AssistMode for b in AssistMode
+                         if a != b}
+
+    def test_bti_entry_switch_settles(self):
+        cells = mode_switch_matrix(
+            mode_pairs=[(AssistMode.NORMAL, AssistMode.BTI_RECOVERY)],
+            stop_s=100e-9, dt_s=0.4e-9, max_workers=1)
+        (cell,) = cells
+        assert np.isfinite(cell.switching_time_s)
+        assert cell.switching_time_s > 0.0
+        # BTI recovery swaps the load rails: lvdd near ground, lvss
+        # near the supply (minus the pass-device droop).
+        assert cell.settled_load_vdd_v < 0.5
+        assert cell.settled_load_vss_v > 0.5
+
+    def test_rejects_empty_pairs(self):
+        with pytest.raises(ValueError):
+            mode_switch_matrix(mode_pairs=[])
+
+
+class TestRingFleet:
+    def test_deterministic_across_worker_counts(self):
+        netlist = RingOscillatorNetlist(stages=3)
+        kwargs = dict(delta_vth_v=0.04, sigma_vth_v=0.02,
+                      netlist=netlist, seed=5)
+        serial = ring_oscillator_fleet(3, max_workers=1, **kwargs)
+        pooled = ring_oscillator_fleet(3, max_workers=2,
+                                       min_tasks_for_pool=2, **kwargs)
+        assert pooled == serial
+        assert [member.index for member in serial] == [0, 1, 2]
+
+    def test_zero_sigma_fleet_is_uniform(self):
+        netlist = RingOscillatorNetlist(stages=3)
+        fleet = ring_oscillator_fleet(2, delta_vth_v=0.05,
+                                      netlist=netlist, max_workers=1)
+        assert fleet[0].delta_vth_v == fleet[1].delta_vth_v == 0.05
+        assert fleet[0].frequency_hz == fleet[1].frequency_hz
+
+    def test_aging_slows_the_fleet(self):
+        netlist = RingOscillatorNetlist(stages=3)
+        fresh = ring_oscillator_fleet(1, netlist=netlist,
+                                      max_workers=1)
+        aged = ring_oscillator_fleet(1, delta_vth_v=0.1,
+                                     netlist=netlist, max_workers=1)
+        assert aged[0].frequency_hz < fresh[0].frequency_hz
+
+    def test_sensor_inversion_roundtrip(self):
+        # The compact sensor model inverts the fleet's frequencies
+        # back to threshold shifts in one vectorized call.
+        netlist = RingOscillatorNetlist(stages=3)
+        fleet = ring_oscillator_fleet(3, delta_vth_v=0.03,
+                                      sigma_vth_v=0.01,
+                                      netlist=netlist, seed=2,
+                                      max_workers=1)
+        frequencies = np.array([m.frequency_hz for m in fleet])
+        fresh = ring_oscillator_fleet(1, netlist=netlist,
+                                      max_workers=1)[0].frequency_hz
+        sensor = RingOscillator(stages=3,
+                                fresh_frequency_hz=fresh,
+                                supply_v=netlist.supply_v,
+                                fresh_vth_v=netlist.nmos.vth_v)
+        inferred = sensor.infer_delta_vth_v_array(frequencies)
+        scalar = np.array([sensor.infer_delta_vth_v(f)
+                           for f in frequencies])
+        # numpy's ** and libm's pow may disagree in the last ulp.
+        np.testing.assert_allclose(inferred, scalar, rtol=1e-14)
+        # The compact law's alpha is not the transistor-level ring's,
+        # so the absolute scale differs; the inversion must still be
+        # positive and order the members by their true shifts.
+        true_shifts = np.array([m.delta_vth_v for m in fleet])
+        assert np.all(inferred > 0.0)
+        assert np.array_equal(np.argsort(inferred),
+                              np.argsort(true_shifts))
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            ring_oscillator_fleet(0)
+        with pytest.raises(ValueError):
+            ring_oscillator_fleet(1, sigma_vth_v=-0.1)

@@ -7,7 +7,6 @@ import pytest
 
 from repro.circuit.netlist import Circuit
 from repro.circuit.transient import transient
-from repro.errors import ConvergenceError
 
 
 def rc_circuit() -> Circuit:
@@ -62,8 +61,11 @@ class TestRcStep:
 
 class TestApi:
     def test_rejects_unknown_waveform_target(self):
+        # Regression: a mistyped source name used to surface as a
+        # confusing ConvergenceError from deep inside the Newton loop;
+        # it must be a ValueError naming the offending waveform.
         circuit = rc_circuit()
-        with pytest.raises(ConvergenceError):
+        with pytest.raises(ValueError, match="nope"):
             transient(circuit, 1e-3, 1e-5,
                       waveforms={"nope": lambda t: 0.0})
 

@@ -63,3 +63,12 @@ class TestExamples:
         out = run_module_main("pdn_em_protection", capsys)
         assert "Most EM-exposed grid segments" in out
         assert "PDE verification" in out
+
+    def test_assist_sweep(self, capsys):
+        module = importlib.import_module("assist_sweep")
+        module.run(2)
+        out = capsys.readouterr().out
+        assert "Fig. 10 load-size sweep (2 pooled points)" in out
+        assert "delay rises with load size" in out
+        assert "Fig. 9 mode-switch matrix" in out
+        assert "BTI_RECOVERY" in out

@@ -422,3 +422,39 @@ class TestPoolThreshold:
         from repro.errors import SimulationError
         with pytest.raises(SimulationError):
             run_sweep(_double, [1, 2], min_tasks_for_pool=0)
+
+    def test_small_population_sampling_stays_serial(self, no_pool):
+        # Regression for the 0.37x pooled sampler: many small chunks
+        # used to clear the chunk-count gate and start a pool for a
+        # few ms of numpy work.  Below _MIN_POOL_SAMPLES total draws
+        # the sampler must stay in-process.
+        spec = WirePopulationSpec(n_wires=40,
+                                  median_ttf_s=units.years(30.0),
+                                  sigma=0.4)
+        ttfs = sample_population_ttfs_parallel(spec, n_chips=2_000,
+                                               seed=3, max_workers=8)
+        assert ttfs.shape == (2_000,)
+
+    def test_explicit_threshold_overrides_work_gate(self, no_pool):
+        # An explicit min_tasks_for_pool above the chunk count also
+        # keeps a *large* population serial.
+        spec = WirePopulationSpec(n_wires=4_000,
+                                  median_ttf_s=units.years(30.0),
+                                  sigma=0.4)
+        ttfs = sample_population_ttfs_parallel(
+            spec, n_chips=4_000, seed=3, max_workers=8,
+            chunk_chips=256, min_tasks_for_pool=17)
+        assert ttfs.shape == (4_000,)
+
+    def test_work_gate_does_not_change_the_stream(self):
+        # The gate is a scheduling decision only: forcing the pool on
+        # the same spec/seed must reproduce the serial stream.
+        spec = WirePopulationSpec(n_wires=40,
+                                  median_ttf_s=units.years(30.0),
+                                  sigma=0.4)
+        gated = sample_population_ttfs_parallel(spec, n_chips=600,
+                                                seed=9)
+        pooled = sample_population_ttfs_parallel(spec, n_chips=600,
+                                                 seed=9, max_workers=2,
+                                                 min_tasks_for_pool=1)
+        assert np.array_equal(gated, pooled)
