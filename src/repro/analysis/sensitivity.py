@@ -18,9 +18,12 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.errors import SimulationError
-from repro.solvers import run_sweep
+from repro.solvers import TaskFailure, run_sweep
 
-#: A metric: maps a full parameter dict to one scalar result.
+#: A metric: maps a full parameter dict to one scalar result.  A
+#: stochastic metric may accept an optional second argument, the
+#: per-task ``numpy.random.SeedSequence`` delivered when
+#: :func:`one_at_a_time` is called with ``seed``.
 Metric = Callable[[Mapping[str, float]], float]
 
 
@@ -55,16 +58,26 @@ class SensitivityResult:
         return self.swing / abs(self.baseline_metric)
 
 
-def _call_metric(task: Tuple[Metric, Dict[str, float]]) -> float:
+def _call_metric(task: Tuple[Metric, Dict[str, float]],
+                 seed_sequence=None) -> float:
     """Sweep worker: evaluate one (metric, parameter dict) task."""
     metric, params = task
-    return metric(params)
+    if seed_sequence is None:
+        return metric(params)
+    return metric(params, seed_sequence)
 
 
 def one_at_a_time(metric: Metric,
                   baseline: Mapping[str, float],
                   spans: Mapping[str, Tuple[float, float]],
-                  max_workers: Optional[int] = 1
+                  max_workers: Optional[int] = 1,
+                  *,
+                  min_tasks_for_pool: Optional[int] = None,
+                  seed: Optional[int] = None,
+                  on_error: str = "raise",
+                  retries: int = 0,
+                  progress=None,
+                  on_report=None
                   ) -> List[SensitivityResult]:
     """Tornado analysis: perturb each parameter across its span.
 
@@ -78,6 +91,20 @@ def one_at_a_time(metric: Metric,
             of 1 stays serial and in-process; results are identical
             either way (the metric must be a picklable top-level
             callable to actually fan out).
+        min_tasks_for_pool: pool-start threshold forwarded to
+            :func:`repro.solvers.run_sweep`, so small tornado studies
+            (a handful of parameters) never pay process startup.
+        seed: root seed for stochastic metrics; when given, the
+            metric is called as ``metric(params, seed_sequence)`` with
+            the deterministic per-task sequence, so a noisy metric's
+            tornado is reproducible at any worker count.
+        on_error: ``"raise"`` (default) attributes the failing
+            evaluation via :class:`~repro.errors.TaskError`;
+            ``"collect"`` records ``nan`` for failed evaluations so
+            the surviving rows keep their positions.  ``"skip"`` is
+            rejected -- the tornado pairs results positionally.
+        retries / progress / on_report: forwarded to
+            :func:`repro.solvers.run_sweep`.
 
     Returns:
         One :class:`SensitivityResult` per spanned parameter, sorted
@@ -85,6 +112,10 @@ def one_at_a_time(metric: Metric,
     """
     if not spans:
         raise SimulationError("spans must not be empty")
+    if on_error == "skip":
+        raise SimulationError(
+            "one_at_a_time pairs results positionally; use "
+            "on_error='raise' or 'collect' (failed cells become nan)")
     missing = set(spans) - set(baseline)
     if missing:
         raise SimulationError(
@@ -102,7 +133,12 @@ def one_at_a_time(metric: Metric,
         high_params[name] = high
         tasks.append((metric, low_params))
         tasks.append((metric, high_params))
-    metrics = run_sweep(_call_metric, tasks, max_workers=max_workers)
+    metrics = run_sweep(_call_metric, tasks, max_workers=max_workers,
+                        min_tasks_for_pool=min_tasks_for_pool,
+                        seed=seed, on_error=on_error, retries=retries,
+                        progress=progress, on_report=on_report)
+    metrics = [float("nan") if isinstance(value, TaskFailure)
+               else value for value in metrics]
     baseline_metric = metrics[0]
     results = []
     for position, name in enumerate(names):

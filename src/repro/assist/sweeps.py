@@ -15,7 +15,11 @@ its guarantees:
   :func:`repro.solvers.task_seed_sequence`, so the draw of cell *k*
   never depends on worker count or chunking;
 * sweeps below the pool threshold run serially in-process, with the
-  threshold overridable through ``min_tasks_for_pool``.
+  threshold overridable through ``min_tasks_for_pool``;
+* the runner's fault-tolerance and telemetry knobs (``on_error``,
+  ``retries``, ``progress``, ``on_report``) pass straight through, so
+  a long fleet simulation survives a dying worker and reports which
+  members failed.
 
 Every task function is a module-level callable bound with
 ``functools.partial`` over frozen dataclasses, which keeps the work
@@ -50,19 +54,34 @@ def sweep_load_size_pooled(
         base_config: Optional[AssistCircuitConfig] = None, *,
         max_workers: Optional[int] = None,
         min_tasks_for_pool: Optional[int] = None,
+        on_error: str = "raise",
+        retries: int = 0,
+        progress=None,
+        on_report=None,
 ) -> List[LoadSizingPoint]:
     """The Fig. 10 sweep with every load point solved in parallel.
 
     Point-for-point identical to
     :func:`repro.assist.sizing.sweep_load_size` (same evaluator, same
     normalization to the first entry); only the scheduling differs.
+    ``on_error`` / ``retries`` / ``progress`` / ``on_report`` forward
+    to :func:`repro.solvers.run_sweep`; under ``"skip"`` /
+    ``"collect"`` failed points are dropped *before* normalization,
+    so the reference point becomes the first surviving entry (the
+    failure records arrive on the ``on_report`` report).
     """
     if not n_loads_values:
         raise ValueError("n_loads_values must not be empty")
     base = base_config or AssistCircuitConfig()
     raw = run_sweep(partial(_evaluate_load_point, base),
                     list(n_loads_values), max_workers=max_workers,
-                    min_tasks_for_pool=min_tasks_for_pool)
+                    min_tasks_for_pool=min_tasks_for_pool,
+                    on_error=on_error, retries=retries,
+                    progress=progress, on_report=on_report)
+    raw = [point for point in raw if isinstance(point, dict)]
+    if not raw:
+        raise ValueError("every load point failed; nothing to "
+                         "normalize (see the on_report failures)")
     return _normalize_load_points(raw)
 
 
@@ -117,12 +136,18 @@ def mode_switch_matrix(
         switch_at_s: float = 5e-9,
         max_workers: Optional[int] = None,
         min_tasks_for_pool: Optional[int] = None,
+        on_error: str = "raise",
+        retries: int = 0,
+        progress=None,
+        on_report=None,
 ) -> List[ModeSwitchCell]:
     """Switching times of every ordered mode transition.
 
     The paper's Fig. 9 exercises Normal <-> EM and Normal <-> BTI
     transitions; by default all six ordered pairs of the three modes
     are solved, one transient per cell, fanned over the process pool.
+    Fault-tolerance knobs forward to :func:`repro.solvers.run_sweep`;
+    non-raising policies omit failed cells from the returned matrix.
     """
     if mode_pairs is None:
         mode_pairs = list(permutations(AssistMode, 2))
@@ -131,8 +156,13 @@ def mode_switch_matrix(
     worker = partial(_evaluate_mode_switch,
                      config or AssistCircuitConfig(), stop_s, dt_s,
                      switch_at_s)
-    return run_sweep(worker, list(mode_pairs), max_workers=max_workers,
-                     min_tasks_for_pool=min_tasks_for_pool)
+    cells = run_sweep(worker, list(mode_pairs),
+                      max_workers=max_workers,
+                      min_tasks_for_pool=min_tasks_for_pool,
+                      on_error=on_error, retries=retries,
+                      progress=progress, on_report=on_report)
+    return [cell for cell in cells
+            if isinstance(cell, ModeSwitchCell)]
 
 
 # -- ring-oscillator fleet -------------------------------------------------
@@ -177,6 +207,10 @@ def ring_oscillator_fleet(
         seed: int = 0,
         max_workers: Optional[int] = None,
         min_tasks_for_pool: Optional[int] = None,
+        on_error: str = "raise",
+        retries: int = 0,
+        progress=None,
+        on_report=None,
 ) -> List[FleetMember]:
     """Simulate a fleet of process-varied transistor-level rings.
 
@@ -186,7 +220,11 @@ def ring_oscillator_fleet(
     rejuvenation), runs a full transient, and measures the frequency
     from the waveform.  Member ``k``'s draw comes from
     ``task_seed_sequence(seed, k)``, so the fleet is reproducible at
-    any worker count.
+    any worker count -- and at any retry count: a retried member
+    re-derives the same sequence, so its draw is unchanged.
+    Fault-tolerance knobs forward to :func:`repro.solvers.run_sweep`;
+    non-raising policies omit failed members (check
+    :class:`~repro.solvers.SweepReport.failures` via ``on_report``).
     """
     if n_rings < 1:
         raise ValueError("n_rings must be at least 1")
@@ -195,6 +233,10 @@ def ring_oscillator_fleet(
     worker = partial(_evaluate_fleet_member,
                      netlist or RingOscillatorNetlist(), delta_vth_v,
                      sigma_vth_v)
-    return run_sweep(worker, list(range(n_rings)), seed=seed,
-                     max_workers=max_workers,
-                     min_tasks_for_pool=min_tasks_for_pool)
+    members = run_sweep(worker, list(range(n_rings)), seed=seed,
+                        max_workers=max_workers,
+                        min_tasks_for_pool=min_tasks_for_pool,
+                        on_error=on_error, retries=retries,
+                        progress=progress, on_report=on_report)
+    return [member for member in members
+            if isinstance(member, FleetMember)]

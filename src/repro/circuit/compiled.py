@@ -264,7 +264,7 @@ class CompiledCircuit:
             self.cap_rhs_capi = capi[:, :2].reshape(-1)[rkeep]
 
         self._x_pad = np.zeros(size + 1)
-        self._lu_cache = FactorizationCache(maxsize=32)
+        self._lu_cache = FactorizationCache(maxsize=32, name="circuit.lu")
 
     # -- right-hand sides ----------------------------------------------
 

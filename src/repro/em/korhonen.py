@@ -93,7 +93,8 @@ class KorhonenSolver:
         self.x = np.linspace(0.0, length_m, self.n)
         self.stress = np.zeros(self.n)
         self.time_s = 0.0
-        self._operators = FactorizationCache(maxsize=8)
+        self._operators = FactorizationCache(maxsize=8,
+                                             name="em.korhonen.lu")
 
     # -- observables ----------------------------------------------------
 

@@ -185,7 +185,11 @@ def sample_population_ttfs_parallel(spec: WirePopulationSpec,
                                     max_workers: Optional[int] = None,
                                     chunk_chips: int = 256,
                                     min_tasks_for_pool: Optional[int]
-                                    = None) -> np.ndarray:
+                                    = None,
+                                    on_error: str = "raise",
+                                    retries: int = 0,
+                                    progress=None,
+                                    on_report=None) -> np.ndarray:
     """Monte Carlo chip TTFs over a process-pool sweep.
 
     The population is split into fixed ``chunk_chips``-sized chunks,
@@ -199,6 +203,14 @@ def sample_population_ttfs_parallel(spec: WirePopulationSpec,
     startup (:data:`_MIN_POOL_SAMPLES`); pass ``min_tasks_for_pool``
     to override that work-aware gate with an explicit chunk-count
     threshold.
+
+    Fault tolerance (``on_error``, ``retries``) and telemetry
+    (``progress``, ``on_report``) are forwarded to
+    :func:`repro.solvers.run_sweep`.  Under ``"skip"`` /
+    ``"collect"`` the chips of failed chunks are *dropped* from the
+    returned population (the per-chunk failure records live on the
+    delivered :class:`~repro.solvers.SweepReport`), so quantiles of a
+    degraded run are computed over the surviving chips only.
     """
     if n_chips < 1:
         raise SimulationError("n_chips must be at least 1")
@@ -213,8 +225,14 @@ def sample_population_ttfs_parallel(spec: WirePopulationSpec,
         min_tasks_for_pool = len(tasks) + 1
     chunks = run_sweep(_sample_chip_chunk, tasks,
                        max_workers=max_workers, seed=seed,
-                       min_tasks_for_pool=min_tasks_for_pool)
-    return np.concatenate(chunks)
+                       min_tasks_for_pool=min_tasks_for_pool,
+                       on_error=on_error, retries=retries,
+                       progress=progress, on_report=on_report)
+    arrays = [chunk for chunk in chunks
+              if isinstance(chunk, np.ndarray)]
+    if not arrays:
+        return np.empty(0)
+    return np.concatenate(arrays)
 
 
 def healing_gain_at_quantile(baseline: WirePopulationSpec,

@@ -30,7 +30,7 @@ from repro.pdn.grid import GridSegment, NodeAddress, PdnGrid
 from repro.solvers import FactorizationCache, SparseLuOperator
 
 #: Cached nodal-matrix factorizations, keyed by grid fingerprint.
-_OPERATORS = FactorizationCache(maxsize=8)
+_OPERATORS = FactorizationCache(maxsize=8, name="pdn.lu")
 
 
 @dataclass(frozen=True)

@@ -1,8 +1,9 @@
 """Shared prefactored linear-algebra core and sweep runner.
 
 See :mod:`repro.solvers.factorized` for the operator/cache design and
-:mod:`repro.solvers.sweep` for the deterministic process-pool sweep,
-and ``docs/performance.md`` for the architecture overview.
+:mod:`repro.solvers.sweep` for the deterministic fault-tolerant
+process-pool sweep, and ``docs/performance.md`` for the architecture
+overview.
 """
 
 from repro.solvers.factorized import (
@@ -11,10 +12,18 @@ from repro.solvers.factorized import (
     FactorizedOperator,
     SparseLuOperator,
     TridiagonalOperator,
+    cache_counters,
     fingerprint,
     solve_dense_cached,
 )
-from repro.solvers.sweep import run_sweep, task_seed_sequence
+from repro.solvers.sweep import (
+    DEFAULT_MIN_TASKS_FOR_POOL,
+    ChunkRecord,
+    SweepReport,
+    TaskFailure,
+    run_sweep,
+    task_seed_sequence,
+)
 
 __all__ = [
     "DenseLuOperator",
@@ -22,8 +31,13 @@ __all__ = [
     "FactorizedOperator",
     "SparseLuOperator",
     "TridiagonalOperator",
+    "cache_counters",
     "fingerprint",
     "solve_dense_cached",
+    "DEFAULT_MIN_TASKS_FOR_POOL",
+    "ChunkRecord",
+    "SweepReport",
+    "TaskFailure",
     "run_sweep",
     "task_seed_sequence",
 ]

@@ -35,8 +35,9 @@ from __future__ import annotations
 
 import hashlib
 import warnings
+import weakref
 from collections import OrderedDict
-from typing import Any, Callable, Hashable, Tuple
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
 import numpy as np
 import scipy.linalg
@@ -171,6 +172,12 @@ class TridiagonalOperator(FactorizedOperator):
         return x
 
 
+#: Every live cache, named or not; :func:`cache_counters` aggregates
+#: the named ones.  Weak references keep the registry from pinning
+#: caches (and their factors) past their owners' lifetimes.
+_CACHE_REGISTRY: "weakref.WeakSet[FactorizationCache]" = weakref.WeakSet()
+
+
 class FactorizationCache:
     """A small fingerprint-keyed LRU of expensive derived entries.
 
@@ -181,16 +188,20 @@ class FactorizationCache:
     entry depends on (:func:`fingerprint` helps digest arrays), so a
     topology / ``dt`` / ``kappa`` change produces a new key, misses,
     and rebuilds.  ``hits`` / ``misses`` counters make reuse
-    observable in tests.
+    observable in tests; give the cache a ``name`` and those counters
+    also surface in :func:`cache_counters` (and from there in sweep
+    telemetry, :class:`repro.solvers.sweep.SweepReport`).
     """
 
-    def __init__(self, maxsize: int = 16):
+    def __init__(self, maxsize: int = 16, name: Optional[str] = None):
         if maxsize < 1:
             raise ValueError("maxsize must be at least 1")
         self.maxsize = maxsize
+        self.name = name
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        _CACHE_REGISTRY.add(self)
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -213,6 +224,24 @@ class FactorizationCache:
     def clear(self) -> None:
         """Drop all cached factorizations (counters are kept)."""
         self._entries.clear()
+
+
+def cache_counters() -> Dict[str, Dict[str, int]]:
+    """Hit / miss totals of every live *named* cache, keyed by name.
+
+    Caches sharing a name (e.g. one LU cache per compiled circuit,
+    all named ``"circuit.lu"``) aggregate into one entry.  The sweep
+    runner snapshots this before and after each chunk to attribute
+    cache traffic to sweep work, so the counters must only ever grow.
+    """
+    totals: Dict[str, Dict[str, int]] = {}
+    for cache in list(_CACHE_REGISTRY):
+        if cache.name is None:
+            continue
+        entry = totals.setdefault(cache.name, {"hits": 0, "misses": 0})
+        entry["hits"] += cache.hits
+        entry["misses"] += cache.misses
+    return totals
 
 
 def solve_dense_cached(matrix: np.ndarray, rhs: np.ndarray,

@@ -68,7 +68,8 @@ class FleetBtiState:
         self.age_s = np.zeros((n_units, cfg.n_bins))
         self.permanent_v = np.zeros(n_units)
         self.time_s = 0.0
-        self.kernel_cache = FactorizationCache(maxsize=kernel_cache_size)
+        self.kernel_cache = FactorizationCache(
+            maxsize=kernel_cache_size, name="system.aging.kernels")
         shape = (n_units, cfg.n_bins)
         self._buf_a = np.empty(shape)
         self._buf_b = np.empty(shape)
@@ -262,7 +263,8 @@ class FleetEmState:
         # (dt, j, T), never on the void state, so epoch loops that
         # revisit a few (current, temperature) patterns skip both
         # exponential evaluations on a hit.
-        self._step_cache = FactorizationCache(maxsize=64)
+        self._step_cache = FactorizationCache(
+            maxsize=64, name="system.aging.steps")
 
     # -- observables ----------------------------------------------------
 

@@ -178,7 +178,8 @@ class SystemSimulator:
         # function of its content, so the whole bundle is memoized on
         # the assignment bytes.  Cached arrays are shared, never
         # mutated downstream.
-        self._condition_cache = FactorizationCache(maxsize=64)
+        self._condition_cache = FactorizationCache(
+            maxsize=64, name="system.conditions")
 
     def _epoch_conditions(self, assignment: CoreAssignment):
         key = (assignment.utilization.tobytes(),

@@ -248,7 +248,11 @@ def run_lifetime_sweep(
         record_every: int = 1,
         seed: Optional[int] = 0,
         max_workers: Optional[int] = None,
-        min_tasks_for_pool: Optional[int] = None) -> SweepResult:
+        min_tasks_for_pool: Optional[int] = None,
+        on_error: str = "raise",
+        retries: int = 0,
+        progress=None,
+        on_report=None) -> SweepResult:
     """Simulate every policy x workload x chip cell of a design grid.
 
     Args:
@@ -278,6 +282,14 @@ def run_lifetime_sweep(
         max_workers / min_tasks_for_pool: forwarded to
             :func:`repro.solvers.sweep.run_sweep`; results are
             identical whichever path runs.
+        on_error / retries / progress / on_report: fault-tolerance
+            and telemetry knobs forwarded to
+            :func:`repro.solvers.sweep.run_sweep`.  Under ``"skip"``
+            / ``"collect"`` failed grid cells are omitted from the
+            returned table (their
+            :class:`~repro.solvers.TaskFailure` records arrive on the
+            ``on_report`` :class:`~repro.solvers.SweepReport`), so a
+            multi-day design sweep survives one pathological cell.
 
     Returns:
         A :class:`SweepResult` with one cell per grid point, ordered
@@ -313,6 +325,10 @@ def run_lifetime_sweep(
         for config in chip_configs]
     results = run_sweep(_run_cell, cells, max_workers=max_workers,
                         seed=seed,
-                        min_tasks_for_pool=min_tasks_for_pool)
-    return SweepResult(cells=tuple(results), n_epochs=n_epochs,
+                        min_tasks_for_pool=min_tasks_for_pool,
+                        on_error=on_error, retries=retries,
+                        progress=progress, on_report=on_report)
+    survivors = tuple(result for result in results
+                      if isinstance(result, SweepCellResult))
+    return SweepResult(cells=survivors, n_epochs=n_epochs,
                        epoch_s=epoch_s)

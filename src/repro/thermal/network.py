@@ -84,7 +84,8 @@ class ThermalRCNetwork:
                 "steady_cache_quantum_w must be non-negative")
         self.floorplan = floorplan
         self.config = config or ThermalNetworkConfig()
-        self.steady_cache = FactorizationCache(maxsize=steady_cache_size)
+        self.steady_cache = FactorizationCache(
+            maxsize=steady_cache_size, name="thermal.steady")
         self.steady_cache_quantum_w = steady_cache_quantum_w
         n = len(floorplan)
         cfg = self.config
@@ -104,7 +105,8 @@ class ThermalRCNetwork:
         # Transient systems (C/dt + G) are keyed by dt, covering the
         # common fixed-step advance loop.
         self._steady_operator = DenseLuOperator(conductance)
-        self._transient_operators = FactorizationCache(maxsize=8)
+        self._transient_operators = FactorizationCache(
+            maxsize=8, name="thermal.transient.lu")
         self.temperatures_k = np.full(n, cfg.ambient_k)
 
     # -- queries ----------------------------------------------------------
