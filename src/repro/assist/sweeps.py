@@ -168,6 +168,16 @@ def mode_switch_matrix(
 # -- ring-oscillator fleet -------------------------------------------------
 
 
+#: Below this many total transient steps (``n_rings`` times the steps
+#: of one member's simulation window) the fleet runs serially by
+#: default: the compiled engine clears a 5-stage, 480-step transient
+#: in under 100 ms, so a small fleet finishes before the pool has even
+#: started (BENCH_circuit.json measured the 12-ring fleet at 0.94x
+#: pooled).  ~20 default-window members is where pooling starts to
+#: win back its startup cost.
+_MIN_POOL_TRANSIENT_STEPS = 9_600
+
+
 @dataclass(frozen=True)
 class FleetMember:
     """One simulated oscillator of a process-varied fleet.
@@ -225,13 +235,23 @@ def ring_oscillator_fleet(
     Fault-tolerance knobs forward to :func:`repro.solvers.run_sweep`;
     non-raising policies omit failed members (check
     :class:`~repro.solvers.SweepReport.failures` via ``on_report``).
+
+    When ``min_tasks_for_pool`` is ``None``, a work-aware gate keeps
+    small fleets serial: the pool only starts once the fleet's total
+    transient steps reach :data:`_MIN_POOL_TRANSIENT_STEPS` (serial
+    and pooled results are identical either way).
     """
     if n_rings < 1:
         raise ValueError("n_rings must be at least 1")
     if sigma_vth_v < 0.0:
         raise ValueError("sigma_vth_v must be non-negative")
-    worker = partial(_evaluate_fleet_member,
-                     netlist or RingOscillatorNetlist(), delta_vth_v,
+    base = netlist or RingOscillatorNetlist()
+    if min_tasks_for_pool is None:
+        stop_s, dt_s = base.simulation_window()
+        if n_rings * int(round(stop_s / dt_s)) \
+                < _MIN_POOL_TRANSIENT_STEPS:
+            min_tasks_for_pool = n_rings + 1
+    worker = partial(_evaluate_fleet_member, base, delta_vth_v,
                      sigma_vth_v)
     members = run_sweep(worker, list(range(n_rings)), seed=seed,
                         max_workers=max_workers,

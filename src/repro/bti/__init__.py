@@ -31,6 +31,7 @@ from repro.bti.conditions import (
     TABLE1_RECOVERY_CONDITIONS,
     TABLE1_STRESS,
 )
+from repro.bti.fleet import StackedTrapPopulations
 from repro.bti.traps import TrapPopulation, TrapPopulationConfig
 from repro.bti.model import BtiModel, BtiModelConfig, BtiPhaseResult
 from repro.bti.calibration import (
@@ -81,6 +82,7 @@ __all__ = [
     "ACTIVE_ACCELERATED_RECOVERY",
     "TABLE1_RECOVERY_CONDITIONS",
     "TABLE1_STRESS",
+    "StackedTrapPopulations",
     "TrapPopulation",
     "TrapPopulationConfig",
     "BtiModel",

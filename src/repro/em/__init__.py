@@ -41,6 +41,8 @@ from repro.em.statistics import (
     WirePopulationSpec,
     healing_gain_at_quantile,
     population_from_blacks,
+    sample_mixed_population_ttfs,
+    sample_population_ttf_matrix,
     sample_population_ttfs,
     sample_population_ttfs_parallel,
 )
@@ -66,6 +68,8 @@ __all__ = [
     "WirePopulationSpec",
     "healing_gain_at_quantile",
     "population_from_blacks",
+    "sample_mixed_population_ttfs",
+    "sample_population_ttf_matrix",
     "sample_population_ttfs",
     "sample_population_ttfs_parallel",
     "Material",

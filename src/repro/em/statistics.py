@@ -140,20 +140,63 @@ def population_from_blacks(blacks: BlacksModel, n_wires: int,
         sigma=sigma)
 
 
+def sample_population_ttf_matrix(spec: WirePopulationSpec,
+                                 n_chips: int = 100,
+                                 seed: int = 0) -> np.ndarray:
+    """Monte Carlo per-wire TTFs for a whole fleet, in one draw.
+
+    Returns the full ``(n_chips, n_wires)`` lognormal sample matrix --
+    the batched form the fleet engine consumes when it needs wire-level
+    detail (e.g. attributing a chip failure to a wire group), drawn as
+    a single vectorized pass.  Row ``k`` is chip ``k``'s wire
+    population; ``matrix.min(axis=1)`` recovers the weakest-link chip
+    TTFs of :func:`sample_population_ttfs` bit-for-bit (same RNG
+    stream, and ``exp`` is monotone so the min commutes with it).
+    """
+    if n_chips < 1:
+        raise SimulationError("n_chips must be at least 1")
+    rng = np.random.default_rng(seed)
+    samples = rng.normal(math.log(spec.median_ttf_s), spec.sigma,
+                         size=(n_chips, spec.n_wires))
+    return np.exp(samples)
+
+
 def sample_population_ttfs(spec: WirePopulationSpec,
                            n_chips: int = 100,
                            seed: int = 0) -> np.ndarray:
     """Monte Carlo chip TTFs (min over each chip's wire samples).
 
     Cross-checks the closed-form weakest-link quantiles; also useful
-    when per-wire medians vary (pass a spec per group and combine).
+    when per-wire medians vary (pass a spec per group and combine, or
+    use :func:`sample_mixed_population_ttfs` directly).
     """
+    return sample_population_ttf_matrix(spec, n_chips, seed).min(axis=1)
+
+
+def sample_mixed_population_ttfs(specs: Sequence[WirePopulationSpec],
+                                 n_chips: int = 100,
+                                 seed: int = 0) -> np.ndarray:
+    """Chip TTFs for chips carrying several distinct wire groups.
+
+    Real chips mix wire populations -- long power rails, short signal
+    stubs, vias -- each with its own median and sigma.  This draws all
+    groups of all chips as *one* ``(n_chips, total_wires)`` matrix
+    (per-wire means/sigmas broadcast into a single vectorized normal
+    draw) and takes the weakest link across every group, which is the
+    series-system combination of the specs' individual chip CDFs.
+    """
+    if not specs:
+        raise SimulationError("at least one wire group is required")
     if n_chips < 1:
         raise SimulationError("n_chips must be at least 1")
+    log_medians = np.concatenate(
+        [np.full(spec.n_wires, math.log(spec.median_ttf_s))
+         for spec in specs])
+    sigmas = np.concatenate(
+        [np.full(spec.n_wires, spec.sigma) for spec in specs])
     rng = np.random.default_rng(seed)
-    log_medians = math.log(spec.median_ttf_s)
-    samples = rng.normal(log_medians, spec.sigma,
-                         size=(n_chips, spec.n_wires))
+    samples = rng.normal(log_medians, sigmas,
+                         size=(n_chips, len(log_medians)))
     return np.exp(samples.min(axis=1))
 
 

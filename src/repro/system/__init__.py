@@ -24,7 +24,19 @@ from repro.system.scheduler import (
     RoundRobinRecoveryPolicy,
 )
 from repro.system.dark_silicon import DarkSiliconRotationPolicy
-from repro.system.simulator import SystemResult, SystemSimulator
+from repro.system.simulator import (
+    ChipVariation,
+    SystemResult,
+    SystemSimulator,
+)
+from repro.system.fleet import (
+    FleetResult,
+    FleetSimulator,
+    FleetState,
+    FleetVariation,
+    FleetVariationSpec,
+    run_fleet_lifetime_study,
+)
 from repro.system.sweeps import (
     ChipConfig,
     SweepCellResult,
@@ -49,8 +61,15 @@ __all__ = [
     "NoRecoveryPolicy",
     "RoundRobinRecoveryPolicy",
     "DarkSiliconRotationPolicy",
+    "ChipVariation",
     "SystemResult",
     "SystemSimulator",
+    "FleetResult",
+    "FleetSimulator",
+    "FleetState",
+    "FleetVariation",
+    "FleetVariationSpec",
+    "run_fleet_lifetime_study",
     "ChipConfig",
     "SweepCellResult",
     "SweepResult",

@@ -235,7 +235,8 @@ class FleetEmState:
     def __init__(self, n_units: int,
                  reference: EmStressCondition,
                  wire: Wire = PAPER_TEST_WIRE,
-                 config: Optional[EmLineConfig] = None):
+                 config: Optional[EmLineConfig] = None,
+                 step_cache_size: int = 64):
         if n_units < 1:
             raise SimulationError("n_units must be at least 1")
         if reference.current_density_a_m2 <= 0.0:
@@ -262,9 +263,13 @@ class FleetEmState:
         # The Arrhenius/drift factors of a step depend only on
         # (dt, j, T), never on the void state, so epoch loops that
         # revisit a few (current, temperature) patterns skip both
-        # exponential evaluations on a hit.
+        # exponential evaluations on a hit.  ``step_cache_size`` lets
+        # fleet-scale callers bound the entry memory (each entry holds
+        # five (n_units,) arrays).
+        if step_cache_size < 1:
+            raise SimulationError("step_cache_size must be at least 1")
         self._step_cache = FactorizationCache(
-            maxsize=64, name="system.aging.steps")
+            maxsize=step_cache_size, name="system.aging.steps")
 
     # -- observables ----------------------------------------------------
 
@@ -283,7 +288,7 @@ class FleetEmState:
             self.config.failure_fraction * fresh
 
     def step(self, dt_s: float, current_density_a_m2: np.ndarray,
-             temperature_k: np.ndarray) -> None:
+             temperature_k: np.ndarray, key=None) -> None:
         """Advance every unit by ``dt_s``.
 
         Args:
@@ -291,6 +296,13 @@ class FleetEmState:
             current_density_a_m2: signed per-unit grid current density
                 (negative = active EM recovery).
             temperature_k: per-unit grid temperature.
+            key: optional hashable cache key standing in for the
+                ``(dt_s, j, T)`` content.  By default the rate cache
+                keys on the raw array bytes; a fleet-scale caller that
+                already identifies the epoch's conditions by a compact
+                token (e.g. the assignment digest) can pass it here to
+                avoid hashing megabytes per epoch.  The caller must
+                guarantee the key uniquely determines the inputs.
         """
         if dt_s < 0.0:
             raise SimulationError("dt_s must be non-negative")
@@ -299,10 +311,11 @@ class FleetEmState:
         if j.shape != (self.n_units,) or temp.shape != (self.n_units,):
             raise SimulationError(
                 f"per-unit arrays must have shape ({self.n_units},)")
+        if key is None:
+            key = (dt_s, j.tobytes(), temp.tobytes())
         signed_rate, forward, reverse, growth_m, healed_m = \
             self._step_cache.get_or_build(
-                (dt_s, j.tobytes(), temp.tobytes()),
-                lambda: self._build_step_rates(dt_s, j, temp))
+                key, lambda: self._build_step_rates(dt_s, j, temp))
         # Nucleation progress: accrues forward, unwinds in reverse.
         self.progress_s = np.maximum(
             self.progress_s + signed_rate, 0.0)

@@ -1,0 +1,562 @@
+"""Structure-of-arrays fleet engine: a population of chips per step.
+
+The paper's headline results (Figs. 12-14) are population statements --
+guardband reduction and EM lifetime gains across many chips -- but the
+pooled sweep layer pays one Python simulator (and often one process
+task) per chip.  For the *homogeneous* population that dominates those
+studies (one chip design, one workload, one policy, per-chip process
+variation) this module advances every chip in lockstep instead:
+
+* :class:`FleetState` owns the whole population's aging state as
+  stacked arrays -- trap occupancies/ages/weights and permanent Vth in
+  a :class:`~repro.bti.fleet.StackedTrapPopulations`, EM
+  nucleation/void accumulators in one flat
+  :class:`~repro.system.aging.FleetEmState` -- plus the per-chip
+  process-variation scales drawn up front.
+* :class:`FleetSimulator` runs the same epoch loop as
+  :class:`~repro.system.simulator.SystemSimulator`, but evaluates the
+  BTI condition kernels and EM rate factors over the whole
+  ``(n_chips, n_cores)`` stack in single ufunc passes.  All chips
+  share each epoch's assignment, so the thermal steady state is
+  solved (and memoized) once per assignment for the entire
+  population.
+* :func:`run_fleet_lifetime_study` is the population entry point that
+  replaces ``run_lifetime_sweep`` for homogeneous fleets; the pool
+  remains the right tool for genuinely heterogeneous grids (different
+  chips, policies or workload seeds per cell).
+
+Exactness: chip ``i`` of a fleet advances bit-identically to a
+standalone :class:`~repro.system.simulator.SystemSimulator` built with
+``variation.chip(i)`` -- both paths share
+:func:`~repro.system.simulator.base_epoch_conditions`, apply the same
+variation multiplies, and the stacked BTI/EM steps are elementwise in
+the unit dimension (see :mod:`repro.bti.fleet`).  The equivalence
+tests assert agreement to <= 1e-10 per chip; in practice it is exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro import units
+from repro.bti.calibration import BtiCalibration, default_calibration
+from repro.bti.conditions import BtiConditionKernels
+from repro.bti.fleet import StackedTrapPopulations
+from repro.em.line import EmStressCondition
+from repro.errors import SimulationError
+from repro.solvers import FactorizationCache
+from repro.solvers.sweep import task_seed_sequence
+from repro.system.aging import FleetEmState
+from repro.system.chip import Chip
+from repro.system.simulator import (
+    ChipVariation,
+    SchedulingPolicy,
+    SystemResult,
+    Workload,
+    base_epoch_conditions,
+)
+from repro.system.sweeps import ChipConfig
+
+
+# -- process variation ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetVariation:
+    """Drawn per-chip variation scales for a whole population.
+
+    Attributes:
+        capture_scale / recovery_scale / em_current_scale: positive
+            ``(n_chips,)`` multipliers; see
+            :class:`~repro.system.simulator.ChipVariation` for their
+            meaning.
+    """
+
+    capture_scale: np.ndarray
+    recovery_scale: np.ndarray
+    em_current_scale: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = len(self.capture_scale)
+        for name in ("capture_scale", "recovery_scale",
+                     "em_current_scale"):
+            array = getattr(self, name)
+            if array.shape != (n,):
+                raise SimulationError(
+                    "variation arrays must share one (n_chips,) shape")
+            if np.any(array <= 0.0):
+                raise SimulationError(f"{name} must be positive")
+
+    @property
+    def n_chips(self) -> int:
+        """Population size of the draw."""
+        return len(self.capture_scale)
+
+    @classmethod
+    def none(cls, n_chips: int) -> "FleetVariation":
+        """An exact no-op draw (every scale 1.0)."""
+        if n_chips < 1:
+            raise SimulationError("n_chips must be at least 1")
+        ones = np.ones(n_chips)
+        return cls(capture_scale=ones.copy(),
+                   recovery_scale=ones.copy(),
+                   em_current_scale=ones.copy())
+
+    def chip(self, index: int) -> ChipVariation:
+        """The scalar :class:`ChipVariation` of one fleet member."""
+        return ChipVariation(
+            capture_scale=float(self.capture_scale[index]),
+            recovery_scale=float(self.recovery_scale[index]),
+            em_current_scale=float(self.em_current_scale[index]))
+
+
+@dataclass(frozen=True)
+class FleetVariationSpec:
+    """Lognormal process-variation law for a fleet draw.
+
+    Each chip's scales are ``exp(sigma * z)`` with independent
+    standard-normal ``z`` per knob, so the medians stay at 1.0 and a
+    sigma of 0 degenerates to *exactly* 1.0 (bitwise no-op).  Chip
+    ``k`` draws from ``task_seed_sequence(seed, k)`` -- the same
+    deterministic per-index stream the sweep runner uses -- so the
+    draw of a chip never depends on the population size and a fleet
+    member can be reproduced standalone.
+
+    Attributes:
+        capture_sigma / recovery_sigma / em_current_sigma: log-space
+            standard deviations of the three scales.
+    """
+
+    capture_sigma: float = 0.0
+    recovery_sigma: float = 0.0
+    em_current_sigma: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("capture_sigma", "recovery_sigma",
+                     "em_current_sigma"):
+            if getattr(self, name) < 0.0:
+                raise SimulationError(f"{name} must be non-negative")
+
+    def draw_chip(self, index: int, seed: int = 0) -> ChipVariation:
+        """The variation of one chip (independent of fleet size)."""
+        rng = np.random.default_rng(task_seed_sequence(seed, index))
+        z = rng.standard_normal(3)
+        return ChipVariation(
+            capture_scale=float(np.exp(self.capture_sigma * z[0])),
+            recovery_scale=float(np.exp(self.recovery_sigma * z[1])),
+            em_current_scale=float(
+                np.exp(self.em_current_sigma * z[2])))
+
+    def draw(self, n_chips: int, seed: int = 0) -> FleetVariation:
+        """Draw a whole population (chip ``k`` == ``draw_chip(k)``)."""
+        if n_chips < 1:
+            raise SimulationError("n_chips must be at least 1")
+        capture = np.empty(n_chips)
+        recovery = np.empty(n_chips)
+        em = np.empty(n_chips)
+        for index in range(n_chips):
+            chip = self.draw_chip(index, seed)
+            capture[index] = chip.capture_scale
+            recovery[index] = chip.recovery_scale
+            em[index] = chip.em_current_scale
+        return FleetVariation(capture_scale=capture,
+                              recovery_scale=recovery,
+                              em_current_scale=em)
+
+
+# -- results ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetResult:
+    """Timeline and summary of one fleet simulation.
+
+    The per-epoch observables carry a trailing chip axis; scalars that
+    are shared across the population (times, demand bookkeeping,
+    migration count -- all chips run the same schedule) are stored
+    once.
+
+    Attributes:
+        times_s: recorded end-of-epoch stamps, ``(n_records,)``.
+        worst_degradation: worst-core delay degradation per record and
+            chip, ``(n_records, n_chips)``.
+        mean_degradation: chip-mean degradation, same shape.
+        dropped_demand: unplaced demand per record (shared).
+        final_delta_vth_v: ``(n_chips, n_cores)`` total shift at the
+            end; ``final_permanent_vth_v`` / ``final_em_drift_ohm`` /
+            ``em_failures`` likewise.
+        variation: the per-chip scales the fleet ran with.
+        migration_events: per-chip transitions into BTI recovery
+            (identical for every chip of a homogeneous fleet).
+        n_epochs / total_demand / total_dropped_demand: as in
+            :class:`~repro.system.simulator.SystemResult`.
+    """
+
+    times_s: np.ndarray
+    worst_degradation: np.ndarray
+    mean_degradation: np.ndarray
+    dropped_demand: np.ndarray
+    final_delta_vth_v: np.ndarray
+    final_permanent_vth_v: np.ndarray
+    final_em_drift_ohm: np.ndarray
+    em_failures: np.ndarray
+    variation: FleetVariation
+    migration_events: int = 0
+    n_epochs: int = 0
+    total_demand: float = 0.0
+    total_dropped_demand: float = 0.0
+
+    @property
+    def n_chips(self) -> int:
+        """Population size."""
+        return self.final_delta_vth_v.shape[0]
+
+    @property
+    def guardbands(self) -> np.ndarray:
+        """Per-chip required delay margin, ``(n_chips,)``."""
+        return self.worst_degradation.max(axis=0, initial=0.0)
+
+    def guardband_quantile(self, fraction: float) -> float:
+        """Population quantile of the per-chip guardband."""
+        if not 0.0 <= fraction <= 1.0:
+            raise SimulationError("fraction must be in [0, 1]")
+        return float(np.quantile(self.guardbands, fraction))
+
+    @property
+    def em_failure_fraction(self) -> float:
+        """Fraction of chips with at least one failed local grid."""
+        return float(self.em_failures.any(axis=1).mean())
+
+    def chip_result(self, index: int) -> SystemResult:
+        """The :class:`SystemResult` view of one fleet member.
+
+        Field-for-field what a standalone
+        :class:`~repro.system.simulator.SystemSimulator` with this
+        chip's variation returns (the equivalence tests compare
+        exactly this object).
+        """
+        if not 0 <= index < self.n_chips:
+            raise SimulationError(
+                f"chip index must be in [0, {self.n_chips})")
+        return SystemResult(
+            times_s=self.times_s.copy(),
+            worst_degradation=self.worst_degradation[:, index].copy(),
+            mean_degradation=self.mean_degradation[:, index].copy(),
+            dropped_demand=self.dropped_demand.copy(),
+            final_delta_vth_v=self.final_delta_vth_v[index].copy(),
+            final_permanent_vth_v=self.final_permanent_vth_v[
+                index].copy(),
+            final_em_drift_ohm=self.final_em_drift_ohm[index].copy(),
+            em_failures=self.em_failures[index].copy(),
+            migration_events=self.migration_events,
+            n_epochs=self.n_epochs,
+            total_demand=self.total_demand,
+            total_dropped_demand=self.total_dropped_demand)
+
+    def describe(self) -> str:
+        """One-line population summary used by examples and benches."""
+        bands = self.guardbands
+        return (f"{self.n_chips} chips: guardband p50 "
+                f"{np.quantile(bands, 0.50):.2%}, p99 "
+                f"{np.quantile(bands, 0.99):.2%}, max "
+                f"{bands.max():.2%}; EM-failed chips "
+                f"{self.em_failure_fraction:.2%}")
+
+
+# -- the engine -------------------------------------------------------------
+
+
+class _EpochConditions:
+    """One assignment's condition bundle for the whole stack."""
+
+    __slots__ = ("temps", "stressing", "capture_safe", "recovery",
+                 "j_flat", "temps_flat", "token")
+
+    def __init__(self, temps, stressing, capture_safe, recovery,
+                 j_flat, temps_flat, token):
+        self.temps = temps
+        self.stressing = stressing
+        self.capture_safe = capture_safe
+        self.recovery = recovery
+        self.j_flat = j_flat
+        self.temps_flat = temps_flat
+        self.token = token
+
+
+def _budget_entries(budget_bytes: int, entry_bytes: int,
+                    cap: int) -> int:
+    """Cache capacity that keeps ``cap`` entries under a byte budget."""
+    if entry_bytes <= 0:
+        return cap
+    return int(min(cap, max(0, budget_bytes // entry_bytes)))
+
+
+class FleetState:
+    """Structure-of-arrays aging state of a chip population.
+
+    Owns the stacked BTI trap populations, the flat per-core EM
+    accumulators and the drawn per-chip variation scales.  The layout
+    is chip-major: core ``c`` of chip ``k`` is flat unit
+    ``k * n_cores + c``.
+    """
+
+    def __init__(self, chip: Chip, variation: FleetVariation,
+                 calibration: BtiCalibration,
+                 em_reference: EmStressCondition,
+                 kernel_cache_budget_bytes: int):
+        self.n_chips = variation.n_chips
+        self.n_cores = chip.n_cores
+        self.variation = variation
+        rows = self.n_chips * self.n_cores
+        population = replace(
+            calibration.model_config.population, n_bins=64)
+        # A cached BTI kernel holds two dense (rows, n_bins) float
+        # arrays plus three (rows, 1) columns; size the memo so a
+        # cycling schedule can be fully resident without letting a
+        # million-chip fleet allocate gigabytes.
+        kernel_entries = _budget_entries(
+            kernel_cache_budget_bytes,
+            (2 * population.n_bins + 3) * rows * 8, cap=16)
+        self.bti = StackedTrapPopulations(
+            self.n_chips, self.n_cores, population,
+            kernel_cache_size=kernel_entries)
+        # EM rate entries are five (rows,) arrays -- far lighter.
+        em_entries = max(1, _budget_entries(
+            64 * 2 ** 20, 5 * rows * 8, cap=64))
+        self.em = FleetEmState(rows, em_reference,
+                               step_cache_size=em_entries)
+
+    def delta_vth_v(self) -> np.ndarray:
+        """Total per-core shift, ``(n_chips, n_cores)``."""
+        return self.bti.delta_vth_v()
+
+
+class FleetSimulator:
+    """Drives a whole chip population through its lifetime.
+
+    The epoch loop mirrors
+    :class:`~repro.system.simulator.SystemSimulator.run` -- demand,
+    assignment, thermal solve, BTI/EM advance, recording -- with every
+    per-core quantity carrying a chip axis.  All chips execute the
+    same schedule (the homogeneity contract), so the policy is
+    consulted once per epoch; it sees the population-worst per-core
+    shift as its aging observable.  Policies that ignore the shift
+    values (the round-robin and no-recovery policies) therefore
+    produce assignments identical to any single chip's standalone run,
+    which is what makes fleet-vs-serial equivalence exact.
+
+    Args:
+        chip: the shared chip design (one thermal network, memoized
+            across the whole fleet).
+        variation: per-chip scales, a spec to draw them from, or
+            ``None`` for an identical population.
+        seed: draw seed used when ``variation`` is a spec.
+        kernel_cache_budget_bytes: memory budget of the stacked BTI
+            sub-step kernel memo (the dominant cache at fleet scale).
+    """
+
+    def __init__(self, chip: Chip, n_chips: int,
+                 calibration: Optional[BtiCalibration] = None,
+                 em_reference: Optional[EmStressCondition] = None,
+                 epoch_s: float = units.hours(1.0),
+                 variation: Union[FleetVariation, FleetVariationSpec,
+                                  None] = None,
+                 seed: int = 0,
+                 kernel_cache_budget_bytes: int = 256 * 2 ** 20):
+        if epoch_s <= 0.0:
+            raise SimulationError("epoch_s must be positive")
+        if n_chips < 1:
+            raise SimulationError("n_chips must be at least 1")
+        self.chip = chip
+        self.epoch_s = epoch_s
+        self.calibration = calibration or default_calibration()
+        if variation is None:
+            variation = FleetVariation.none(n_chips)
+        elif isinstance(variation, FleetVariationSpec):
+            variation = variation.draw(n_chips, seed)
+        if variation.n_chips != n_chips:
+            raise SimulationError(
+                f"variation draw covers {variation.n_chips} chips, "
+                f"fleet has {n_chips}")
+        self.em_reference = em_reference or EmStressCondition(
+            current_density_a_m2=chip.core.grid_current_density_a_m2,
+            temperature_k=units.celsius_to_kelvin(85.0),
+            name="grid reference")
+        self.state = FleetState(chip, variation, self.calibration,
+                                self.em_reference,
+                                kernel_cache_budget_bytes)
+        self.kernels = BtiConditionKernels(
+            self.calibration.model_config.acceleration,
+            self.calibration.model_config.reference_stress,
+            stress_voltage_v=chip.core.stress_voltage_v)
+        # One bundle per distinct assignment: the base conditions are
+        # computed once (shared thermal memo), the variation scales
+        # broadcast once, and every repeat epoch is a dictionary hit.
+        rows = n_chips * chip.n_cores
+        bundle_entries = max(1, _budget_entries(
+            64 * 2 ** 20, 33 * rows, cap=64))
+        self._condition_cache = FactorizationCache(
+            maxsize=bundle_entries, name="fleet.conditions")
+
+    @property
+    def variation(self) -> FleetVariation:
+        """The per-chip scales this fleet runs with."""
+        return self.state.variation
+
+    def _epoch_conditions(self, assignment) -> _EpochConditions:
+        key = (assignment.utilization.tobytes(),
+               assignment.bti_recovering.tobytes(),
+               assignment.em_recovering.tobytes())
+        return self._condition_cache.get_or_build(
+            key, lambda: self._build_conditions(assignment, key))
+
+    def _build_conditions(self, assignment, key) -> _EpochConditions:
+        temps, active, capture, recovery, j = base_epoch_conditions(
+            self.chip, self.kernels, assignment)
+        v = self.variation
+        n_chips, n_cores = self.state.n_chips, self.state.n_cores
+        shape = (n_chips, n_cores)
+        # Outer products against the variation scales: element (k, c)
+        # is base[c] * scale[k], the same single multiply the scalar
+        # simulator applies, so each row matches its standalone chip
+        # bitwise.
+        capture2d = capture[None, :] * v.capture_scale[:, None]
+        capture_safe = np.where(capture2d > 0.0, capture2d, 1.0)
+        recovery2d = recovery[None, :] * v.recovery_scale[:, None]
+        j2d = j[None, :] * v.em_current_scale[:, None]
+        stressing = np.ascontiguousarray(
+            np.broadcast_to(active[None, :], shape))
+        temps_flat = np.ascontiguousarray(
+            np.broadcast_to(temps[None, :], shape)).reshape(-1)
+        return _EpochConditions(temps, stressing, capture_safe,
+                                recovery2d, j2d.reshape(-1),
+                                temps_flat, key)
+
+    def run(self, n_epochs: int, workload: Workload,
+            policy: SchedulingPolicy,
+            record_every: int = 1) -> FleetResult:
+        """Simulate ``n_epochs`` epochs for the whole population."""
+        if n_epochs < 1:
+            raise SimulationError("n_epochs must be at least 1")
+        if record_every < 1:
+            raise SimulationError("record_every must be at least 1")
+        state = self.state
+        thermal = self.chip.thermal
+        oscillator = self.chip.core.oscillator
+        previous_utilization: Optional[np.ndarray] = None
+        previous_recovering = np.zeros(self.chip.n_cores, dtype=bool)
+        migration_events = 0
+        total_demand = 0.0
+        total_dropped = 0.0
+        times: List[float] = []
+        worst: List[np.ndarray] = []
+        mean: List[np.ndarray] = []
+        dropped: List[float] = []
+        delta_vth = state.delta_vth_v()
+        for epoch in range(n_epochs):
+            demand = workload.demand(epoch)
+            assignment = policy.assign(
+                epoch, demand, delta_vth.max(axis=0),
+                previous_utilization)
+            recovering = assignment.bti_recovering
+            cond = self._epoch_conditions(assignment)
+            state.bti.step(self.epoch_s, cond.stressing,
+                           cond.capture_safe, cond.recovery,
+                           kernel_key=cond.token)
+            state.em.step(self.epoch_s, cond.j_flat, cond.temps_flat,
+                          key=(self.epoch_s, cond.token))
+            migration_events += int(np.count_nonzero(
+                recovering & ~previous_recovering))
+            previous_recovering = recovering
+            previous_utilization = assignment.utilization
+            total_demand += demand
+            total_dropped += assignment.dropped_demand
+            delta_vth = state.delta_vth_v()
+            if (epoch + 1) % record_every == 0 or epoch == n_epochs - 1:
+                degradation = oscillator.delay_degradation_array(
+                    delta_vth)
+                times.append((epoch + 1) * self.epoch_s)
+                worst.append(degradation.max(axis=1))
+                mean.append(degradation.mean(axis=1))
+                dropped.append(assignment.dropped_demand)
+        # Same read-out refresh as the scalar simulator: the network's
+        # state reflects the last epoch's (shared) solve.
+        thermal.temperatures_k = cond.temps.copy()
+        read_t = float(np.max(thermal.temperatures_k))
+        shape = (state.n_chips, state.n_cores)
+        return FleetResult(
+            times_s=np.array(times),
+            worst_degradation=np.array(worst),
+            mean_degradation=np.array(mean),
+            dropped_demand=np.array(dropped),
+            final_delta_vth_v=state.bti.delta_vth_v(),
+            final_permanent_vth_v=state.bti.permanent_vth_v().copy(),
+            final_em_drift_ohm=state.em.delta_resistance_ohm()
+            .reshape(shape),
+            em_failures=state.em.failed(read_t).reshape(shape),
+            variation=self.variation,
+            migration_events=migration_events,
+            n_epochs=n_epochs,
+            total_demand=total_demand,
+            total_dropped_demand=total_dropped)
+
+
+def run_fleet_lifetime_study(
+        chip: Union[Chip, ChipConfig, Tuple[int, int]],
+        n_chips: int,
+        workload: Workload,
+        policy: SchedulingPolicy,
+        *,
+        n_epochs: int,
+        epoch_s: float = units.hours(1.0),
+        record_every: int = 1,
+        variation: Union[FleetVariation, FleetVariationSpec,
+                         None] = None,
+        seed: int = 0,
+        calibration: Optional[BtiCalibration] = None,
+        em_reference: Optional[EmStressCondition] = None) -> FleetResult:
+    """Monte Carlo lifetime study of a homogeneous chip population.
+
+    The in-process replacement for fanning ``n_chips`` identical
+    cells through ``run_lifetime_sweep``: one
+    :class:`FleetSimulator` advances the whole population as stacked
+    arrays, with per-chip diversity coming from the ``variation``
+    draw.  Use the pooled sweep when the cells genuinely differ
+    (chip designs, policies, per-cell workload seeds).
+
+    Args:
+        chip: the shared design -- a live :class:`Chip`, a
+            :class:`ChipConfig`, or a bare ``(rows, cols)`` tuple.
+        n_chips: population size.
+        workload / policy: shared demand generator and scheduling
+            policy (consulted once per epoch for the whole fleet).
+        n_epochs / epoch_s / record_every: as in
+            :meth:`SystemSimulator.run`.
+        variation: per-chip process variation -- a
+            :class:`FleetVariationSpec` to draw from ``seed``, a
+            pre-drawn :class:`FleetVariation`, or ``None`` for an
+            identical population.
+        seed: variation draw seed (chip ``k`` draws from
+            ``task_seed_sequence(seed, k)``).
+        calibration / em_reference: forwarded to the simulator.
+
+    Returns:
+        A :class:`FleetResult`; ``chip_result(i)`` recovers any
+        member's full :class:`SystemResult`.
+    """
+    if isinstance(chip, Chip):
+        built = chip
+    elif isinstance(chip, ChipConfig):
+        built = chip.build()
+    else:
+        rows, cols = chip
+        built = Chip(int(rows), int(cols))
+    simulator = FleetSimulator(
+        built, n_chips, calibration=calibration,
+        em_reference=em_reference, epoch_s=epoch_s,
+        variation=variation, seed=seed)
+    return simulator.run(n_epochs, workload, policy,
+                         record_every=record_every)

@@ -41,6 +41,72 @@ from repro.system.chip import Chip
 from repro.system.scheduler import CoreAssignment
 
 
+@dataclass(frozen=True)
+class ChipVariation:
+    """Per-chip process-variation multipliers on the aging rates.
+
+    A fleet study draws one of these per chip (see
+    :class:`repro.system.fleet.FleetVariationSpec`); the scalar
+    simulator accepts the same description so a fleet member can be
+    re-simulated standalone for cross-checks.  The defaults are exact
+    no-ops (multiplying by 1.0 is bitwise identity), so a simulator
+    without variation reproduces the pre-variation trajectories
+    bit-for-bit.
+
+    Attributes:
+        capture_scale: multiplier on the BTI capture acceleration
+            (fast-aging corner > 1).
+        recovery_scale: multiplier on the BTI de-trapping acceleration.
+        em_current_scale: multiplier on the signed grid current
+            density (local-grid IR/width variation).
+    """
+
+    capture_scale: float = 1.0
+    recovery_scale: float = 1.0
+    em_current_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("capture_scale", "recovery_scale",
+                     "em_current_scale"):
+            if getattr(self, name) <= 0.0:
+                raise SimulationError(f"{name} must be positive")
+
+
+def base_epoch_conditions(chip: Chip, kernels: BtiConditionKernels,
+                          assignment: CoreAssignment):
+    """Variation-independent per-core conditions of one assignment.
+
+    The shared heart of the scalar and fleet epoch loops: power
+    vector, memoized thermal solve, BTI condition-kernel lookups and
+    signed grid current for one :class:`CoreAssignment`.  Both
+    simulators apply their (per-chip) variation scales *on top* of
+    these arrays, so a fleet chip and a standalone simulator with the
+    same :class:`ChipVariation` see bit-identical conditions.
+
+    Returns:
+        ``(temps, active, capture, recovery, j)`` -- per-core
+        temperatures (K), stressing mask, unscaled capture and
+        recovery accelerations, and signed grid current density.
+    """
+    core = chip.core
+    utilization = assignment.utilization
+    recovering = assignment.bti_recovering
+    powers = np.where(
+        recovering, core.recovery_power_w,
+        core.idle_power_w + utilization
+        * (core.active_power_w - core.idle_power_w))
+    temps = chip.thermal.steady_state_cached(powers)
+    capture = kernels.capture_acceleration_array(temps, utilization)
+    # Cores that are "stressing" but idle (zero utilization)
+    # accumulate nothing and recover passively; model that by
+    # marking them as recovering at bias 0.
+    active = ~recovering & (utilization > 0.0)
+    recovery = kernels.recovery_acceleration_array(temps, recovering)
+    j = core.grid_current_density_a_m2 * utilization
+    j = np.where(assignment.em_recovering, -j, j)
+    return temps, active, capture, recovery, j
+
+
 class SchedulingPolicy(Protocol):
     """Interface every scheduling policy implements."""
 
@@ -149,12 +215,14 @@ class SystemSimulator:
     def __init__(self, chip: Chip,
                  calibration: Optional[BtiCalibration] = None,
                  em_reference: Optional[EmStressCondition] = None,
-                 epoch_s: float = units.hours(1.0)):
+                 epoch_s: float = units.hours(1.0),
+                 variation: Optional[ChipVariation] = None):
         if epoch_s <= 0.0:
             raise SimulationError("epoch_s must be positive")
         self.chip = chip
         self.calibration = calibration or default_calibration()
         self.epoch_s = epoch_s
+        self.variation = variation or ChipVariation()
         n = chip.n_cores
         population = self.calibration.model_config.population
         # Fewer bins per core: system horizons don't need the full
@@ -189,25 +257,17 @@ class SystemSimulator:
             key, lambda: self._build_epoch_conditions(assignment))
 
     def _build_epoch_conditions(self, assignment: CoreAssignment):
-        core = self.chip.core
-        utilization = assignment.utilization
-        recovering = assignment.bti_recovering
-        powers = np.where(
-            recovering, core.recovery_power_w,
-            core.idle_power_w + utilization
-            * (core.active_power_w - core.idle_power_w))
-        temps = self.chip.thermal.steady_state_cached(powers)
-        capture = self.kernels.capture_acceleration_array(
-            temps, utilization)
-        # Cores that are "stressing" but idle (zero utilization)
-        # accumulate nothing and recover passively; model that by
-        # marking them as recovering at bias 0.
-        active = ~recovering & (utilization > 0.0)
-        recovery = self.kernels.recovery_acceleration_array(
-            temps, recovering)
+        temps, active, capture, recovery, j = base_epoch_conditions(
+            self.chip, self.kernels, assignment)
+        # Variation scales apply after the shared kernels; at the
+        # default 1.0 every multiply is bitwise identity, so a
+        # simulator without variation reproduces the historical
+        # trajectories exactly.
+        v = self.variation
+        capture = capture * v.capture_scale
         capture_safe = np.where(capture > 0.0, capture, 1.0)
-        j = core.grid_current_density_a_m2 * utilization
-        j = np.where(assignment.em_recovering, -j, j)
+        recovery = recovery * v.recovery_scale
+        j = j * v.em_current_scale
         return temps, active, capture_safe, recovery, j
 
     # -- main loop -------------------------------------------------------

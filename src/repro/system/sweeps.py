@@ -238,6 +238,17 @@ def _run_cell(cell: _SweepCell,
         lost_demand_fraction=result.lost_demand_fraction)
 
 
+#: Below this many simulated core-epochs (summed over every cell of
+#: the grid) the sweep runs serially by default: the vectorized
+#: simulator clears a 9-core epoch in ~1 ms, so a sub-threshold grid
+#: finishes in well under the ~hundreds of ms of pool startup plus
+#: per-cell pickling (BENCH_system.json measured the 32-cell, 48k
+#: core-epoch grid at only 1.13x pooled -- barely past break-even).
+#: Cell *count* is the wrong gate: what decides pool profitability is
+#: the work inside the cells.
+_MIN_POOL_CORE_EPOCHS = 32_000
+
+
 def run_lifetime_sweep(
         policies: Union[Mapping[str, Any], Sequence[Any]],
         workloads: Union[Mapping[str, Any], Sequence[Any]],
@@ -281,7 +292,12 @@ def run_lifetime_sweep(
             runs every cell with the workloads' own seeds.
         max_workers / min_tasks_for_pool: forwarded to
             :func:`repro.solvers.sweep.run_sweep`; results are
-            identical whichever path runs.
+            identical whichever path runs.  When
+            ``min_tasks_for_pool`` is left at ``None``, a work-aware
+            gate keeps sub-threshold grids serial: the pool only
+            starts once the total simulated core-epochs reach
+            :data:`_MIN_POOL_CORE_EPOCHS` (pass an explicit value to
+            override).
         on_error / retries / progress / on_report: fault-tolerance
             and telemetry knobs forwarded to
             :func:`repro.solvers.sweep.run_sweep`.  Under ``"skip"``
@@ -323,6 +339,14 @@ def run_lifetime_sweep(
         for policy_label, policy in policy_pairs
         for workload_label, workload in workload_pairs
         for config in chip_configs]
+    if min_tasks_for_pool is None:
+        total_core_epochs = n_epochs * len(policy_pairs) \
+            * len(workload_pairs) \
+            * sum(config.rows * config.cols for config in chip_configs)
+        if total_core_epochs < _MIN_POOL_CORE_EPOCHS:
+            # Serial and pooled runs are identical, so the gate is
+            # purely a performance decision (see _MIN_POOL_CORE_EPOCHS).
+            min_tasks_for_pool = len(cells) + 1
     results = run_sweep(_run_cell, cells, max_workers=max_workers,
                         seed=seed,
                         min_tasks_for_pool=min_tasks_for_pool,

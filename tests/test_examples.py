@@ -53,6 +53,15 @@ class TestExamples:
         assert "deep-healing" in out
         assert "rebalance signal probability" in out
 
+    def test_fleet_study(self, capsys):
+        module = importlib.import_module("fleet_study")
+        module.run(256, 24)
+        out = capsys.readouterr().out
+        assert "fleet study: 256 chips x 24 epochs" in out
+        assert "guardband p50" in out
+        assert "rr deep healing" in out
+        assert "p99 shipping guardband" in out
+
     def test_mission_planning(self, capsys):
         out = run_module_main("mission_planning", capsys)
         assert "deep-healing plan:" in out
