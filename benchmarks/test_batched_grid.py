@@ -1,0 +1,200 @@
+"""Before/after benchmarks for the batched-grid engines.
+
+Two populations, two engines each:
+
+* the Fig. 10 load grid at 64 points -- the pooled per-point runner
+  (one DC + one switching transient per grid point) against
+  :class:`~repro.circuit.batched.CircuitBatch`, which advances the
+  whole grid as one stacked Newton solve per step;
+* nucleation-TTF sampling over a wire population -- one serial
+  :class:`~repro.em.korhonen.KorhonenSolver` sweep per wire against
+  :class:`~repro.em.korhonen.KorhonenBatch`, which advances the
+  ``(n_wires, n_nodes)`` stress slab through one vectorized
+  tridiagonal back-substitution per implicit step.
+
+Timings, points/sec and the grouped-solve telemetry land in
+``BENCH_batched.json`` at the repo root; the asserts pin the PR
+acceptance criteria (>= 4x on the 64-point circuit grid, >= 3x on the
+>= 256-wire PDE population, batched equivalent to serial within
+1e-10 -- the PDE samples are in fact bit-identical).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gc
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.assist.sweeps import sweep_load_size_pooled
+from repro.em import PAPER_EM_STRESS
+from repro.em.korhonen import KorhonenConfig
+from repro.em.statistics import sample_nucleation_ttfs_pde
+from repro.solvers import cache_counters
+
+from benchmarks.conftest import run_once
+
+RESULTS = {}
+SPEEDUP_THRESHOLD_CIRCUIT = 4.0
+SPEEDUP_THRESHOLD_KORHONEN = 3.0
+EQUIVALENCE_TOLERANCE = 1e-10
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_report():
+    """Dump the collected before/after timings to BENCH_batched.json."""
+    yield
+    if not RESULTS:
+        return
+    payload = {
+        "suite": "benchmarks/test_batched_grid.py",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "units": "seconds, best of the recorded repetitions",
+        "timings": RESULTS,
+    }
+    path = Path(__file__).resolve().parent.parent \
+        / "BENCH_batched.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                    + "\n")
+
+
+def best_of(fn, reps):
+    """Best wall-clock of ``reps`` runs, plus the last return value."""
+    best = float("inf")
+    value = None
+    for _ in range(reps):
+        gc.collect()
+        start = time.perf_counter()
+        value = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, value
+
+
+def record(name, before_s, after_s, **extra):
+    entry = {"before_s": before_s, "after_s": after_s,
+             "speedup": before_s / after_s, **extra}
+    RESULTS[name] = entry
+    return entry
+
+
+N_GRID_POINTS = 64
+
+N_WIRES = 2048
+#: Derating the paper's accelerated-test current stretches nucleation
+#: across the probe schedule so the sampler has real work per probe.
+CURRENT_DERATE = 0.05
+MAX_TIME_S = 6e6
+PROBE_STEP_S = 1e5
+J_SIGMA = 0.05
+PDE_CONFIG = KorhonenConfig(n_nodes=301, max_dt_s=1e4)
+
+
+def test_batched_circuit_grid_vs_pooled(benchmark):
+    """Acceptance: >= 4x over the pooled Fig. 10 grid at 64 points.
+
+    Both paths produce the same observables (swing, normalized delay,
+    switching time); the pooled runner pays one Python Newton driver
+    -- stamping, factorization, damping -- per grid point per step,
+    while the batch pays it once for the whole grid.
+    """
+    loads = list(range(1, N_GRID_POINTS + 1))
+
+    def pooled():
+        return sweep_load_size_pooled(loads, engine="pooled",
+                                      max_workers=1)
+
+    def batched():
+        return sweep_load_size_pooled(loads, engine="batched")
+
+    # Interleave the timed engines so machine-speed drift inflates
+    # both sides alike instead of skewing the ratio.
+    after_s = before_s = float("inf")
+    for _ in range(2):
+        a, fast = best_of(batched, reps=2)
+        b, slow = best_of(pooled, reps=1)
+        after_s, before_s = min(after_s, a), min(before_s, b)
+
+    worst = 0.0
+    for fast_point, slow_point in zip(fast, slow):
+        assert fast_point.n_loads == slow_point.n_loads
+        worst = max(
+            worst,
+            abs(fast_point.load_swing_v - slow_point.load_swing_v),
+            abs(fast_point.delay_normalized
+                - slow_point.delay_normalized),
+            abs(fast_point.switching_time_s
+                - slow_point.switching_time_s),
+            abs(fast_point.switching_time_normalized
+                - slow_point.switching_time_normalized))
+    assert worst <= EQUIVALENCE_TOLERANCE
+
+    counters = cache_counters().get("circuit.lu.batched", {})
+    entry = record(
+        "circuit_grid_64_points_vs_pooled", before_s, after_s,
+        n_grid_points=N_GRID_POINTS,
+        points_per_s_before=N_GRID_POINTS / before_s,
+        points_per_s_after=N_GRID_POINTS / after_s,
+        max_observable_difference=worst,
+        batched_solves=counters.get("batched_solves", 0),
+        batched_rows=counters.get("batched_rows", 0))
+    run_once(benchmark, batched)
+    assert entry["speedup"] >= SPEEDUP_THRESHOLD_CIRCUIT
+
+
+def test_batched_korhonen_vs_serial(benchmark):
+    """Acceptance: >= 3x over serial PDE TTF sampling at >= 256 wires.
+
+    The serial sampler steps one :class:`KorhonenSolver` per wire
+    (early-exiting at nucleation); the batch advances all surviving
+    wires per probe through one vectorized back-substitution per step
+    and compacts nucleated wires out, so both sides do the same
+    numerical work.  The sampled TTFs must be identical -- the
+    vectorized sweep reproduces LAPACK's per-column arithmetic bit for
+    bit.
+    """
+    condition = dataclasses.replace(
+        PAPER_EM_STRESS,
+        current_density_a_m2=PAPER_EM_STRESS.current_density_a_m2
+        * CURRENT_DERATE)
+    kwargs = dict(condition=condition, j_sigma=J_SIGMA, seed=7,
+                  config=PDE_CONFIG)
+
+    def serial():
+        return sample_nucleation_ttfs_pde(
+            N_WIRES, MAX_TIME_S, PROBE_STEP_S, engine="serial",
+            **kwargs)
+
+    def batched():
+        return sample_nucleation_ttfs_pde(
+            N_WIRES, MAX_TIME_S, PROBE_STEP_S, engine="batched",
+            **kwargs)
+
+    after_s = before_s = float("inf")
+    for _ in range(2):
+        a, fast = best_of(batched, reps=2)
+        b, slow = best_of(serial, reps=1)
+        after_s, before_s = min(after_s, a), min(before_s, b)
+
+    assert np.array_equal(fast, slow)
+    finite = np.isfinite(fast)
+    assert finite.any()
+
+    counters = cache_counters().get("em.korhonen.lu.batched", {})
+    entry = record(
+        "korhonen_ttf_2048_wires_vs_serial", before_s, after_s,
+        n_wires=N_WIRES, n_nodes=PDE_CONFIG.n_nodes,
+        n_probes=int(MAX_TIME_S / PROBE_STEP_S),
+        wires_per_s_before=N_WIRES / before_s,
+        wires_per_s_after=N_WIRES / after_s,
+        nucleated_fraction=float(finite.mean()),
+        samples_bitwise_equal=True,
+        batched_solves=counters.get("batched_solves", 0),
+        batched_rows=counters.get("batched_rows", 0))
+    run_once(benchmark, batched)
+    assert entry["speedup"] >= SPEEDUP_THRESHOLD_KORHONEN

@@ -23,8 +23,16 @@ Both analyses execute on compiled circuit programs
 flattened once into scatter-ready stamp index/value arrays, device
 models evaluate as single ufunc passes, and the dense LU factors are
 reused through an input-keyed cache.
+
+Parameter-grid studies additionally run through the batched engine
+(:class:`~repro.circuit.batched.CircuitBatch`,
+:func:`~repro.circuit.batched.dc_batch`,
+:func:`~repro.circuit.batched.transient_batch`): every grid point of
+a same-topology population advances through one stacked Newton
+iteration per step instead of one simulation per point.
 """
 
+from repro.circuit.batched import CircuitBatch, dc_batch, transient_batch
 from repro.circuit.compiled import CompiledCircuit, evaluate_waveform_grid
 from repro.circuit.elements import (
     Capacitor,
@@ -41,7 +49,10 @@ from repro.circuit.oscillator import RingOscillatorNetlist
 __all__ = [
     "RingOscillatorNetlist",
     "Circuit",
+    "CircuitBatch",
     "CompiledCircuit",
+    "dc_batch",
+    "transient_batch",
     "evaluate_waveform_grid",
     "GROUND",
     "Resistor",

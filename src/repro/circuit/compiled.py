@@ -50,12 +50,11 @@ import struct
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
-from scipy.linalg import get_lapack_funcs
 
 from repro.circuit.mosfet import MosfetBank
 from repro.circuit.netlist import Circuit
 from repro.errors import ConvergenceError
-from repro.solvers import FactorizationCache
+from repro.solvers import DenseLuOperator, FactorizationCache
 
 #: Maximum Newton iterations per gmin level (the seed's value).
 MAX_ITERATIONS = 200
@@ -70,41 +69,6 @@ VOLTAGE_TOL = 1e-9
 #: Below it, numpy dispatch (~0.5 us per op, ~50 ops per evaluation)
 #: costs more than evaluating every device in plain float arithmetic.
 VECTOR_MIN_DEVICES = 48
-
-
-class _DenseLu:
-    """Minimal dense LU: LAPACK ``getrf`` once, ``getrs`` per solve.
-
-    Bit-identical to :class:`repro.solvers.DenseLuOperator` (both are
-    the same two LAPACK routines) but without the scipy wrapper
-    overhead, which dominates at MNA sizes.  Raises
-    ``np.linalg.LinAlgError`` on an exactly singular matrix so the
-    Newton fallbacks keep working.
-    """
-
-    __slots__ = ("_lu", "_piv", "_getrs")
-
-    def __init__(self, matrix: np.ndarray):
-        getrf, getrs = get_lapack_funcs(("getrf", "getrs"), (matrix,))
-        # The caller hands over a scratch matrix, so LAPACK may
-        # factor it in place.
-        lu, piv, info = getrf(matrix, overwrite_a=True)
-        if info != 0:
-            # info > 0: exact zero pivot (singular); info < 0 cannot
-            # happen for a well-formed square float array.
-            raise np.linalg.LinAlgError("singular matrix")
-        self._lu = lu
-        self._piv = piv
-        self._getrs = getrs
-
-    def solve(self, rhs: np.ndarray,
-              overwrite_rhs: bool = False) -> np.ndarray:
-        x, info = self._getrs(self._lu, self._piv, rhs,
-                              overwrite_b=overwrite_rhs)
-        if info != 0:
-            raise np.linalg.LinAlgError(
-                f"LU back-substitution failed (info={info})")
-        return x
 
 
 def _stamp_conductance(matrix: np.ndarray, a: int, b: int,
@@ -454,12 +418,15 @@ class CompiledCircuit:
     # -- linearized solves ---------------------------------------------
 
     def _factor(self, vals, gmin: float,
-                cap_conductances: Optional[np.ndarray]) -> _DenseLu:
+                cap_conductances: Optional[np.ndarray]
+                ) -> DenseLuOperator:
         """Assemble the Jacobian in the seed's cell order and factor.
 
         Only runs on an LU-cache miss.  Accumulation order per cell
         matches the seed loop exactly: linear base, then device
-        stamps, then gmin, then capacitor companions.
+        stamps, then gmin, then capacitor companions.  The scratch
+        matrix is handed to the shared operator for in-place
+        factorization.
         """
         matrix = self.base_matrix.copy()
         flat = matrix.reshape(-1)
@@ -470,7 +437,7 @@ class CompiledCircuit:
             flat[self.diag_flat] += gmin
         if cap_conductances is not None:
             np.add.at(flat, self.cap_mat_idx, cap_conductances)
-        return _DenseLu(matrix)
+        return DenseLuOperator(matrix, overwrite_matrix=True)
 
     def _iterate_scalar(self, xl: List[float], row_list: List[float],
                         cap_adds: Sequence[Tuple[int, float]],

@@ -212,6 +212,14 @@ class MosfetBank:
     Ground terminals are mapped to ``pad_index``, the extra
     always-zero trailing slot of the padded solution vector the
     compiled engine gathers from.
+
+    The kernel is batch-polymorphic: :meth:`evaluate` accepts a padded
+    bias of any leading shape ``(..., size + 1)`` and returns
+    ``(..., n_devices)`` stamp arrays.  Built via :meth:`stacked`, the
+    parameter arrays themselves carry a leading batch axis
+    ``(n_rows, n_devices)``, which is how the batched grid engine
+    (:mod:`repro.circuit.batched`) evaluates every parameter-grid
+    point of a sweep in the same ufunc pass.
     """
 
     def __init__(self, mosfets: Sequence[Mosfet], pad_index: int):
@@ -237,6 +245,48 @@ class MosfetBank:
         self.lam = np.array([p.lambda_per_v for p in params])
         self.leak = np.array([p.leak_s for p in params])
 
+    @classmethod
+    def stacked(cls, mosfet_rows: Sequence[Sequence[Mosfet]],
+                pad_index: int) -> "MosfetBank":
+        """A bank evaluating one device *table* per batch row.
+
+        Every row must list the same devices (same names, terminals
+        and polarities, in the same order) -- only the numeric
+        parameters may differ, which is exactly the shape of a
+        parameter-grid sweep (aged thresholds, resized widths).  The
+        parameter arrays become ``(n_rows, n_devices)`` and broadcast
+        against an ``(n_rows, size + 1)`` padded bias in
+        :meth:`evaluate`.
+        """
+        if not mosfet_rows:
+            raise NetlistError("mosfet_rows must not be empty")
+        first = list(mosfet_rows[0])
+        bank = cls(first, pad_index)
+        for row in mosfet_rows[1:]:
+            if len(row) != len(first):
+                raise NetlistError(
+                    "every batch row needs the same device count")
+            for mine, theirs in zip(first, row):
+                if (mine.drain, mine.gate, mine.source,
+                        mine.params.polarity) != \
+                        (theirs.drain, theirs.gate, theirs.source,
+                         theirs.params.polarity):
+                    raise NetlistError(
+                        f"device {theirs.name!r} changes terminals or "
+                        "polarity across batch rows; the batched "
+                        "engine needs a shared topology")
+        params = [[m.params for m in row] for row in mosfet_rows]
+        bank.mirror = np.array(
+            [[-1.0 if p.polarity == "pmos" else 1.0 for p in row]
+             for row in params])
+        bank.vth = np.array([[p.vth_v for p in row] for row in params])
+        bank.beta = np.array([[p.beta for p in row] for row in params])
+        bank.half_beta = 0.5 * bank.beta
+        bank.lam = np.array([[p.lambda_per_v for p in row]
+                             for row in params])
+        bank.leak = np.array([[p.leak_s for p in row] for row in params])
+        return bank
+
     def evaluate(self, x_padded: np.ndarray
                  ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """Per-device Newton companion values at a padded bias vector.
@@ -244,11 +294,18 @@ class MosfetBank:
         Returns ``(g_drain, g_gate, residual)`` where the first two are
         the Jacobian stamps of :meth:`Mosfet.stamp` and ``residual`` is
         its constant companion current
-        ``ids - g_drain*vds0 - g_gate*vgs0``.
+        ``ids - g_drain*vds0 - g_gate*vgs0``.  ``x_padded`` may carry
+        leading batch axes (``(..., size + 1)``); every lane's
+        expression tree is unchanged, so each batch row reproduces the
+        unbatched bits exactly.
         """
-        vdgs = x_padded.take(self.dgs_index)
-        u = self.mirror * vdgs
-        ud, ug, us = u[0], u[1], u[2]
+        vdgs = np.take(x_padded, self.dgs_index, axis=-1)
+        vd = vdgs[..., 0, :]
+        vg = vdgs[..., 1, :]
+        vs = vdgs[..., 2, :]
+        ud = self.mirror * vd
+        ug = self.mirror * vg
+        us = self.mirror * vs
         swap = ud < us
         # Effective (drain, source) after symmetric-conduction swap.
         ed = np.where(swap, us, ud)
@@ -295,7 +352,7 @@ class MosfetBank:
         current_n = current_n + self.leak * duds
         g_drain = g_drain + self.leak
         ids_out = self.mirror * current_n
-        vds0 = vdgs[0] - vdgs[2]
-        vgs0 = vdgs[1] - vdgs[2]
+        vds0 = vd - vs
+        vgs0 = vg - vs
         residual = ids_out - g_drain * vds0 - g_gate * vgs0
         return g_drain, g_gate, residual

@@ -23,6 +23,7 @@ This package is the interconnect substrate that replaces the paper's
 from repro.em.wire import Material, Wire, COPPER, PAPER_TEST_WIRE
 from repro.em.korhonen import (
     BoundaryKind,
+    KorhonenBatch,
     KorhonenConfig,
     KorhonenSolver,
 )
@@ -42,6 +43,7 @@ from repro.em.statistics import (
     healing_gain_at_quantile,
     population_from_blacks,
     sample_mixed_population_ttfs,
+    sample_nucleation_ttfs_pde,
     sample_population_ttf_matrix,
     sample_population_ttfs,
     sample_population_ttfs_parallel,
@@ -69,6 +71,7 @@ __all__ = [
     "healing_gain_at_quantile",
     "population_from_blacks",
     "sample_mixed_population_ttfs",
+    "sample_nucleation_ttfs_pde",
     "sample_population_ttf_matrix",
     "sample_population_ttfs",
     "sample_population_ttfs_parallel",
@@ -77,6 +80,7 @@ __all__ = [
     "COPPER",
     "PAPER_TEST_WIRE",
     "BoundaryKind",
+    "KorhonenBatch",
     "KorhonenConfig",
     "KorhonenSolver",
     "EmLine",

@@ -23,6 +23,9 @@ from scipy.optimize import brentq
 from scipy.stats import norm
 
 from repro.em.blacks import BlacksModel
+from repro.em.korhonen import KorhonenBatch, KorhonenConfig, KorhonenSolver
+from repro.em.line import EmStressCondition, PAPER_EM_STRESS
+from repro.em.wire import Wire, PAPER_TEST_WIRE
 from repro.errors import SimulationError
 from repro.solvers import run_sweep
 
@@ -284,3 +287,106 @@ def healing_gain_at_quantile(baseline: WirePopulationSpec,
     """Lifetime gain at a sign-off quantile (default t_0.1%)."""
     return healed.chip_quantile(fraction) \
         / baseline.chip_quantile(fraction)
+
+
+def sample_nucleation_ttfs_pde(
+        n_wires: int,
+        max_time_s: float,
+        probe_step_s: float,
+        *,
+        wire: Wire = PAPER_TEST_WIRE,
+        condition: EmStressCondition = PAPER_EM_STRESS,
+        j_sigma: float = 0.1,
+        seed: int = 0,
+        config: Optional[KorhonenConfig] = None,
+        engine: str = "batched") -> np.ndarray:
+    """Per-wire void-nucleation times from the stress PDE itself.
+
+    Where :class:`WirePopulationSpec` *assumes* a lognormal TTF
+    distribution around Black's median, this sampler derives the
+    spread mechanistically: each wire draws a lognormal current
+    density ``j = j_nom * exp(j_sigma * z)`` (process variation in
+    effective cross-section), its Korhonen stress field is integrated
+    forward, and the nucleation time is the first probe instant at
+    which the cathode stress reaches the material's critical stress.
+
+    All wires share geometry and temperature, so they share one
+    backward-Euler factorization; ``engine="batched"`` advances the
+    whole population through a single multi-RHS back-substitution per
+    step (:class:`~repro.em.korhonen.KorhonenBatch`), while
+    ``engine="serial"`` loops a scalar
+    :class:`~repro.em.korhonen.KorhonenSolver` over wires.  The two
+    engines return bit-identical samples.
+
+    Args:
+        n_wires: population size.
+        max_time_s: horizon; wires that have not nucleated by then
+            report ``inf``.
+        probe_step_s: interval between nucleation checks (the
+            returned times are quantized to this grid, exactly as
+            :meth:`repro.em.line.EmLine.time_to_nucleation` quantizes
+            to its probe step).
+        wire: shared geometry/material.
+        condition: nominal stress condition (current, temperature).
+        j_sigma: log-space sigma of the per-wire current densities.
+        seed: RNG seed for the population draw.
+        config: PDE discretization (default :class:`KorhonenConfig`).
+        engine: ``"batched"`` (default) or ``"serial"``.
+
+    Returns:
+        ``(n_wires,)`` array of nucleation times in seconds.
+    """
+    if n_wires < 1:
+        raise SimulationError("n_wires must be at least 1")
+    if max_time_s <= 0.0:
+        raise SimulationError("max_time_s must be positive")
+    if probe_step_s <= 0.0 or probe_step_s > max_time_s:
+        raise SimulationError(
+            "probe_step_s must be positive and at most max_time_s")
+    if j_sigma < 0.0:
+        raise SimulationError("j_sigma must be non-negative")
+    if engine not in ("batched", "serial"):
+        raise ValueError("engine must be 'batched' or 'serial'")
+
+    rng = np.random.default_rng(seed)
+    densities = condition.current_density_a_m2 \
+        * np.exp(j_sigma * rng.standard_normal(n_wires))
+    material = wire.material
+    temp = condition.temperature_k
+    kappa = material.stress_diffusivity_at(temp)
+    gradients = np.array([material.wind_stress_gradient(j, temp)
+                          for j in densities])
+    critical = material.critical_stress_pa
+    n_probes = int(math.ceil(max_time_s / probe_step_s - 1e-12))
+    ttfs = np.full(n_wires, np.inf)
+
+    if engine == "batched":
+        batch = KorhonenBatch(wire.length_m, n_wires, config)
+        alive = np.arange(n_wires)
+        alive_gradients = gradients
+        for probe in range(1, n_probes + 1):
+            batch.advance(probe_step_s, kappa, alive_gradients)
+            crossed = batch.stress_at_start >= critical
+            if np.any(crossed):
+                ttfs[alive[crossed]] = probe * probe_step_s
+                keep = ~crossed
+                if not np.any(keep):
+                    break
+                # Compacting nucleated wires out keeps the batch doing
+                # exactly the work the serial loop's per-wire early
+                # exit would.
+                batch.retain(np.nonzero(keep)[0])
+                alive = alive[keep]
+                alive_gradients = alive_gradients[keep]
+        return ttfs
+
+    solver = KorhonenSolver(wire.length_m, config)
+    for index in range(n_wires):
+        solver.reset()
+        gradient = float(gradients[index])
+        for probe in range(1, n_probes + 1):
+            solver.advance(probe_step_s, kappa, gradient)
+            if solver.stress[0] >= critical:
+                ttfs[index] = probe * probe_step_s
+                break
+    return ttfs

@@ -34,13 +34,11 @@ content.
 from __future__ import annotations
 
 import hashlib
-import warnings
 import weakref
 from collections import OrderedDict
 from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
 import numpy as np
-import scipy.linalg
 import scipy.sparse
 import scipy.sparse.linalg
 from scipy.linalg import get_lapack_funcs
@@ -91,31 +89,50 @@ class FactorizedOperator:
 
 
 class DenseLuOperator(FactorizedOperator):
-    """Dense LU (``getrf``) with cached pivots.
+    """Dense LU via direct LAPACK ``getrf`` with cached pivots.
 
-    Raises ``np.linalg.LinAlgError`` on an exactly singular matrix,
-    mirroring ``np.linalg.solve`` so existing Newton fallbacks keep
-    working.
+    Goes straight to ``getrf``/``getrs`` -- the same two routines
+    ``scipy.linalg.lu_factor``/``lu_solve`` wrap (and that
+    ``np.linalg.solve`` = ``gesv`` calls internally), minus the
+    per-call wrapper overhead that dominates at MNA sizes, where this
+    operator is hit thousands of times per transient.  Raises
+    ``np.linalg.LinAlgError`` on an exactly singular matrix, mirroring
+    ``np.linalg.solve`` so existing Newton fallbacks keep working.
     """
 
-    def __init__(self, matrix: np.ndarray):
+    def __init__(self, matrix: np.ndarray,
+                 overwrite_matrix: bool = False):
+        """Factor ``matrix``.
+
+        Args:
+            matrix: the square system matrix.
+            overwrite_matrix: allow LAPACK to factor ``matrix`` in
+                place (the compiled-circuit path hands over a scratch
+                assembly buffer, saving one n^2 copy per factor).
+        """
         matrix = np.asarray(matrix, dtype=float)
         if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
             raise ValueError("matrix must be square")
         self.n = matrix.shape[0]
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", scipy.linalg.LinAlgWarning)
-            self._lu, self._piv = scipy.linalg.lu_factor(
-                matrix, check_finite=False)
-        if np.any(np.diag(self._lu) == 0.0):
+        getrf, self._getrs = get_lapack_funcs(("getrf", "getrs"),
+                                              (matrix,))
+        lu, piv, info = getrf(matrix, overwrite_a=overwrite_matrix)
+        if info != 0:
+            # info > 0 flags an exact zero pivot (singular); info < 0
+            # cannot happen for a well-formed square float array.
             raise np.linalg.LinAlgError("singular matrix")
+        self._lu = lu
+        self._piv = piv
 
     def solve(self, rhs: np.ndarray,
               overwrite_rhs: bool = False) -> np.ndarray:
         """Back-substitute one ``(n,)`` RHS or an ``(n, k)`` batch."""
-        return scipy.linalg.lu_solve((self._lu, self._piv), rhs,
-                                     overwrite_b=overwrite_rhs,
-                                     check_finite=False)
+        x, info = self._getrs(self._lu, self._piv, rhs,
+                              overwrite_b=overwrite_rhs)
+        if info != 0:
+            raise np.linalg.LinAlgError(
+                f"LU back-substitution failed (info={info})")
+        return x
 
 
 class SparseLuOperator(FactorizedOperator):
@@ -134,6 +151,15 @@ class SparseLuOperator(FactorizedOperator):
         return self._splu.solve(np.asarray(rhs, dtype=float))
 
 
+#: Column count above which the numpy column-vectorized LU sweeps of
+#: :meth:`TridiagonalOperator.solve_many` beat LAPACK's per-column
+#: ``gttrs`` loop.  The vectorized sweeps cost ~5 numpy calls per
+#: matrix row regardless of width, while ``gttrs`` costs O(rows) per
+#: column, so the crossover is nearly independent of the matrix size
+#: (measured ~300 columns on one core).
+VECTORIZED_MIN_COLUMNS = 320
+
+
 class TridiagonalOperator(FactorizedOperator):
     """Tridiagonal LU (``gttrf``) with O(n) back-substitution.
 
@@ -141,7 +167,10 @@ class TridiagonalOperator(FactorizedOperator):
     have ``n - 1`` entries).  Equivalent to
     ``scipy.linalg.solve_banded((1, 1), ...)`` but the factorization
     is done once, and :meth:`solve` with ``overwrite_rhs=True`` is
-    allocation-free.
+    allocation-free.  :meth:`solve_many` back-substitutes a wide block
+    of right-hand sides with the LU sweeps vectorized *across
+    columns*, which is how the batched Korhonen engine advances whole
+    wire populations per step.
     """
 
     def __init__(self, lower: np.ndarray, diag: np.ndarray,
@@ -159,6 +188,12 @@ class TridiagonalOperator(FactorizedOperator):
             raise np.linalg.LinAlgError(
                 f"tridiagonal factorization failed (info={info})")
         self._factors = (dl, d, du, du2, ipiv)
+        # Partial pivoting is a per-*row* decision recorded in ipiv,
+        # identical for every RHS column, so the factored sweeps can
+        # run as numpy column-vector operations (one op per matrix
+        # row) with the pivoted rows handled by the same swap LAPACK's
+        # ``gtts2`` performs per column.
+        self._pivoted_rows = ipiv != np.arange(1, self.n + 1)
 
     def solve(self, rhs: np.ndarray,
               overwrite_rhs: bool = False) -> np.ndarray:
@@ -171,11 +206,87 @@ class TridiagonalOperator(FactorizedOperator):
                 f"tridiagonal solve failed (info={info})")
         return x
 
+    def solve_many(self, block: np.ndarray,
+                   overwrite_rhs: bool = False) -> np.ndarray:
+        """Back-substitute an ``(n, k)`` block of RHS columns at once.
+
+        Bit-identical to calling :meth:`solve` on every column: for
+        wide C-ordered blocks the forward/backward LU sweeps run as
+        one numpy operation per matrix row over all ``k`` columns
+        (mirroring LAPACK ``gtts2``'s arithmetic exactly, including
+        its per-row pivot swaps, which are column-independent),
+        turning O(k) LAPACK calls' worth of per-column work into ~5
+        vector ops per row.  Narrow blocks fall back to ``gttrs``.
+        With ``overwrite_rhs=True`` the solution is written into
+        ``block`` (when its layout permits) and ``block`` is
+        returned.
+        """
+        block = np.asarray(block, dtype=float)
+        if block.ndim != 2 or block.shape[0] != self.n:
+            raise ValueError(
+                f"block must have shape ({self.n}, k), got {block.shape}")
+        n, k = block.shape
+        if k < VECTORIZED_MIN_COLUMNS or n < 3:
+            fblock = np.asfortranarray(block)
+            if fblock is block:
+                return self.solve(block, overwrite_rhs=overwrite_rhs)
+            x = self.solve(fblock, overwrite_rhs=True)
+            if overwrite_rhs:
+                np.copyto(block, x)
+                return block
+            return x
+        dl, d, du, du2, _ = self._factors
+        pivoted = self._pivoted_rows
+        x = block if (overwrite_rhs and block.flags.c_contiguous) \
+            else np.ascontiguousarray(block)
+        scratch = np.empty(k)
+        # Forward sweep (L has unit diagonal).  A pivoted row swaps
+        # with its successor before eliminating, exactly as gtts2.
+        for i in range(n - 1):
+            if pivoted[i]:
+                np.copyto(scratch, x[i])
+                np.copyto(x[i], x[i + 1])
+                np.multiply(dl[i], x[i], out=x[i + 1])
+                np.subtract(scratch, x[i + 1], out=x[i + 1])
+            else:
+                np.multiply(dl[i], x[i], out=scratch)
+                np.subtract(x[i + 1], scratch, out=x[i + 1])
+        # Backward sweep: x[i] = (b[i] - du[i] x[i+1] - du2[i] x[i+2])
+        # / d[i]; ``du2`` entries are nonzero only below pivoted rows.
+        np.divide(x[n - 1], d[n - 1], out=x[n - 1])
+        np.multiply(du[n - 2], x[n - 1], out=scratch)
+        np.subtract(x[n - 2], scratch, out=x[n - 2])
+        np.divide(x[n - 2], d[n - 2], out=x[n - 2])
+        for i in range(n - 3, -1, -1):
+            np.multiply(du[i], x[i + 1], out=scratch)
+            np.subtract(x[i], scratch, out=x[i])
+            if du2[i] != 0.0:
+                np.multiply(du2[i], x[i + 2], out=scratch)
+                np.subtract(x[i], scratch, out=x[i])
+            np.divide(x[i], d[i], out=x[i])
+        if overwrite_rhs and x is not block:
+            np.copyto(block, x)
+            return block
+        return x
+
 
 #: Every live cache, named or not; :func:`cache_counters` aggregates
 #: the named ones.  Weak references keep the registry from pinning
 #: caches (and their factors) past their owners' lifetimes.
 _CACHE_REGISTRY: "weakref.WeakSet[FactorizationCache]" = weakref.WeakSet()
+
+#: Durable per-name counter totals.  Named caches increment these at
+#: record time, so the aggregate survives the cache itself -- a
+#: batched engine built inside one sweep task (and collected with it)
+#: still shows up in the chunk's telemetry delta, and
+#: :func:`cache_counters` keeps its only-ever-grows contract.
+_COUNTER_TOTALS: Dict[str, Dict[str, int]] = {}
+
+
+def _named_totals(name: str) -> Dict[str, int]:
+    return _COUNTER_TOTALS.setdefault(
+        name, {"hits": 0, "misses": 0,
+               "batched_solves": 0, "batched_rows": 0})
 
 
 class FactorizationCache:
@@ -191,6 +302,13 @@ class FactorizationCache:
     observable in tests; give the cache a ``name`` and those counters
     also surface in :func:`cache_counters` (and from there in sweep
     telemetry, :class:`repro.solvers.sweep.SweepReport`).
+
+    Batched engines (:class:`repro.circuit.batched.CircuitBatch`,
+    :class:`repro.em.korhonen.KorhonenBatch`) additionally call
+    :meth:`record_batched_solve` whenever they back-substitute a block
+    of RHS rows against one cached factor, so grouped multi-RHS solves
+    are observable next to the hit/miss traffic
+    (``batched_rows / batched_solves`` is the average batch width).
     """
 
     def __init__(self, maxsize: int = 16, name: Optional[str] = None):
@@ -201,6 +319,10 @@ class FactorizationCache:
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.batched_solves = 0
+        self.batched_rows = 0
+        self._totals = _named_totals(name) if name is not None \
+            else None
         _CACHE_REGISTRY.add(self)
 
     def __len__(self) -> int:
@@ -212,14 +334,31 @@ class FactorizationCache:
         entry = self._entries.get(key)
         if entry is not None:
             self.hits += 1
+            if self._totals is not None:
+                self._totals["hits"] += 1
             self._entries.move_to_end(key)
             return entry
         self.misses += 1
+        if self._totals is not None:
+            self._totals["misses"] += 1
         entry = factory()
         self._entries[key] = entry
         if len(self._entries) > self.maxsize:
             self._entries.popitem(last=False)
         return entry
+
+    def record_batched_solve(self, n_rows: int) -> None:
+        """Count one grouped back-substitution advancing ``n_rows``.
+
+        Called by batched engines after solving a block of RHS rows
+        against one cached factor; the totals surface through
+        :func:`cache_counters` and sweep telemetry.
+        """
+        self.batched_solves += 1
+        self.batched_rows += int(n_rows)
+        if self._totals is not None:
+            self._totals["batched_solves"] += 1
+            self._totals["batched_rows"] += int(n_rows)
 
     def clear(self) -> None:
         """Drop all cached factorizations (counters are kept)."""
@@ -227,21 +366,20 @@ class FactorizationCache:
 
 
 def cache_counters() -> Dict[str, Dict[str, int]]:
-    """Hit / miss totals of every live *named* cache, keyed by name.
+    """Counter totals of every *named* cache, keyed by name.
 
-    Caches sharing a name (e.g. one LU cache per compiled circuit,
-    all named ``"circuit.lu"``) aggregate into one entry.  The sweep
+    Each entry carries the caches' ``hits`` / ``misses`` plus the
+    ``batched_solves`` / ``batched_rows`` recorded via
+    :meth:`FactorizationCache.record_batched_solve`.  Caches sharing a
+    name (e.g. one LU cache per compiled circuit, all named
+    ``"circuit.lu"``) aggregate into one entry, and the totals outlive
+    the caches themselves: a batched engine built for one sweep task
+    and collected with it still leaves its traffic behind.  The sweep
     runner snapshots this before and after each chunk to attribute
     cache traffic to sweep work, so the counters must only ever grow.
     """
-    totals: Dict[str, Dict[str, int]] = {}
-    for cache in list(_CACHE_REGISTRY):
-        if cache.name is None:
-            continue
-        entry = totals.setdefault(cache.name, {"hits": 0, "misses": 0})
-        entry["hits"] += cache.hits
-        entry["misses"] += cache.misses
-    return totals
+    return {name: dict(counters)
+            for name, counters in _COUNTER_TOTALS.items()}
 
 
 def solve_dense_cached(matrix: np.ndarray, rhs: np.ndarray,

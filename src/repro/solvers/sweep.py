@@ -180,7 +180,10 @@ class SweepReport:
         cache_counters: per-named-cache ``{"hits": h, "misses": m}``
             deltas attributable to this sweep's task evaluations
             (summed over serial and worker processes); see
-            :func:`repro.solvers.factorized.cache_counters`.
+            :func:`repro.solvers.factorized.cache_counters`.  When a
+            task drives a batched engine, ``batched_solves`` /
+            ``batched_rows`` deltas appear alongside the hit/miss
+            counts (they are omitted when zero).
     """
 
     n_tasks: int
@@ -267,16 +270,24 @@ def _make_failure(exc: BaseException, index: int, chunk_index: int,
         error=exc if in_process else _transportable_error(exc))
 
 
+#: Counter keys always present on a reported cache delta; any other
+#: counter (``batched_solves`` / ``batched_rows``) appears only when
+#: its delta is nonzero, so sweeps that never touch a batched engine
+#: keep the compact ``{"hits": h, "misses": m}`` shape.
+_BASE_COUNTER_KEYS = ("hits", "misses")
+
+
 def _cache_delta(before: Dict[str, Dict[str, int]],
                  after: Dict[str, Dict[str, int]]
                  ) -> Dict[str, Dict[str, int]]:
     delta: Dict[str, Dict[str, int]] = {}
     for name, counters in after.items():
         base = before.get(name, {})
-        hits = counters["hits"] - base.get("hits", 0)
-        misses = counters["misses"] - base.get("misses", 0)
-        if hits or misses:
-            delta[name] = {"hits": hits, "misses": misses}
+        changed = {key: value - base.get(key, 0)
+                   for key, value in counters.items()}
+        if any(changed.values()):
+            delta[name] = {key: value for key, value in changed.items()
+                           if value or key in _BASE_COUNTER_KEYS}
     return delta
 
 
@@ -284,8 +295,8 @@ def _merge_cache_deltas(totals: Dict[str, Dict[str, int]],
                         delta: Mapping[str, Mapping[str, int]]) -> None:
     for name, counters in delta.items():
         entry = totals.setdefault(name, {"hits": 0, "misses": 0})
-        entry["hits"] += counters["hits"]
-        entry["misses"] += counters["misses"]
+        for key, value in counters.items():
+            entry[key] = entry.get(key, 0) + value
 
 
 def _run_chunk(fn: Callable[..., Any], chunk_tasks: Sequence[Any],

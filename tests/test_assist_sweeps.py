@@ -114,3 +114,77 @@ class TestRingFleet:
             ring_oscillator_fleet(0)
         with pytest.raises(ValueError):
             ring_oscillator_fleet(1, sigma_vth_v=-0.1)
+
+
+class TestBatchedEngineRouting:
+    """The batched grid engine behind the sweep entry points.
+
+    With ``engine="auto"`` and no pooled-runner knobs, the studies run
+    as one batched tensor sweep; observables must match the pooled
+    runner (bitwise for the uncondensed ring fleet, within LAPACK
+    roundoff for the condensed assist cell).  Pool knobs force the
+    pooled path and are rejected alongside ``engine="batched"``.
+    """
+
+    def test_batched_load_sweep_matches_pooled(self):
+        loads = (1, 2, 4)
+        batched = sweep_load_size_pooled(loads, engine="batched")
+        pooled = sweep_load_size_pooled(loads, engine="pooled",
+                                        max_workers=1)
+        for b, p in zip(batched, pooled):
+            assert b.n_loads == p.n_loads
+            assert abs(b.load_swing_v - p.load_swing_v) <= 1e-10
+            assert abs(b.delay_normalized - p.delay_normalized) \
+                <= 1e-10
+            assert abs(b.switching_time_s - p.switching_time_s) \
+                <= 1e-10
+
+    def test_batched_mode_matrix_matches_pooled(self):
+        batched = mode_switch_matrix(stop_s=40e-9, dt_s=0.4e-9,
+                                     engine="batched")
+        pooled = mode_switch_matrix(stop_s=40e-9, dt_s=0.4e-9,
+                                    engine="pooled", max_workers=1)
+        assert len(batched) == len(pooled) == 6
+        for b, p in zip(batched, pooled):
+            assert (b.from_mode, b.to_mode) == (p.from_mode, p.to_mode)
+            assert b.settled_load_vdd_v == pytest.approx(
+                p.settled_load_vdd_v, abs=1e-10)
+            assert b.settled_load_vss_v == pytest.approx(
+                p.settled_load_vss_v, abs=1e-10)
+            if np.isfinite(p.switching_time_s):
+                assert abs(b.switching_time_s - p.switching_time_s) \
+                    <= 1e-10
+            else:
+                assert not np.isfinite(b.switching_time_s)
+
+    def test_batched_fleet_is_bitwise_identical_to_pooled(self):
+        netlist = RingOscillatorNetlist(stages=3)
+        kwargs = dict(delta_vth_v=0.02, sigma_vth_v=0.01,
+                      netlist=netlist, seed=5)
+        batched = ring_oscillator_fleet(4, engine="batched", **kwargs)
+        pooled = ring_oscillator_fleet(4, engine="pooled",
+                                       max_workers=1, **kwargs)
+        assert batched == pooled
+
+    def test_batched_engine_rejects_pool_knobs(self):
+        with pytest.raises(ValueError, match="pooled"):
+            sweep_load_size_pooled((1, 2), engine="batched",
+                                   max_workers=2)
+        with pytest.raises(ValueError, match="pooled"):
+            mode_switch_matrix(engine="batched", retries=1)
+        with pytest.raises(ValueError, match="pooled"):
+            ring_oscillator_fleet(2, engine="batched",
+                                  on_error="skip")
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(ValueError, match="engine"):
+            ring_oscillator_fleet(2, engine="turbo")
+
+    def test_auto_with_pool_knobs_stays_pooled(self):
+        # Setting any pool knob under engine="auto" must keep the
+        # pooled semantics (here: a serial in-process run).
+        loads = (1, 2)
+        auto = sweep_load_size_pooled(loads, max_workers=1)
+        pooled = sweep_load_size_pooled(loads, engine="pooled",
+                                        max_workers=1)
+        assert auto == pooled

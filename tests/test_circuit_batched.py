@@ -1,0 +1,195 @@
+"""Equivalence properties of the batched-grid MNA engine.
+
+The batched engine (:mod:`repro.circuit.batched`) advances every
+parameter-grid point of a same-topology population in one tensor
+sweep.  Its contract against the per-point compiled engine comes in
+two strengths: with ``condense=False`` the stacked solve reproduces
+each solo run *bit for bit* (same getrf/getrs arithmetic, same Newton
+control flow under per-row masks); with source condensation on, the
+reduced elimination order differs, so agreement is within LAPACK
+roundoff -- pinned here at 1e-12 over the Fig. 10 grid.  A crafted
+slow-converging row checks the per-row convergence masks: one damped
+row must not perturb (or stall) the rest of the batch.
+"""
+
+import numpy as np
+import pytest
+
+from repro.assist.circuitry import (
+    AssistCircuit,
+    AssistCircuitConfig,
+    mode_switch_waveforms,
+)
+from repro.assist.modes import AssistMode
+from repro.circuit import (
+    Circuit,
+    CircuitBatch,
+    NMOS_28NM,
+    RingOscillatorNetlist,
+    dc_batch,
+    transient,
+    transient_batch,
+)
+from repro.circuit.dc import dc_operating_point
+from repro.solvers import cache_counters
+
+CONDENSED_TOL = 1e-12
+
+#: Fig. 10 load-grid sizes, including the paper's 1..5 range.
+LOAD_GRID = (1, 2, 3, 4, 5, 8)
+
+
+def nmos_amplifier(rd_ohms: float, vin_v: float) -> Circuit:
+    circuit = Circuit(f"nmos amplifier rd={rd_ohms:g} vin={vin_v:g}")
+    circuit.add_voltage_source("vdd", "vdd", "gnd", 1.0)
+    circuit.add_voltage_source("vin", "g", "gnd", vin_v)
+    circuit.add_resistor("rd", "vdd", "d", rd_ohms)
+    circuit.add_mosfet("m1", "d", "g", "gnd", NMOS_28NM)
+    circuit.add_capacitor("cl", "d", "gnd", 10e-15)
+    return circuit
+
+
+def assist_cells(modes=None):
+    """One assist cell per Fig. 10 grid point, set to ``modes``."""
+    cells = [AssistCircuit(AssistCircuitConfig(n_loads=n))
+             for n in LOAD_GRID]
+    if modes is not None:
+        for cell in cells:
+            cell.set_mode(modes)
+    return cells
+
+
+class TestBatchedDc:
+    def test_fig10_grid_matches_per_point_within_tolerance(self):
+        cells = assist_cells(AssistMode.NORMAL)
+        batched = dc_batch([cell.circuit for cell in cells])
+        for cell, solution in zip(assist_cells(AssistMode.NORMAL),
+                                  batched):
+            reference = dc_operating_point(cell.circuit)
+            assert np.max(np.abs(solution.solution
+                                 - reference.solution)) \
+                <= CONDENSED_TOL
+
+    def test_uncondensed_grid_is_bitwise(self):
+        cells = assist_cells(AssistMode.NORMAL)
+        batched = dc_batch([cell.circuit for cell in cells],
+                           condense=False)
+        for cell, solution in zip(assist_cells(AssistMode.NORMAL),
+                                  batched):
+            reference = dc_operating_point(cell.circuit)
+            assert np.array_equal(solution.solution,
+                                  reference.solution)
+            assert solution.iterations == reference.iterations
+
+    def test_slow_converging_row_does_not_perturb_the_batch(self):
+        # The 5 V gate drive forces repeated damped Newton steps on
+        # one row while its neighbours converge in a handful of
+        # iterations; per-row masks must keep every row identical to
+        # its solo run anyway.
+        grid = [(20e3, 0.55), (20e3, 0.35), (5e3, 5.0), (40e3, 0.75)]
+        circuits = [nmos_amplifier(rd, vin) for rd, vin in grid]
+        batched = dc_batch(circuits, condense=False)
+        iteration_counts = []
+        for (rd, vin), solution in zip(grid, batched):
+            reference = dc_operating_point(nmos_amplifier(rd, vin))
+            assert np.array_equal(solution.solution,
+                                  reference.solution)
+            assert solution.iterations == reference.iterations
+            iteration_counts.append(solution.iterations)
+        # The crafted row really is slower -- otherwise this test
+        # would not exercise the convergence masks at all.
+        assert max(iteration_counts) > min(iteration_counts)
+
+    def test_counts_batched_solves(self):
+        before = cache_counters().get("circuit.lu.batched",
+                                      {"batched_solves": 0,
+                                       "batched_rows": 0})
+        # The totals must survive the batch itself: built, used and
+        # dropped inside the call, its traffic still lands in the
+        # durable per-name counters sweep telemetry reads.
+        dc_batch([cell.circuit for cell in assist_cells(
+            AssistMode.NORMAL)])
+        after = cache_counters()["circuit.lu.batched"]
+        assert after["batched_solves"] > before["batched_solves"]
+        assert after["batched_rows"] - before["batched_rows"] \
+            >= len(LOAD_GRID)
+
+
+class TestBatchedTransient:
+    def test_mode_switch_grid_matches_per_point(self):
+        waveforms = mode_switch_waveforms(
+            AssistMode.NORMAL, AssistMode.BTI_RECOVERY,
+            AssistCircuitConfig().supply_v, switch_at_s=2e-9)
+        cells = assist_cells(AssistMode.NORMAL)
+        batched = transient_batch([cell.circuit for cell in cells],
+                                  stop_s=20e-9, dt_s=0.4e-9,
+                                  waveforms=waveforms)
+        for cell, result in zip(assist_cells(AssistMode.NORMAL),
+                                batched):
+            reference = transient(cell.circuit, 20e-9, 0.4e-9,
+                                  waveforms=waveforms)
+            assert np.array_equal(result.times_s, reference.times_s)
+            assert np.max(np.abs(result.solutions
+                                 - reference.solutions)) \
+                <= CONDENSED_TOL
+
+    def test_uncondensed_mode_switch_is_bitwise(self):
+        waveforms = mode_switch_waveforms(
+            AssistMode.NORMAL, AssistMode.BTI_RECOVERY,
+            AssistCircuitConfig().supply_v, switch_at_s=2e-9)
+        cells = assist_cells(AssistMode.NORMAL)
+        batched = transient_batch([cell.circuit for cell in cells],
+                                  stop_s=20e-9, dt_s=0.4e-9,
+                                  waveforms=waveforms, condense=False)
+        for cell, result in zip(assist_cells(AssistMode.NORMAL),
+                                batched):
+            reference = transient(cell.circuit, 20e-9, 0.4e-9,
+                                  waveforms=waveforms)
+            assert np.array_equal(result.solutions,
+                                  reference.solutions)
+
+    def test_ring_rows_with_per_row_windows_are_bitwise(self):
+        # Rings condense nothing, so the batched rows must reproduce
+        # each solo transient exactly -- including per-row (stop, dt)
+        # windows, which share the step count by construction.
+        netlists = [RingOscillatorNetlist(stages=3).aged(shift)
+                    for shift in (0.0, 0.03, 0.08)]
+        circuits = [net.build() for net in netlists]
+        windows = [net.simulation_window() for net in netlists]
+        batched = transient_batch(
+            circuits,
+            stop_s=[stop for stop, _ in windows],
+            dt_s=[dt for _, dt in windows],
+            from_dc=False)
+        for net, result in zip(netlists, batched):
+            solo = net.build()
+            stop_s, dt_s = net.simulation_window()
+            reference = transient(solo, stop_s, dt_s, from_dc=False)
+            assert np.array_equal(result.times_s, reference.times_s)
+            assert np.array_equal(result.solutions,
+                                  reference.solutions)
+
+    def test_rejects_mismatched_step_counts(self):
+        circuits = [RingOscillatorNetlist(stages=3).build()
+                    for _ in range(2)]
+        with pytest.raises(ValueError, match="step count"):
+            transient_batch(circuits, stop_s=[10e-9, 10e-9],
+                            dt_s=[0.1e-9, 0.2e-9], from_dc=False)
+
+
+class TestBatchValidation:
+    def test_rejects_heterogeneous_topologies(self):
+        mixed = [RingOscillatorNetlist(stages=3).build(),
+                 RingOscillatorNetlist(stages=5).build()]
+        with pytest.raises(ValueError, match="pooled"):
+            CircuitBatch(mixed)
+
+    def test_rejects_empty_batch(self):
+        with pytest.raises(ValueError):
+            CircuitBatch([])
+
+    def test_rejects_unknown_waveform_source(self):
+        circuits = [nmos_amplifier(20e3, 0.55)]
+        with pytest.raises(ValueError, match="no source"):
+            transient_batch(circuits, stop_s=1e-9, dt_s=0.1e-9,
+                            waveforms={"nope": lambda t: 0.0})

@@ -81,3 +81,12 @@ class TestExamples:
         assert "delay rises with load size" in out
         assert "Fig. 9 mode-switch matrix" in out
         assert "BTI_RECOVERY" in out
+
+    def test_batched_design_space(self, capsys):
+        module = importlib.import_module("batched_design_space")
+        module.run(4, 32)
+        out = capsys.readouterr().out
+        assert "batched Fig. 10 grid: 4 points" in out
+        assert "pareto" in out
+        assert "batched Korhonen TTF sampling: 32 wires" in out
+        assert "rows/solve" in out

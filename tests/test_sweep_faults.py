@@ -127,14 +127,24 @@ def _raise_unpicklable(bad, task):
     return task
 
 
-#: Long-lived named cache, as the real ones are (the registry holds
-#: caches weakly, so a function-local cache would die unobserved).
+#: Long-lived named cache, as most of the real ones are (named-cache
+#: totals are durable either way, so lifetime only affects ``clear``).
 _TEST_CACHE = FactorizationCache(maxsize=64, name="test.sweep.cache")
 
 
 def _touch_named_cache(task):
     _TEST_CACHE.get_or_build(task, object)
     _TEST_CACHE.get_or_build(task, object)
+    return task
+
+
+def _drive_batched_engine(task):
+    # Build, use and drop a batched engine inside the task: its
+    # grouped-solve traffic must still reach the chunk telemetry.
+    from repro.em.korhonen import KorhonenBatch, KorhonenConfig
+    batch = KorhonenBatch(1e-3, 4,
+                          KorhonenConfig(n_nodes=21, max_dt_s=10.0))
+    batch.advance(20.0, 1e-14, 1e13)
     return task
 
 
@@ -398,6 +408,21 @@ class TestReportTelemetry:
                       on_report=reports.append, **kwargs)
             counters = reports[0].cache_counters["test.sweep.cache"]
             assert counters == {"hits": 6, "misses": 6}
+
+    def test_batched_engine_counters_surfaced(self):
+        # Two backward-Euler steps of four wires per task: the grouped
+        # solves of an engine that lives and dies inside the task must
+        # land in the report (with the batched keys alongside the
+        # base hit/miss delta).
+        for kwargs in ({"max_workers": 1}, dict(POOL)):
+            reports = []
+            run_sweep(_drive_batched_engine, list(range(3)),
+                      on_report=reports.append, **kwargs)
+            counters = reports[0].cache_counters[
+                "em.korhonen.lu.batched"]
+            assert counters["batched_solves"] == 6
+            assert counters["batched_rows"] == 24
+            assert counters["misses"] == 3
 
     def test_empty_sweep_reports(self):
         reports = []
