@@ -26,20 +26,30 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.solvers import cache_counters
 from repro.system.fleet import (
     FleetSimulator,
     FleetVariationSpec,
     run_fleet_lifetime_study,
+    state_bytes_per_chip,
 )
 from repro.system.chip import Chip
-from repro.system.scheduler import RoundRobinRecoveryPolicy
+from repro.system.scheduler import (
+    NoRecoveryPolicy,
+    RoundRobinRecoveryPolicy,
+)
 from repro.system.sweeps import ChipConfig, run_lifetime_sweep
-from repro.system.workload import ConstantWorkload
+from repro.system.workload import (
+    ConstantWorkload,
+    DiurnalWorkload,
+    PhasedWorkload,
+)
 
 from benchmarks.conftest import run_once
 
 RESULTS = {}
 SPEEDUP_THRESHOLD_FLEET = 10.0
+SPEEDUP_THRESHOLD_HETERO = 5.0
 EQUIVALENCE_TOLERANCE = 1e-10
 
 
@@ -108,9 +118,13 @@ def test_fleet_vs_pooled_sweep_1k_chips(benchmark):
              for i in range(N_CHIPS)]
 
     def pooled():
+        # engine="pooled" pins the per-cell baseline: without it the
+        # auto router would send this homogeneous grid to the very
+        # fleet engine the benchmark measures against.
         return run_lifetime_sweep({"rr3": _policy()},
                                   {"flat06": _workload()}, chips,
-                                  n_epochs=N_EPOCHS, seed=7)
+                                  n_epochs=N_EPOCHS, seed=7,
+                                  engine="pooled")
 
     def fleet():
         simulator = FleetSimulator(Chip(3, 3), N_CHIPS)
@@ -184,3 +198,119 @@ def test_fleet_scaling_with_variation(benchmark):
         "guardband_p99": float(result.guardband_quantile(0.99)),
     }
     run_once(benchmark, fleet)
+
+
+def test_heterogeneous_grid_fleet_vs_pooled(benchmark):
+    """The heterogeneous acceptance case: >= 5x at 1024 mixed cells.
+
+    A 2-policy x 4-phase-shifted-diurnal x 128-chip design grid runs
+    once through the pooled per-cell path and once through the fleet
+    router (``engine="fleet"``), which stacks all 1024 cells into 8
+    policy/workload groups of 128 identical chips.  Distinct phases
+    and policies break the single-bundle degeneracy of the
+    homogeneous benchmark -- each epoch carries 8 cohort bundles --
+    so this measures the grouped scheduling overhead at scale.
+    """
+    n_grid_chips = 128
+    chips = [ChipConfig(3, 3, name=f"unit{i:03d}")
+             for i in range(n_grid_chips)]
+    policies = {"rr3": _policy(), "none": NoRecoveryPolicy()}
+    workloads = {
+        f"diurnal+{phase:02d}": PhasedWorkload(
+            DiurnalWorkload(n_cores=N_CORES, period_epochs=24), phase)
+        for phase in (0, 6, 12, 18)}
+    n_cells = len(policies) * len(workloads) * n_grid_chips
+
+    def pooled():
+        return run_lifetime_sweep(policies, workloads, chips,
+                                  n_epochs=N_EPOCHS, seed=7,
+                                  engine="pooled")
+
+    reports = []
+
+    def fleet():
+        reports.clear()
+        return run_lifetime_sweep(policies, workloads, chips,
+                                  n_epochs=N_EPOCHS, seed=7,
+                                  engine="fleet",
+                                  on_report=reports.append)
+
+    after_s = before_s = float("inf")
+    for _ in range(2):
+        a, fleet_sweep = best_of(fleet, reps=2)
+        b, pooled_sweep = best_of(pooled, reps=1)
+        after_s, before_s = min(after_s, a), min(before_s, b)
+
+    # Cell-for-cell equivalence across the mixed grid (sampled at the
+    # corners and the policy/workload boundaries).
+    assert len(fleet_sweep.cells) == n_cells
+    for index in (0, n_grid_chips - 1, n_grid_chips,
+                  n_cells // 2, n_cells - 1):
+        a, b = fleet_sweep.cells[index], pooled_sweep.cells[index]
+        assert (a.policy, a.workload, a.chip) \
+            == (b.policy, b.workload, b.chip)
+        assert abs(a.guardband - b.guardband) <= EQUIVALENCE_TOLERANCE
+        assert abs(a.final_delta_vth_v - b.final_delta_vth_v) \
+            <= EQUIVALENCE_TOLERANCE
+        assert a.migration_events == b.migration_events
+
+    counters = reports[0].cache_counters
+    kernels = counters.get("bti.fleet.kernels", {})
+    dedup_in = kernels.get("dedup_rows_in", 0)
+    entry = record(
+        "hetero_grid_fleet_vs_pooled_1024_cells", before_s, after_s,
+        n_cells=n_cells, n_cores=N_CORES, n_epochs=N_EPOCHS,
+        n_policies=len(policies), n_workloads=len(workloads),
+        cells_per_s_before=n_cells / before_s,
+        cells_per_s_after=n_cells / after_s,
+        fleet_chips=counters["fleet.engine"].get("chips", 0),
+        fleet_cohorts=counters["fleet.engine"].get("cohorts", 0),
+        kernel_dedup_ratio=(dedup_in
+                            / max(kernels.get("dedup_rows_unique", 1),
+                                  1)))
+    run_once(benchmark, fleet)
+    assert entry["speedup"] >= SPEEDUP_THRESHOLD_HETERO
+
+
+def test_chunked_fleet_65k_chips(benchmark):
+    """Record-only: 65k chips streamed under a 256 MiB state budget.
+
+    The population's trap state alone would be ~1.8 GiB resident;
+    the chunked driver streams it in ~9k-chip slabs and the result is
+    invariant in the chunking (pinned in tests/test_fleet_hetero.py).
+    The numbers to watch are chips/sec staying near the 4096-chip
+    rate and the chunk count actually being > 1.
+    """
+    n_chips = 65_536
+    n_epochs = 6
+    budget = 256 * 1024 * 1024
+
+    def fleet():
+        return run_fleet_lifetime_study(
+            (3, 3), n_chips, _workload(), _policy(),
+            n_epochs=n_epochs, record_every=n_epochs,
+            state_budget_bytes=budget)
+
+    before_chunks = cache_counters().get("fleet.engine",
+                                         {}).get("chunks", 0)
+    start = time.perf_counter()
+    result = fleet()
+    elapsed_s = time.perf_counter() - start
+    n_chunks = cache_counters()["fleet.engine"]["chunks"] \
+        - before_chunks
+    assert n_chunks > 1
+    assert result.n_chips == n_chips
+    per_chip = state_bytes_per_chip(N_CORES)
+    RESULTS["chunked_fleet_65536_chips"] = {
+        "elapsed_s": elapsed_s,
+        "n_chips": n_chips, "n_cores": N_CORES, "n_epochs": n_epochs,
+        "chips_per_s": n_chips / elapsed_s,
+        "state_budget_bytes": budget,
+        "state_bytes_per_chip": per_chip,
+        "unchunked_state_bytes": per_chip * n_chips,
+        "n_chunks": n_chunks,
+        "guardband_p99": float(result.guardband_quantile(0.99)),
+    }
+    run_once(benchmark, lambda: run_fleet_lifetime_study(
+        (3, 3), 4096, _workload(), _policy(), n_epochs=n_epochs,
+        record_every=n_epochs, state_budget_bytes=budget))

@@ -57,7 +57,8 @@ def run(n_chips: int = 10_000, n_epochs: int = 168) -> None:
               f"   max {result.guardbands.max():7.2%}")
         print(f"  EM-failed chips {result.em_failure_fraction:.2%}, "
               f"dropped demand "
-              f"{result.total_dropped_demand:.1f} core-epochs")
+              f"{result.total_dropped_demand.mean():.1f} "
+              f"core-epochs/chip")
     baseline = results["no recovery"]
     healed = results["rr deep healing"]
     saved = (baseline.guardband_quantile(0.99)

@@ -232,6 +232,16 @@ class BtiConditionKernels:
     per epoch with one interpolation + one ``np.exp`` instead of
     thousands of dataclass constructions and ``math.exp`` calls.
 
+    The array methods are strictly elementwise and rank-agnostic:
+    ``(n_cores,)`` vectors from the single-chip epoch loop and
+    stacked ``(n_chips, n_cores)`` blocks from the fleet engines
+    evaluate through the identical table lookups, so a stacked row
+    is bit-equal to evaluating that chip's cores alone.  The
+    companion array (``utilization`` / ``recovering``) must match
+    the temperature array's shape exactly -- implicit broadcasting
+    is rejected so a transposed or squeezed stacked block fails
+    loudly instead of silently fanning out.
+
     Args:
         params: recovery-acceleration coefficients (calibrated).
         reference: the capture-rate reference stress condition.
@@ -294,16 +304,28 @@ class BtiConditionKernels:
             raise ValueError("temperatures must be positive (kelvin)")
         return 1.0 / temps
 
+    @staticmethod
+    def _companion(value, shape: Tuple[int, ...], dtype,
+                   name: str) -> np.ndarray:
+        arr = np.asarray(value, dtype=dtype)
+        if arr.shape != shape:
+            raise ValueError(
+                f"{name} must match the temperature array's shape "
+                f"{shape}, got {arr.shape}")
+        return arr
+
     def capture_acceleration_array(self, temps_k: np.ndarray,
                                    utilization: np.ndarray) -> np.ndarray:
         """Per-core capture-rate multipliers, scaled by utilization.
 
         Matches ``util * BtiStressCondition(stress_voltage_v,
         T).capture_acceleration(reference)`` elementwise, with idle
-        cores (``util <= 0``) pinned to exactly 0.
+        cores (``util <= 0``) pinned to exactly 0.  Any array rank is
+        accepted; ``utilization`` must have ``temps_k``'s exact shape.
         """
         u = self._reciprocal(temps_k)
-        util = np.asarray(utilization, dtype=float)
+        util = self._companion(utilization, u.shape, float,
+                               "utilization")
         accel = self._capture_field_factor * np.exp(self._capture_table(u))
         return np.where(util > 0.0, util * accel, 0.0)
 
@@ -314,9 +336,12 @@ class BtiConditionKernels:
         Matches ``BtiRecoveryCondition(bias, T).acceleration(params)``
         elementwise, with ``bias = recovery_bias_v`` where
         ``recovering`` is True and 0 (passive recovery) elsewhere.
+        Any array rank is accepted; ``recovering`` must have
+        ``temps_k``'s exact shape.
         """
         u = self._reciprocal(temps_k)
-        recovering = np.asarray(recovering, dtype=bool)
+        recovering = self._companion(recovering, u.shape, bool,
+                                     "recovering")
         exponent = np.where(recovering, self._active_table(u),
                             self._passive_table(u))
         return np.exp(exponent)

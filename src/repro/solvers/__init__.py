@@ -14,6 +14,7 @@ from repro.solvers.factorized import (
     TridiagonalOperator,
     cache_counters,
     fingerprint,
+    record_counters,
     solve_dense_cached,
 )
 from repro.solvers.sweep import (
@@ -33,6 +34,7 @@ __all__ = [
     "TridiagonalOperator",
     "cache_counters",
     "fingerprint",
+    "record_counters",
     "solve_dense_cached",
     "DEFAULT_MIN_TASKS_FOR_POOL",
     "ChunkRecord",

@@ -382,6 +382,29 @@ def cache_counters() -> Dict[str, Dict[str, int]]:
             for name, counters in _COUNTER_TOTALS.items()}
 
 
+def record_counters(name: str, **increments: int) -> None:
+    """Add engine-defined counters to a named durable total.
+
+    The named totals normally grow through
+    :class:`FactorizationCache` traffic (``hits`` / ``misses`` /
+    ``batched_solves`` / ``batched_rows``); engines that want other
+    run metrics in the same telemetry stream -- the fleet engine
+    records chips advanced, chunk counts and kernel-row dedup sizes --
+    call this with their own counter keys.  Increments must be
+    non-negative so :func:`cache_counters` keeps its only-ever-grows
+    contract (the sweep runner attributes per-chunk deltas by
+    before/after subtraction).
+    """
+    totals = _named_totals(name)
+    for key, value in increments.items():
+        value = int(value)
+        if value < 0:
+            raise ValueError(
+                f"counter increments must be non-negative, "
+                f"got {key}={value}")
+        totals[key] = totals.get(key, 0) + value
+
+
 def solve_dense_cached(matrix: np.ndarray, rhs: np.ndarray,
                        cache: FactorizationCache) -> np.ndarray:
     """Solve a dense system through a content-keyed cache.

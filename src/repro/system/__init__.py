@@ -15,6 +15,7 @@ from repro.system.chip import Chip, CoreSpec
 from repro.system.workload import (
     ConstantWorkload,
     DiurnalWorkload,
+    PhasedWorkload,
     RandomWorkload,
     TraceWorkload,
 )
@@ -30,6 +31,7 @@ from repro.system.simulator import (
     SystemSimulator,
 )
 from repro.system.fleet import (
+    FleetGroup,
     FleetResult,
     FleetSimulator,
     FleetState,
@@ -56,6 +58,7 @@ __all__ = [
     "ConstantWorkload",
     "RandomWorkload",
     "DiurnalWorkload",
+    "PhasedWorkload",
     "TraceWorkload",
     "CoreAssignment",
     "NoRecoveryPolicy",
@@ -64,6 +67,7 @@ __all__ = [
     "ChipVariation",
     "SystemResult",
     "SystemSimulator",
+    "FleetGroup",
     "FleetResult",
     "FleetSimulator",
     "FleetState",

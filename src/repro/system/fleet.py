@@ -3,9 +3,7 @@
 The paper's headline results (Figs. 12-14) are population statements --
 guardband reduction and EM lifetime gains across many chips -- but the
 pooled sweep layer pays one Python simulator (and often one process
-task) per chip.  For the *homogeneous* population that dominates those
-studies (one chip design, one workload, one policy, per-chip process
-variation) this module advances every chip in lockstep instead:
+task) per chip.  This module advances every chip in lockstep instead:
 
 * :class:`FleetState` owns the whole population's aging state as
   stacked arrays -- trap occupancies/ages/weights and permanent Vth in
@@ -16,28 +14,51 @@ variation) this module advances every chip in lockstep instead:
 * :class:`FleetSimulator` runs the same epoch loop as
   :class:`~repro.system.simulator.SystemSimulator`, but evaluates the
   BTI condition kernels and EM rate factors over the whole
-  ``(n_chips, n_cores)`` stack in single ufunc passes.  All chips
-  share each epoch's assignment, so the thermal steady state is
-  solved (and memoized) once per assignment for the entire
-  population.
-* :func:`run_fleet_lifetime_study` is the population entry point that
-  replaces ``run_lifetime_sweep`` for homogeneous fleets; the pool
-  remains the right tool for genuinely heterogeneous grids (different
-  chips, policies or workload seeds per cell).
+  ``(n_chips, n_cores)`` stack in single ufunc passes.
+* :class:`FleetGroup` generalizes the engine beyond "one workload, one
+  policy": a population is a sequence of groups, each with its own
+  workload, scheduling policy, and optional per-chip *workload phase*
+  offsets.  Internally each group splits into *cohorts* -- maximal
+  runs of consecutive chips sharing one phase -- and every cohort gets
+  its own fresh policy/workload copy and its own per-epoch scheduling
+  decision, while the BTI/EM state still advances in one stacked
+  sweep over all cohorts.  Chips in different timezones, racks with
+  different healing policies, and a control group all batch into one
+  tensor advance.
+* :func:`run_fleet_lifetime_study` is the population entry point; for
+  populations too large to hold in memory at once it streams the fleet
+  in row chunks under a byte budget (``max_chunk_chips`` /
+  ``state_budget_bytes``), re-using one chip (and one thermal memo)
+  across every chunk.
 
 Exactness: chip ``i`` of a fleet advances bit-identically to a
 standalone :class:`~repro.system.simulator.SystemSimulator` built with
-``variation.chip(i)`` -- both paths share
+``variation.chip(i)``, driven by the chip's (phase-shifted) workload
+and a fresh copy of its group's policy -- both paths share
 :func:`~repro.system.simulator.base_epoch_conditions`, apply the same
 variation multiplies, and the stacked BTI/EM steps are elementwise in
-the unit dimension (see :mod:`repro.bti.fleet`).  The equivalence
-tests assert agreement to <= 1e-10 per chip; in practice it is exact.
+the unit dimension (see :mod:`repro.bti.fleet`).  The one coupling is
+the aging observable handed to the policy: a cohort's policy sees the
+*cohort-worst* per-core shift.  With no variation the cohort's rows
+are identical, so this equals every member's own observable and the
+equivalence is exact for any policy; with variation it stays exact for
+policies that ignore the shift values (the round-robin and
+no-recovery policies) and for singleton cohorts.  The same contract
+makes chunked execution invariant in the chunk size.
+
+Reduced precision: ``state_dtype=np.float32`` halves the trap-state
+memory.  Condition kernels and sub-step counts are still derived in
+float64 and rounded once per epoch, so the float32 trajectory tracks
+the float64 one within :data:`FLOAT32_MAX_RELATIVE_ERROR` (pinned by
+the fleet tests); ``state_dtype=np.float64`` (the default) is bitwise
+identical to the single-chip engine.
 """
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass, replace
-from typing import List, Optional, Tuple, Union
+from typing import List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -47,7 +68,7 @@ from repro.bti.conditions import BtiConditionKernels
 from repro.bti.fleet import StackedTrapPopulations
 from repro.em.line import EmStressCondition
 from repro.errors import SimulationError
-from repro.solvers import FactorizationCache
+from repro.solvers import FactorizationCache, record_counters
 from repro.solvers.sweep import task_seed_sequence
 from repro.system.aging import FleetEmState
 from repro.system.chip import Chip
@@ -59,6 +80,23 @@ from repro.system.simulator import (
     base_epoch_conditions,
 )
 from repro.system.sweeps import ChipConfig
+from repro.system.workload import PhasedWorkload
+
+#: Measured accuracy budget of ``state_dtype=np.float32``: the maximum
+#: relative error of any chip's final per-core threshold shift (and of
+#: the recorded degradation timeline) against the bit-exact float64
+#: engine.  Kernels are built in float64 and rounded once per epoch,
+#: so the error does not compound through the transcendental factor
+#: math; it is dominated by the ~1e-7 rounding of the state
+#: accumulators and grows sub-linearly with the horizon (measured
+#: ~1.7e-7 at 26 epochs, ~1e-6 at 720 epochs, on mixed-phase /
+#: mixed-policy variated fleets).  The bound leaves two orders of
+#: headroom for multi-year horizons; the fleet tests pin it.
+FLOAT32_MAX_RELATIVE_ERROR = 1e-4
+
+#: Trap-bin count of the system-level population (the fleet engine
+#: always runs the 64-bin configuration, see :class:`FleetState`).
+_FLEET_N_BINS = 64
 
 
 # -- process variation ------------------------------------------------------
@@ -112,6 +150,34 @@ class FleetVariation:
             recovery_scale=float(self.recovery_scale[index]),
             em_current_scale=float(self.em_current_scale[index]))
 
+    def slice_range(self, start: int, stop: int) -> "FleetVariation":
+        """The draw restricted to chips ``[start, stop)``.
+
+        Chunked execution slices a pre-drawn population so chip ``k``
+        keeps exactly the scales it would have in the unchunked run.
+        """
+        if not 0 <= start < stop <= self.n_chips:
+            raise SimulationError(
+                "slice must satisfy 0 <= start < stop <= n_chips")
+        return FleetVariation(
+            capture_scale=self.capture_scale[start:stop].copy(),
+            recovery_scale=self.recovery_scale[start:stop].copy(),
+            em_current_scale=self.em_current_scale[start:stop].copy())
+
+    @classmethod
+    def concatenate(cls, parts: Sequence["FleetVariation"]
+                    ) -> "FleetVariation":
+        """Stitch chunked draws back into one population draw."""
+        if not parts:
+            raise SimulationError("need at least one part")
+        return cls(
+            capture_scale=np.concatenate(
+                [p.capture_scale for p in parts]),
+            recovery_scale=np.concatenate(
+                [p.recovery_scale for p in parts]),
+            em_current_scale=np.concatenate(
+                [p.em_current_scale for p in parts]))
+
 
 @dataclass(frozen=True)
 class FleetVariationSpec:
@@ -122,8 +188,9 @@ class FleetVariationSpec:
     sigma of 0 degenerates to *exactly* 1.0 (bitwise no-op).  Chip
     ``k`` draws from ``task_seed_sequence(seed, k)`` -- the same
     deterministic per-index stream the sweep runner uses -- so the
-    draw of a chip never depends on the population size and a fleet
-    member can be reproduced standalone.
+    draw of a chip never depends on the population size (or on how
+    the population is chunked) and a fleet member can be reproduced
+    standalone.
 
     Attributes:
         capture_sigma / recovery_sigma / em_current_sigma: log-space
@@ -150,21 +217,105 @@ class FleetVariationSpec:
             em_current_scale=float(
                 np.exp(self.em_current_sigma * z[2])))
 
+    def draw_range(self, start: int, stop: int,
+                   seed: int = 0) -> FleetVariation:
+        """Draw chips ``[start, stop)`` by their global indices.
+
+        Chunked execution draws each chunk's rows directly, so the
+        concatenation over chunks is bit-identical to one
+        :meth:`draw` of the whole population.
+        """
+        if start < 0 or stop <= start:
+            raise SimulationError(
+                "draw range must satisfy 0 <= start < stop")
+        n = stop - start
+        capture = np.empty(n)
+        recovery = np.empty(n)
+        em = np.empty(n)
+        for offset, index in enumerate(range(start, stop)):
+            chip = self.draw_chip(index, seed)
+            capture[offset] = chip.capture_scale
+            recovery[offset] = chip.recovery_scale
+            em[offset] = chip.em_current_scale
+        return FleetVariation(capture_scale=capture,
+                              recovery_scale=recovery,
+                              em_current_scale=em)
+
     def draw(self, n_chips: int, seed: int = 0) -> FleetVariation:
         """Draw a whole population (chip ``k`` == ``draw_chip(k)``)."""
         if n_chips < 1:
             raise SimulationError("n_chips must be at least 1")
-        capture = np.empty(n_chips)
-        recovery = np.empty(n_chips)
-        em = np.empty(n_chips)
-        for index in range(n_chips):
-            chip = self.draw_chip(index, seed)
-            capture[index] = chip.capture_scale
-            recovery[index] = chip.recovery_scale
-            em[index] = chip.em_current_scale
-        return FleetVariation(capture_scale=capture,
-                              recovery_scale=recovery,
-                              em_current_scale=em)
+        return self.draw_range(0, n_chips, seed)
+
+
+# -- population structure ---------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FleetGroup:
+    """A contiguous slice of the population sharing workload and policy.
+
+    A heterogeneous fleet is a sequence of groups laid out
+    back-to-back in chip order.  Every chip of a group runs the same
+    scheduling policy and draws demand from the same workload
+    template, optionally shifted by a per-chip ``phases`` offset (the
+    chip observes ``workload.demand(epoch + phase)`` while its policy
+    still sees the unshifted epoch -- see
+    :class:`~repro.system.workload.PhasedWorkload`).
+
+    The engine treats ``workload`` and ``policy`` as *templates*: each
+    internal cohort (a maximal run of chips sharing one phase) gets a
+    fresh ``copy.deepcopy`` before the run, so stateful policies
+    (rotation cursors) and workloads (AR(1) streams) start fresh and a
+    group's trajectory never depends on how the population is chunked.
+    A ``policy`` without an ``assign`` method is treated as a factory
+    called with the chip, mirroring the sweep layer.
+
+    Attributes:
+        n_chips: chips in the group.
+        workload: shared demand template.
+        policy: shared scheduling policy template (or factory).
+        phases: optional per-chip non-negative epoch offsets,
+            ``len == n_chips``.  Consecutive equal phases batch into
+            one cohort, so sorted/blocked phase layouts schedule in
+            O(distinct phases) per epoch.
+        name: optional label for reports.
+    """
+
+    n_chips: int
+    workload: Workload
+    policy: SchedulingPolicy
+    phases: Optional[Tuple[int, ...]] = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.n_chips < 1:
+            raise SimulationError("group n_chips must be at least 1")
+        if self.phases is not None:
+            phases = tuple(int(p) for p in self.phases)
+            object.__setattr__(self, "phases", phases)
+            if len(phases) != self.n_chips:
+                raise SimulationError(
+                    "phases must provide one offset per chip")
+            if any(p < 0 for p in phases):
+                raise SimulationError(
+                    "phases must be non-negative")
+
+
+class _Cohort:
+    """One run of consecutive chips sharing workload, phase, policy."""
+
+    __slots__ = ("start", "stop", "workload", "policy",
+                 "previous_utilization", "previous_recovering")
+
+    def __init__(self, start: int, stop: int, workload, policy,
+                 n_cores: int):
+        self.start = start
+        self.stop = stop
+        self.workload = workload
+        self.policy = policy
+        self.previous_utilization: Optional[np.ndarray] = None
+        self.previous_recovering = np.zeros(n_cores, dtype=bool)
 
 
 # -- results ----------------------------------------------------------------
@@ -174,25 +325,27 @@ class FleetVariationSpec:
 class FleetResult:
     """Timeline and summary of one fleet simulation.
 
-    The per-epoch observables carry a trailing chip axis; scalars that
-    are shared across the population (times, demand bookkeeping,
-    migration count -- all chips run the same schedule) are stored
-    once.
+    Every observable carries a chip axis -- a heterogeneous fleet has
+    per-chip schedules, so demand bookkeeping and migration counts are
+    per-chip arrays (for a homogeneous fleet every column/entry is
+    identical).
 
     Attributes:
         times_s: recorded end-of-epoch stamps, ``(n_records,)``.
         worst_degradation: worst-core delay degradation per record and
             chip, ``(n_records, n_chips)``.
         mean_degradation: chip-mean degradation, same shape.
-        dropped_demand: unplaced demand per record (shared).
+        dropped_demand: unplaced demand per record and chip,
+            ``(n_records, n_chips)``.
         final_delta_vth_v: ``(n_chips, n_cores)`` total shift at the
             end; ``final_permanent_vth_v`` / ``final_em_drift_ohm`` /
             ``em_failures`` likewise.
         variation: the per-chip scales the fleet ran with.
-        migration_events: per-chip transitions into BTI recovery
-            (identical for every chip of a homogeneous fleet).
-        n_epochs / total_demand / total_dropped_demand: as in
-            :class:`~repro.system.simulator.SystemResult`.
+        migration_events: per-chip transitions into BTI recovery,
+            ``(n_chips,)``.
+        n_epochs: epochs simulated (shared).
+        total_demand / total_dropped_demand: per-chip demand
+            bookkeeping, ``(n_chips,)``.
     """
 
     times_s: np.ndarray
@@ -204,10 +357,10 @@ class FleetResult:
     final_em_drift_ohm: np.ndarray
     em_failures: np.ndarray
     variation: FleetVariation
-    migration_events: int = 0
-    n_epochs: int = 0
-    total_demand: float = 0.0
-    total_dropped_demand: float = 0.0
+    migration_events: np.ndarray
+    n_epochs: int
+    total_demand: np.ndarray
+    total_dropped_demand: np.ndarray
 
     @property
     def n_chips(self) -> int:
@@ -235,8 +388,9 @@ class FleetResult:
 
         Field-for-field what a standalone
         :class:`~repro.system.simulator.SystemSimulator` with this
-        chip's variation returns (the equivalence tests compare
-        exactly this object).
+        chip's variation, (phase-shifted) workload and a fresh policy
+        copy returns (the equivalence tests compare exactly this
+        object).
         """
         if not 0 <= index < self.n_chips:
             raise SimulationError(
@@ -245,16 +399,17 @@ class FleetResult:
             times_s=self.times_s.copy(),
             worst_degradation=self.worst_degradation[:, index].copy(),
             mean_degradation=self.mean_degradation[:, index].copy(),
-            dropped_demand=self.dropped_demand.copy(),
+            dropped_demand=self.dropped_demand[:, index].copy(),
             final_delta_vth_v=self.final_delta_vth_v[index].copy(),
             final_permanent_vth_v=self.final_permanent_vth_v[
                 index].copy(),
             final_em_drift_ohm=self.final_em_drift_ohm[index].copy(),
             em_failures=self.em_failures[index].copy(),
-            migration_events=self.migration_events,
+            migration_events=int(self.migration_events[index]),
             n_epochs=self.n_epochs,
-            total_demand=self.total_demand,
-            total_dropped_demand=self.total_dropped_demand)
+            total_demand=float(self.total_demand[index]),
+            total_dropped_demand=float(
+                self.total_dropped_demand[index]))
 
     def describe(self) -> str:
         """One-line population summary used by examples and benches."""
@@ -266,23 +421,62 @@ class FleetResult:
                 f"{self.em_failure_fraction:.2%}")
 
 
+def _merge_fleet_results(parts: List[FleetResult]) -> FleetResult:
+    """Concatenate chunk results back into one population result."""
+    if len(parts) == 1:
+        return parts[0]
+    first = parts[0]
+    return FleetResult(
+        times_s=first.times_s,
+        worst_degradation=np.concatenate(
+            [p.worst_degradation for p in parts], axis=1),
+        mean_degradation=np.concatenate(
+            [p.mean_degradation for p in parts], axis=1),
+        dropped_demand=np.concatenate(
+            [p.dropped_demand for p in parts], axis=1),
+        final_delta_vth_v=np.concatenate(
+            [p.final_delta_vth_v for p in parts], axis=0),
+        final_permanent_vth_v=np.concatenate(
+            [p.final_permanent_vth_v for p in parts], axis=0),
+        final_em_drift_ohm=np.concatenate(
+            [p.final_em_drift_ohm for p in parts], axis=0),
+        em_failures=np.concatenate(
+            [p.em_failures for p in parts], axis=0),
+        variation=FleetVariation.concatenate(
+            [p.variation for p in parts]),
+        migration_events=np.concatenate(
+            [p.migration_events for p in parts]),
+        n_epochs=first.n_epochs,
+        total_demand=np.concatenate(
+            [p.total_demand for p in parts]),
+        total_dropped_demand=np.concatenate(
+            [p.total_dropped_demand for p in parts]))
+
+
 # -- the engine -------------------------------------------------------------
 
 
 class _EpochConditions:
-    """One assignment's condition bundle for the whole stack."""
+    """One epoch's condition bundle for the whole stack.
+
+    Holds the full ``(n_chips, n_cores)`` stress/capture/recovery
+    stack plus the per-cohort base temperature vectors (needed for
+    the end-of-run EM read-out, which evaluates each cohort at its
+    own hottest core).
+    """
 
     __slots__ = ("temps", "stressing", "capture_safe", "recovery",
-                 "j_flat", "temps_flat", "token")
+                 "j_flat", "temps_flat", "cohort_temps", "token")
 
     def __init__(self, temps, stressing, capture_safe, recovery,
-                 j_flat, temps_flat, token):
+                 j_flat, temps_flat, cohort_temps, token):
         self.temps = temps
         self.stressing = stressing
         self.capture_safe = capture_safe
         self.recovery = recovery
         self.j_flat = j_flat
         self.temps_flat = temps_flat
+        self.cohort_temps = cohort_temps
         self.token = token
 
 
@@ -292,6 +486,22 @@ def _budget_entries(budget_bytes: int, entry_bytes: int,
     if entry_bytes <= 0:
         return cap
     return int(min(cap, max(0, budget_bytes // entry_bytes)))
+
+
+def state_bytes_per_chip(n_cores: int,
+                         state_dtype=np.float64) -> int:
+    """Resident aging-state bytes one fleet chip costs.
+
+    Counts the stacked trap arrays (three state + three scratch
+    ``(n_cores, n_bins)`` blocks in ``state_dtype`` plus two boolean
+    masks) and the flat float64 EM accumulators.  The chunked runner
+    divides ``state_budget_bytes`` by this to pick its row-block
+    height.
+    """
+    itemsize = np.dtype(state_dtype).itemsize
+    trap = n_cores * _FLEET_N_BINS * (6 * itemsize + 2)
+    em = n_cores * 5 * 8
+    return trap + em
 
 
 class FleetState:
@@ -306,23 +516,27 @@ class FleetState:
     def __init__(self, chip: Chip, variation: FleetVariation,
                  calibration: BtiCalibration,
                  em_reference: EmStressCondition,
-                 kernel_cache_budget_bytes: int):
+                 kernel_cache_budget_bytes: int,
+                 state_dtype=np.float64):
         self.n_chips = variation.n_chips
         self.n_cores = chip.n_cores
         self.variation = variation
+        self.state_dtype = np.dtype(state_dtype)
         rows = self.n_chips * self.n_cores
         population = replace(
-            calibration.model_config.population, n_bins=64)
-        # A cached BTI kernel holds two dense (rows, n_bins) float
-        # arrays plus three (rows, 1) columns; size the memo so a
-        # cycling schedule can be fully resident without letting a
+            calibration.model_config.population, n_bins=_FLEET_N_BINS)
+        # A cached BTI kernel holds two dense (rows, n_bins) state-
+        # dtype arrays plus three (rows, 1) columns; size the memo so
+        # a cycling schedule can be fully resident without letting a
         # million-chip fleet allocate gigabytes.
         kernel_entries = _budget_entries(
             kernel_cache_budget_bytes,
-            (2 * population.n_bins + 3) * rows * 8, cap=16)
+            (2 * population.n_bins + 3) * rows
+            * self.state_dtype.itemsize, cap=16)
         self.bti = StackedTrapPopulations(
             self.n_chips, self.n_cores, population,
-            kernel_cache_size=kernel_entries)
+            kernel_cache_size=kernel_entries,
+            dtype=self.state_dtype)
         # EM rate entries are five (rows,) arrays -- far lighter.
         em_entries = max(1, _budget_entries(
             64 * 2 ** 20, 5 * rows * 8, cap=64))
@@ -330,8 +544,14 @@ class FleetState:
                                step_cache_size=em_entries)
 
     def delta_vth_v(self) -> np.ndarray:
-        """Total per-core shift, ``(n_chips, n_cores)``."""
-        return self.bti.delta_vth_v()
+        """Total per-core shift, ``(n_chips, n_cores)``, as float64.
+
+        In float64 mode this is the state's own array (no copy); in
+        float32 mode the reduced-precision state is upcast once here
+        so every downstream observable (policy inputs, degradation
+        records, results) stays float64.
+        """
+        return np.asarray(self.bti.delta_vth_v(), dtype=np.float64)
 
 
 class FleetSimulator:
@@ -340,22 +560,26 @@ class FleetSimulator:
     The epoch loop mirrors
     :class:`~repro.system.simulator.SystemSimulator.run` -- demand,
     assignment, thermal solve, BTI/EM advance, recording -- with every
-    per-core quantity carrying a chip axis.  All chips execute the
-    same schedule (the homogeneity contract), so the policy is
-    consulted once per epoch; it sees the population-worst per-core
-    shift as its aging observable.  Policies that ignore the shift
-    values (the round-robin and no-recovery policies) therefore
-    produce assignments identical to any single chip's standalone run,
-    which is what makes fleet-vs-serial equivalence exact.
+    per-core quantity carrying a chip axis.  :meth:`run` drives a
+    homogeneous population (one workload, one policy, one cohort);
+    :meth:`run_groups` drives a heterogeneous one, consulting each
+    cohort's policy once per epoch and assembling the per-cohort
+    conditions into one stacked advance.  Cohort policies see their
+    cohort-worst per-core shift as the aging observable (see the
+    module docstring for the exactness contract this preserves).
 
     Args:
         chip: the shared chip design (one thermal network, memoized
-            across the whole fleet).
+            across the whole fleet -- and, in chunked runs, across
+            chunks).
         variation: per-chip scales, a spec to draw them from, or
             ``None`` for an identical population.
         seed: draw seed used when ``variation`` is a spec.
         kernel_cache_budget_bytes: memory budget of the stacked BTI
             sub-step kernel memo (the dominant cache at fleet scale).
+        state_dtype: trap-state dtype; ``np.float64`` (default,
+            bit-exact) or ``np.float32`` (half the state memory,
+            error within :data:`FLOAT32_MAX_RELATIVE_ERROR`).
     """
 
     def __init__(self, chip: Chip, n_chips: int,
@@ -365,7 +589,8 @@ class FleetSimulator:
                  variation: Union[FleetVariation, FleetVariationSpec,
                                   None] = None,
                  seed: int = 0,
-                 kernel_cache_budget_bytes: int = 256 * 2 ** 20):
+                 kernel_cache_budget_bytes: int = 256 * 2 ** 20,
+                 state_dtype=np.float64):
         if epoch_s <= 0.0:
             raise SimulationError("epoch_s must be positive")
         if n_chips < 1:
@@ -387,14 +612,18 @@ class FleetSimulator:
             name="grid reference")
         self.state = FleetState(chip, variation, self.calibration,
                                 self.em_reference,
-                                kernel_cache_budget_bytes)
+                                kernel_cache_budget_bytes,
+                                state_dtype=state_dtype)
         self.kernels = BtiConditionKernels(
             self.calibration.model_config.acceleration,
             self.calibration.model_config.reference_stress,
             stress_voltage_v=chip.core.stress_voltage_v)
-        # One bundle per distinct assignment: the base conditions are
-        # computed once (shared thermal memo), the variation scales
-        # broadcast once, and every repeat epoch is a dictionary hit.
+        # One bundle per distinct epoch decision: the per-cohort base
+        # conditions are computed once (shared thermal memo), the
+        # variation scales broadcast once, and every repeat epoch is a
+        # dictionary hit.  The token covers the cohort layout plus
+        # every cohort's assignment bytes, so distinct schedules (or
+        # layouts across run calls) never collide.
         rows = n_chips * chip.n_cores
         bundle_entries = max(1, _budget_entries(
             64 * 2 ** 20, 33 * rows, cap=64))
@@ -406,39 +635,109 @@ class FleetSimulator:
         """The per-chip scales this fleet runs with."""
         return self.state.variation
 
-    def _epoch_conditions(self, assignment) -> _EpochConditions:
-        key = (assignment.utilization.tobytes(),
-               assignment.bti_recovering.tobytes(),
-               assignment.em_recovering.tobytes())
-        return self._condition_cache.get_or_build(
-            key, lambda: self._build_conditions(assignment, key))
+    # -- cohorts -----------------------------------------------------------
 
-    def _build_conditions(self, assignment, key) -> _EpochConditions:
-        temps, active, capture, recovery, j = base_epoch_conditions(
-            self.chip, self.kernels, assignment)
+    def _build_cohorts(self, groups: Sequence[FleetGroup]
+                       ) -> List[_Cohort]:
+        """Split groups into per-phase cohorts with fresh templates."""
+        if not groups:
+            raise SimulationError("need at least one group")
+        cohorts: List[_Cohort] = []
+        start = 0
+        for group in groups:
+            phases = group.phases or (0,) * group.n_chips
+            run_start = 0
+            while run_start < group.n_chips:
+                run_stop = run_start + 1
+                while (run_stop < group.n_chips
+                       and phases[run_stop] == phases[run_start]):
+                    run_stop += 1
+                if hasattr(group.policy, "assign"):
+                    policy = copy.deepcopy(group.policy)
+                else:
+                    policy = group.policy(self.chip)
+                workload = copy.deepcopy(group.workload)
+                phase = phases[run_start]
+                if phase:
+                    workload = PhasedWorkload(workload, phase)
+                cohorts.append(_Cohort(
+                    start + run_start, start + run_stop, workload,
+                    policy, self.chip.n_cores))
+                run_start = run_stop
+            start += group.n_chips
+        if start != self.state.n_chips:
+            raise SimulationError(
+                f"groups cover {start} chips, fleet has "
+                f"{self.state.n_chips}")
+        return cohorts
+
+    # -- conditions --------------------------------------------------------
+
+    def _build_group_conditions(self, keyed, token) -> _EpochConditions:
+        """Assemble one full-stack bundle from per-cohort assignments.
+
+        Element ``(k, c)`` of every array is ``base[c] * scale[k]``
+        with the cohort's own base conditions -- the same single
+        multiply the scalar simulator applies, so each row matches
+        its standalone chip bitwise.
+        """
         v = self.variation
         n_chips, n_cores = self.state.n_chips, self.state.n_cores
         shape = (n_chips, n_cores)
-        # Outer products against the variation scales: element (k, c)
-        # is base[c] * scale[k], the same single multiply the scalar
-        # simulator applies, so each row matches its standalone chip
-        # bitwise.
-        capture2d = capture[None, :] * v.capture_scale[:, None]
-        capture_safe = np.where(capture2d > 0.0, capture2d, 1.0)
-        recovery2d = recovery[None, :] * v.recovery_scale[:, None]
-        j2d = j[None, :] * v.em_current_scale[:, None]
-        stressing = np.ascontiguousarray(
-            np.broadcast_to(active[None, :], shape))
-        temps_flat = np.ascontiguousarray(
-            np.broadcast_to(temps[None, :], shape)).reshape(-1)
-        return _EpochConditions(temps, stressing, capture_safe,
-                                recovery2d, j2d.reshape(-1),
-                                temps_flat, key)
+        capture_safe = np.empty(shape)
+        recovery2d = np.empty(shape)
+        j2d = np.empty(shape)
+        stressing = np.empty(shape, dtype=bool)
+        temps_full = np.empty(shape)
+        cohort_temps = []
+        for start, stop, assignment in keyed:
+            temps, active, capture, recovery, j = \
+                base_epoch_conditions(self.chip, self.kernels,
+                                      assignment)
+            rows = slice(start, stop)
+            capture2d = capture[None, :] * v.capture_scale[rows, None]
+            capture_safe[rows] = np.where(
+                capture2d > 0.0, capture2d, 1.0)
+            recovery2d[rows] = (recovery[None, :]
+                                * v.recovery_scale[rows, None])
+            j2d[rows] = j[None, :] * v.em_current_scale[rows, None]
+            stressing[rows] = active[None, :]
+            temps_full[rows] = temps[None, :]
+            cohort_temps.append((start, stop, temps))
+        return _EpochConditions(
+            cohort_temps[-1][2], stressing, capture_safe, recovery2d,
+            j2d.reshape(-1), temps_full.reshape(-1), cohort_temps,
+            token)
+
+    # -- epoch loops -------------------------------------------------------
 
     def run(self, n_epochs: int, workload: Workload,
             policy: SchedulingPolicy,
             record_every: int = 1) -> FleetResult:
-        """Simulate ``n_epochs`` epochs for the whole population."""
+        """Simulate a homogeneous population: one workload, one policy.
+
+        Equivalent to :meth:`run_groups` with a single all-chips
+        group; the workload and policy are treated as templates
+        (deep-copied before the run), so calling ``run`` never
+        mutates the caller's objects.
+        """
+        group = FleetGroup(n_chips=self.state.n_chips,
+                           workload=workload, policy=policy)
+        return self.run_groups(n_epochs, (group,),
+                               record_every=record_every)
+
+    def run_groups(self, n_epochs: int,
+                   groups: Sequence[FleetGroup],
+                   record_every: int = 1) -> FleetResult:
+        """Simulate a heterogeneous population of policy/phase groups.
+
+        Each cohort's scheduler is consulted per epoch with its own
+        demand and cohort-worst aging observable; the resulting
+        per-cohort conditions are assembled into one stacked bundle
+        and the whole population's BTI/EM state advances in single
+        tensor passes.  Repeated epoch decisions (same cohort layout,
+        same assignment bytes) hit the condition and kernel memos.
+        """
         if n_epochs < 1:
             raise SimulationError("n_epochs must be at least 1")
         if record_every < 1:
@@ -446,34 +745,51 @@ class FleetSimulator:
         state = self.state
         thermal = self.chip.thermal
         oscillator = self.chip.core.oscillator
-        previous_utilization: Optional[np.ndarray] = None
-        previous_recovering = np.zeros(self.chip.n_cores, dtype=bool)
-        migration_events = 0
-        total_demand = 0.0
-        total_dropped = 0.0
+        cohorts = self._build_cohorts(groups)
+        n_chips = state.n_chips
+        migration_events = np.zeros(n_chips, dtype=np.int64)
+        total_demand = np.zeros(n_chips)
+        total_dropped = np.zeros(n_chips)
+        dropped_epoch = np.empty(n_chips)
         times: List[float] = []
         worst: List[np.ndarray] = []
         mean: List[np.ndarray] = []
-        dropped: List[float] = []
+        dropped: List[np.ndarray] = []
         delta_vth = state.delta_vth_v()
         for epoch in range(n_epochs):
-            demand = workload.demand(epoch)
-            assignment = policy.assign(
-                epoch, demand, delta_vth.max(axis=0),
-                previous_utilization)
-            recovering = assignment.bti_recovering
-            cond = self._epoch_conditions(assignment)
+            keyed = []
+            key_parts = []
+            for cohort in cohorts:
+                demand = cohort.workload.demand(epoch)
+                assignment = cohort.policy.assign(
+                    epoch, demand,
+                    delta_vth[cohort.start:cohort.stop].max(axis=0),
+                    cohort.previous_utilization)
+                recovering = assignment.bti_recovering
+                migrated = int(np.count_nonzero(
+                    recovering & ~cohort.previous_recovering))
+                if migrated:
+                    migration_events[cohort.start:cohort.stop] += \
+                        migrated
+                cohort.previous_recovering = recovering
+                cohort.previous_utilization = assignment.utilization
+                total_demand[cohort.start:cohort.stop] += demand
+                total_dropped[cohort.start:cohort.stop] += \
+                    assignment.dropped_demand
+                dropped_epoch[cohort.start:cohort.stop] = \
+                    assignment.dropped_demand
+                keyed.append((cohort.start, cohort.stop, assignment))
+                key_parts.append((cohort.start, cohort.stop)
+                                 + assignment.cache_key())
+            token = tuple(key_parts)
+            cond = self._condition_cache.get_or_build(
+                token,
+                lambda: self._build_group_conditions(keyed, token))
             state.bti.step(self.epoch_s, cond.stressing,
                            cond.capture_safe, cond.recovery,
-                           kernel_key=cond.token)
+                           kernel_key=token)
             state.em.step(self.epoch_s, cond.j_flat, cond.temps_flat,
-                          key=(self.epoch_s, cond.token))
-            migration_events += int(np.count_nonzero(
-                recovering & ~previous_recovering))
-            previous_recovering = recovering
-            previous_utilization = assignment.utilization
-            total_demand += demand
-            total_dropped += assignment.dropped_demand
+                          key=(self.epoch_s, token))
             delta_vth = state.delta_vth_v()
             if (epoch + 1) % record_every == 0 or epoch == n_epochs - 1:
                 degradation = oscillator.delay_degradation_array(
@@ -481,22 +797,32 @@ class FleetSimulator:
                 times.append((epoch + 1) * self.epoch_s)
                 worst.append(degradation.max(axis=1))
                 mean.append(degradation.mean(axis=1))
-                dropped.append(assignment.dropped_demand)
-        # Same read-out refresh as the scalar simulator: the network's
-        # state reflects the last epoch's (shared) solve.
+                dropped.append(dropped_epoch.copy())
+        # Same read-out refresh as the scalar simulator, per cohort:
+        # each cohort's EM failure check evaluates the reference
+        # resistance at that cohort's own hottest core.  The shared
+        # thermal network is left reflecting the last cohort's solve.
         thermal.temperatures_k = cond.temps.copy()
-        read_t = float(np.max(thermal.temperatures_k))
         shape = (state.n_chips, state.n_cores)
+        em_failures = np.empty(shape, dtype=bool)
+        for start, stop, temps in cond.cohort_temps:
+            read_t = float(np.max(temps))
+            em_failures[start:stop] = \
+                state.em.failed(read_t).reshape(shape)[start:stop]
+        record_counters("fleet.engine", chips=n_chips,
+                        epochs=n_epochs, cohorts=len(cohorts))
         return FleetResult(
             times_s=np.array(times),
             worst_degradation=np.array(worst),
             mean_degradation=np.array(mean),
             dropped_demand=np.array(dropped),
-            final_delta_vth_v=state.bti.delta_vth_v(),
-            final_permanent_vth_v=state.bti.permanent_vth_v().copy(),
+            final_delta_vth_v=state.delta_vth_v().copy(),
+            final_permanent_vth_v=np.asarray(
+                state.bti.permanent_vth_v(),
+                dtype=np.float64).copy(),
             final_em_drift_ohm=state.em.delta_resistance_ohm()
             .reshape(shape),
-            em_failures=state.em.failed(read_t).reshape(shape),
+            em_failures=em_failures,
             variation=self.variation,
             migration_events=migration_events,
             n_epochs=n_epochs,
@@ -504,11 +830,52 @@ class FleetSimulator:
             total_dropped_demand=total_dropped)
 
 
+# -- population entry point -------------------------------------------------
+
+
+def _slice_groups(groups: Sequence[FleetGroup], start: int,
+                  stop: int) -> Tuple[FleetGroup, ...]:
+    """The groups restricted to global chips ``[start, stop)``."""
+    out = []
+    g0 = 0
+    for group in groups:
+        g1 = g0 + group.n_chips
+        lo, hi = max(g0, start), min(g1, stop)
+        if lo < hi:
+            phases = None
+            if group.phases is not None:
+                phases = group.phases[lo - g0:hi - g0]
+            out.append(FleetGroup(
+                n_chips=hi - lo, workload=group.workload,
+                policy=group.policy, phases=phases, name=group.name))
+        g0 = g1
+    return tuple(out)
+
+
+def _chunk_size(n_chips: int, n_cores: int, state_dtype,
+                max_chunk_chips: Optional[int],
+                state_budget_bytes: Optional[int]) -> int:
+    """Chips per chunk under the caller's row and byte limits."""
+    limit = n_chips
+    if max_chunk_chips is not None:
+        if max_chunk_chips < 1:
+            raise SimulationError(
+                "max_chunk_chips must be at least 1")
+        limit = min(limit, max_chunk_chips)
+    if state_budget_bytes is not None:
+        if state_budget_bytes < 1:
+            raise SimulationError(
+                "state_budget_bytes must be positive")
+        per_chip = state_bytes_per_chip(n_cores, state_dtype)
+        limit = min(limit, max(1, state_budget_bytes // per_chip))
+    return max(1, limit)
+
+
 def run_fleet_lifetime_study(
         chip: Union[Chip, ChipConfig, Tuple[int, int]],
-        n_chips: int,
-        workload: Workload,
-        policy: SchedulingPolicy,
+        n_chips: Optional[int] = None,
+        workload: Optional[Workload] = None,
+        policy: Optional[SchedulingPolicy] = None,
         *,
         n_epochs: int,
         epoch_s: float = units.hours(1.0),
@@ -517,31 +884,50 @@ def run_fleet_lifetime_study(
                          None] = None,
         seed: int = 0,
         calibration: Optional[BtiCalibration] = None,
-        em_reference: Optional[EmStressCondition] = None) -> FleetResult:
-    """Monte Carlo lifetime study of a homogeneous chip population.
+        em_reference: Optional[EmStressCondition] = None,
+        groups: Optional[Sequence[FleetGroup]] = None,
+        max_chunk_chips: Optional[int] = None,
+        state_budget_bytes: Optional[int] = None,
+        state_dtype=np.float64) -> FleetResult:
+    """Monte Carlo lifetime study of a chip population.
 
-    The in-process replacement for fanning ``n_chips`` identical
-    cells through ``run_lifetime_sweep``: one
+    The in-process replacement for fanning identical (or
+    policy/phase-grouped) cells through ``run_lifetime_sweep``: one
     :class:`FleetSimulator` advances the whole population as stacked
     arrays, with per-chip diversity coming from the ``variation``
-    draw.  Use the pooled sweep when the cells genuinely differ
-    (chip designs, policies, per-cell workload seeds).
+    draw, the per-chip workload ``phases`` and the per-group
+    policies.  Populations larger than memory stream through in row
+    chunks: each chunk re-runs its groups' fresh policy/workload
+    copies from epoch 0 against the same shared chip (so the thermal
+    memo is warm after the first chunk), and results concatenate --
+    the outcome is invariant in the chunk size.
 
     Args:
         chip: the shared design -- a live :class:`Chip`, a
             :class:`ChipConfig`, or a bare ``(rows, cols)`` tuple.
-        n_chips: population size.
+        n_chips: population size (omit when ``groups`` is given).
         workload / policy: shared demand generator and scheduling
-            policy (consulted once per epoch for the whole fleet).
+            policy of a homogeneous population (omit with
+            ``groups``).
         n_epochs / epoch_s / record_every: as in
             :meth:`SystemSimulator.run`.
         variation: per-chip process variation -- a
             :class:`FleetVariationSpec` to draw from ``seed``, a
             pre-drawn :class:`FleetVariation`, or ``None`` for an
-            identical population.
+            identical population.  Draws are by global chip index,
+            so chunking never reshuffles them.
         seed: variation draw seed (chip ``k`` draws from
             ``task_seed_sequence(seed, k)``).
         calibration / em_reference: forwarded to the simulator.
+        groups: heterogeneous population layout, a sequence of
+            :class:`FleetGroup` laid out back-to-back in chip order;
+            mutually exclusive with ``workload`` / ``policy``.
+        max_chunk_chips: upper bound on chips resident at once.
+        state_budget_bytes: byte budget for the resident aging state;
+            the chunk height is ``budget // state_bytes_per_chip``.
+        state_dtype: trap-state dtype (``np.float64`` bit-exact, or
+            ``np.float32`` at half the state memory within
+            :data:`FLOAT32_MAX_RELATIVE_ERROR`).
 
     Returns:
         A :class:`FleetResult`; ``chip_result(i)`` recovers any
@@ -554,9 +940,42 @@ def run_fleet_lifetime_study(
     else:
         rows, cols = chip
         built = Chip(int(rows), int(cols))
-    simulator = FleetSimulator(
-        built, n_chips, calibration=calibration,
-        em_reference=em_reference, epoch_s=epoch_s,
-        variation=variation, seed=seed)
-    return simulator.run(n_epochs, workload, policy,
-                         record_every=record_every)
+    if groups is None:
+        if n_chips is None or workload is None or policy is None:
+            raise SimulationError(
+                "provide n_chips, workload and policy, or groups")
+        groups = (FleetGroup(n_chips=n_chips, workload=workload,
+                             policy=policy),)
+    else:
+        if workload is not None or policy is not None:
+            raise SimulationError(
+                "groups and workload/policy are mutually exclusive")
+        groups = tuple(groups)
+        total = sum(group.n_chips for group in groups)
+        if n_chips is not None and n_chips != total:
+            raise SimulationError(
+                f"groups cover {total} chips, n_chips says {n_chips}")
+        n_chips = total
+    chunk = _chunk_size(n_chips, built.n_cores, state_dtype,
+                        max_chunk_chips, state_budget_bytes)
+    parts: List[FleetResult] = []
+    n_chunks = 0
+    for start in range(0, n_chips, chunk):
+        stop = min(n_chips, start + chunk)
+        if variation is None:
+            chunk_variation = None
+        elif isinstance(variation, FleetVariationSpec):
+            chunk_variation = variation.draw_range(start, stop, seed)
+        else:
+            chunk_variation = variation.slice_range(start, stop)
+        simulator = FleetSimulator(
+            built, stop - start, calibration=calibration,
+            em_reference=em_reference, epoch_s=epoch_s,
+            variation=chunk_variation, seed=seed,
+            state_dtype=state_dtype)
+        parts.append(simulator.run_groups(
+            n_epochs, _slice_groups(groups, start, stop),
+            record_every=record_every))
+        n_chunks += 1
+    record_counters("fleet.engine", chunks=n_chunks)
+    return _merge_fleet_results(parts)

@@ -50,6 +50,21 @@ class CoreAssignment:
             raise SimulationError(
                 "a BTI-recovering core cannot carry load")
 
+    def cache_key(self) -> tuple:
+        """A hashable digest of the assignment's full content.
+
+        Everything the epoch engines derive from an assignment (power
+        vector, thermal solve, condition-kernel lookups, signed grid
+        current) is a pure function of these three arrays, so the
+        scalar and fleet simulators memoize their per-assignment
+        condition bundles on exactly this key.  Keying on the raw
+        bytes -- never on rounded floats -- keeps distinct assignments
+        distinct bit for bit.
+        """
+        return (self.utilization.tobytes(),
+                self.bti_recovering.tobytes(),
+                self.em_recovering.tobytes())
+
 
 def _spread(demand: float, available: np.ndarray) -> np.ndarray:
     """Distribute demand evenly over the available cores (capped at 1)."""

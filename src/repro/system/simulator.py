@@ -250,9 +250,7 @@ class SystemSimulator:
             maxsize=64, name="system.conditions")
 
     def _epoch_conditions(self, assignment: CoreAssignment):
-        key = (assignment.utilization.tobytes(),
-               assignment.bti_recovering.tobytes(),
-               assignment.em_recovering.tobytes())
+        key = assignment.cache_key()
         return self._condition_cache.get_or_build(
             key, lambda: self._build_epoch_conditions(assignment))
 

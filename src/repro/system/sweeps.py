@@ -13,12 +13,24 @@ Cells are independent by construction: the worker deep-copies stateful
 policies/workloads (or builds them fresh from factories) and builds
 the chip inside the worker, so no mutable state crosses cell
 boundaries and serial and pooled runs are identical.
+
+When every cell shares one chip design, the grid is exactly the
+heterogeneous-population shape the structure-of-arrays fleet engine
+batches: one :class:`~repro.system.fleet.FleetGroup` per
+(policy, workload) pair, one chip per cell, advanced in stacked tensor
+sweeps instead of one Python simulator per cell.  ``engine="auto"``
+(the default) routes such grids to the fleet engine and keeps
+genuinely heterogeneous grids (mixed chip designs, per-cell workload
+reseeding, pool fault-tolerance knobs) on the pooled path; results are
+identical either way because the per-cell policy observable degenerates
+to the cell's own aging state when the cohort's chips are identical.
 """
 
 from __future__ import annotations
 
 import copy
 import dataclasses
+import time
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -35,7 +47,8 @@ import numpy as np
 
 from repro import units
 from repro.errors import SimulationError
-from repro.solvers.sweep import run_sweep
+from repro.solvers import cache_counters
+from repro.solvers.sweep import SweepReport, _cache_delta, run_sweep
 from repro.system.chip import Chip, CoreSpec
 from repro.system.simulator import SystemSimulator
 from repro.thermal.network import ThermalNetworkConfig
@@ -205,6 +218,22 @@ def _as_chip_config(chip: Union[ChipConfig, Tuple[int, int]]
     return ChipConfig(rows=int(rows), cols=int(cols))
 
 
+def _cell_summary(policy_label: str, workload_label: str,
+                  chip_label: str, result) -> SweepCellResult:
+    """Condense one cell's SystemResult into the sweep table row."""
+    return SweepCellResult(
+        policy=policy_label,
+        workload=workload_label,
+        chip=chip_label,
+        guardband=result.guardband,
+        final_delta_vth_v=float(result.final_delta_vth_v.max()),
+        final_permanent_vth_v=float(result.final_permanent_vth_v.max()),
+        em_failures=int(result.em_failures.sum()),
+        migration_events=result.migration_events,
+        migration_overhead=result.migration_overhead(),
+        lost_demand_fraction=result.lost_demand_fraction)
+
+
 def _run_cell(cell: _SweepCell,
               seed_sequence: Optional[np.random.SeedSequence] = None
               ) -> SweepCellResult:
@@ -225,17 +254,89 @@ def _run_cell(cell: _SweepCell,
     simulator = SystemSimulator(chip, epoch_s=cell.epoch_s)
     result = simulator.run(cell.n_epochs, workload, policy,
                            record_every=cell.record_every)
-    return SweepCellResult(
-        policy=cell.policy_label,
-        workload=cell.workload_label,
-        chip=cell.chip_label,
-        guardband=result.guardband,
-        final_delta_vth_v=float(result.final_delta_vth_v.max()),
-        final_permanent_vth_v=float(result.final_permanent_vth_v.max()),
-        em_failures=int(result.em_failures.sum()),
-        migration_events=result.migration_events,
-        migration_overhead=result.migration_overhead(),
-        lost_demand_fraction=result.lost_demand_fraction)
+    return _cell_summary(cell.policy_label, cell.workload_label,
+                         cell.chip_label, result)
+
+
+def _fleet_incompatibility(chip_configs: Sequence[ChipConfig],
+                           workload_pairs: Sequence[Tuple[str, Any]],
+                           seed: Optional[int],
+                           max_workers: Optional[int],
+                           min_tasks_for_pool: Optional[int],
+                           on_error: str, retries: int,
+                           progress) -> Optional[str]:
+    """Why this grid cannot run on the fleet engine (None if it can).
+
+    Three things force the pooled path: distinct chip designs (the
+    fleet stacks one design), per-cell workload reseeding (the pool
+    reseeds from its own per-task streams, which the fleet cannot
+    reproduce chip by chip), and any pool fault-tolerance or
+    scheduling knob (the fleet is one in-process advance -- there is
+    no pool to configure).  ``on_report`` is *not* a pool knob: the
+    fleet path synthesizes its own report.
+    """
+    first = chip_configs[0]
+    for config in chip_configs[1:]:
+        if (config.rows, config.cols, config.core, config.thermal) \
+                != (first.rows, first.cols, first.core, first.thermal):
+            return "chip grid mixes distinct chip designs"
+    if seed is not None:
+        for label, workload in workload_pairs:
+            if dataclasses.is_dataclass(workload) \
+                    and hasattr(workload, "seed"):
+                return (f"workload {label!r} carries a seed field and "
+                        "would be reseeded per cell")
+    knobs = [name for name, off in (
+        ("max_workers", max_workers is None),
+        ("min_tasks_for_pool", min_tasks_for_pool is None),
+        ("on_error", on_error == "raise"),
+        ("retries", retries == 0),
+        ("progress", progress is None)) if not off]
+    if knobs:
+        return "pool knobs set: " + ", ".join(knobs)
+    return None
+
+
+def _run_fleet_grid(cells: Sequence[_SweepCell],
+                    chip_configs: Sequence[ChipConfig],
+                    policy_pairs: Sequence[Tuple[str, Any]],
+                    workload_pairs: Sequence[Tuple[str, Any]],
+                    n_epochs: int, epoch_s: float, record_every: int,
+                    on_report) -> Tuple[SweepCellResult, ...]:
+    """Evaluate the whole grid as one stacked fleet advance.
+
+    Cells are policy-major, then workload, then chip -- exactly one
+    :class:`~repro.system.fleet.FleetGroup` per (policy, workload)
+    pair with one fleet chip per grid chip, laid out back-to-back in
+    cell order.  The chips of a group are identical (no variation),
+    so each cohort's policy observable equals every member cell's own
+    observable and the per-cell results match the pooled path
+    bit for bit.
+    """
+    from repro.system.fleet import FleetGroup, FleetSimulator
+    started = time.perf_counter()
+    before = cache_counters() if on_report is not None else None
+    groups = tuple(
+        FleetGroup(n_chips=len(chip_configs), workload=workload,
+                   policy=policy, name=f"{policy_label}/{workload_label}")
+        for policy_label, policy in policy_pairs
+        for workload_label, workload in workload_pairs)
+    simulator = FleetSimulator(chip_configs[0].build(), len(cells),
+                               epoch_s=epoch_s)
+    fleet = simulator.run_groups(n_epochs, groups,
+                                 record_every=record_every)
+    results = tuple(
+        _cell_summary(cell.policy_label, cell.workload_label,
+                      cell.chip_label, fleet.chip_result(index))
+        for index, cell in enumerate(cells))
+    if on_report is not None:
+        on_report(SweepReport(
+            n_tasks=len(cells), n_chunks=1, max_workers=0,
+            mode="fleet", serial_reason=None, fallback_reasons=(),
+            wall_time_s=time.perf_counter() - started, chunks=(),
+            retries=0, failures=(),
+            cache_counters=_cache_delta(before, cache_counters())))
+    return results
 
 
 #: Below this many simulated core-epochs (summed over every cell of
@@ -258,6 +359,7 @@ def run_lifetime_sweep(
         epoch_s: float = units.hours(1.0),
         record_every: int = 1,
         seed: Optional[int] = 0,
+        engine: str = "auto",
         max_workers: Optional[int] = None,
         min_tasks_for_pool: Optional[int] = None,
         on_error: str = "raise",
@@ -290,6 +392,18 @@ def run_lifetime_sweep(
             the horizon is very long).
         seed: root seed of the per-cell workload reseeding; ``None``
             runs every cell with the workloads' own seeds.
+        engine: ``"auto"`` (default) runs the grid on the
+            structure-of-arrays fleet engine whenever every cell
+            shares one chip design, no workload is reseeded per cell
+            and no pool knob is set, falling back to the pooled path
+            otherwise; ``"fleet"`` forces the fleet engine (raising
+            :class:`~repro.errors.SimulationError` with the blocking
+            reason when the grid is incompatible); ``"pooled"``
+            forces the per-cell path.  Results are identical either
+            way; the fleet path reports ``mode="fleet"`` on its
+            ``on_report`` :class:`~repro.solvers.SweepReport`, with
+            the fleet engine's chip/cohort/kernel-dedup counters in
+            ``cache_counters``.
         max_workers / min_tasks_for_pool: forwarded to
             :func:`repro.solvers.sweep.run_sweep`; results are
             identical whichever path runs.  When
@@ -339,6 +453,23 @@ def run_lifetime_sweep(
         for policy_label, policy in policy_pairs
         for workload_label, workload in workload_pairs
         for config in chip_configs]
+    if engine not in ("auto", "fleet", "pooled"):
+        raise SimulationError(
+            f"engine must be 'auto', 'fleet' or 'pooled', "
+            f"got {engine!r}")
+    if engine != "pooled":
+        reason = _fleet_incompatibility(
+            chip_configs, workload_pairs, seed, max_workers,
+            min_tasks_for_pool, on_error, retries, progress)
+        if reason is None:
+            survivors = _run_fleet_grid(
+                cells, chip_configs, policy_pairs, workload_pairs,
+                n_epochs, epoch_s, record_every, on_report)
+            return SweepResult(cells=survivors, n_epochs=n_epochs,
+                               epoch_s=epoch_s)
+        if engine == "fleet":
+            raise SimulationError(
+                f"engine='fleet' cannot run this grid: {reason}")
     if min_tasks_for_pool is None:
         total_core_epochs = n_epochs * len(policy_pairs) \
             * len(workload_pairs) \

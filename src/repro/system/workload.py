@@ -126,6 +126,48 @@ class TraceWorkload:
 
 
 @dataclass(frozen=True)
+class PhasedWorkload:
+    """A workload observed with a fixed epoch offset.
+
+    Wraps any workload so its demand stream starts ``phase_epochs``
+    into the inner stream -- chip 7 of a rack sees the same diurnal
+    curve as chip 0, just shifted by its deployment (or timezone)
+    offset.  This is the per-chip *workload phase* the heterogeneous
+    fleet engine batches over: a fleet chip with phase ``p`` is
+    bitwise-equivalent to a standalone simulator driven by
+    ``PhasedWorkload(workload, p)``.
+
+    The offset applies to the demand stream only; scheduling policies
+    still see the unshifted epoch index (a policy's clock starts at
+    its own chip's deployment).  Stateful inner workloads (e.g.
+    :class:`RandomWorkload`) require non-decreasing queries, which a
+    constant non-negative offset preserves.
+
+    Attributes:
+        workload: the wrapped demand generator.
+        phase_epochs: non-negative epoch offset added to every query.
+    """
+
+    workload: object
+    phase_epochs: int = 0
+
+    def __post_init__(self) -> None:
+        if self.phase_epochs < 0:
+            raise SimulationError("phase_epochs must be non-negative")
+
+    @property
+    def name(self) -> str:
+        """Label of the wrapped workload plus its offset."""
+        inner = getattr(self.workload, "name", "") \
+            or type(self.workload).__name__
+        return f"{inner}+{self.phase_epochs}"
+
+    def demand(self, epoch: int) -> float:
+        """Demand of the wrapped workload at the shifted epoch."""
+        return self.workload.demand(epoch + self.phase_epochs)
+
+
+@dataclass(frozen=True)
 class DiurnalWorkload:
     """Sinusoidal day/night demand (or IoT duty cycling).
 
