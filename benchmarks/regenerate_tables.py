@@ -1,0 +1,135 @@
+#!/usr/bin/env python
+"""Regenerate ``bench_output_tables.txt`` at the repo root.
+
+The file is the captured ``pytest -s`` output of every table-printing
+benchmark suite (the paper-figure and ablation tables), followed by
+the fleet-chunk scaling table rendered from ``BENCH_fleet.json`` --
+so the perf trajectory of the fleet engine stays reviewable from the
+repo root next to the physics tables.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/regenerate_tables.py
+    PYTHONPATH=src python benchmarks/regenerate_tables.py --tables-only
+
+``--tables-only`` skips the pytest run and only refreshes the
+appended fleet table (use it after a benchmark run already updated
+``BENCH_fleet.json``).
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "bench_output_tables.txt"
+BENCH_FLEET_PATH = REPO_ROOT / "BENCH_fleet.json"
+
+#: The table-printing suites, in the order they appear in the file.
+TABLE_SUITES = (
+    "benchmarks/test_ablation_chain_segmentation.py",
+    "benchmarks/test_ablation_design_rules.py",
+    "benchmarks/test_ablation_design_space.py",
+    "benchmarks/test_ablation_em_granularity.py",
+    "benchmarks/test_ablation_model_robustness.py",
+    "benchmarks/test_ablation_recovery_knobs.py",
+    "benchmarks/test_fig10_load_size_tradeoff.py",
+    "benchmarks/test_fig12_system_guardband.py",
+    "benchmarks/test_fig4_bti_permanent_accumulation.py",
+    "benchmarks/test_fig5_em_stress_recovery.py",
+    "benchmarks/test_fig6_em_full_recovery.py",
+    "benchmarks/test_fig7_em_periodic_recovery_ttf.py",
+    "benchmarks/test_fig8_truth_table.py",
+    "benchmarks/test_fig9_assist_functionality.py",
+    "benchmarks/test_sensitivity_headline.py",
+    "benchmarks/test_table1_bti_recovery.py",
+)
+
+#: ``BENCH_fleet.json`` entries of the scaling table, in population
+#: order, with the columns each one can fill.
+FLEET_SCALING_ENTRIES = (
+    "fleet_vs_pooled_sweep_1024_chips",
+    "fleet_scaling_4096_chips_varied",
+    "hetero_grid_fleet_vs_pooled_1024_cells",
+    "chunked_fleet_65536_chips",
+    "parallel_chunked_fleet_65536_chips",
+    "parallel_fleet_262144_chips",
+)
+
+
+def render_table(header, rows):
+    """Render aligned ``col | col`` rows, matching the suite tables."""
+    widths = [max(len(str(row[i])) for row in [header] + rows)
+              for i in range(len(header))]
+    lines = [" | ".join(str(cell).ljust(width)
+                        for cell, width in zip(row, widths)).rstrip()
+             for row in [header] + rows]
+    lines.insert(1, "-+-".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def fleet_chunk_table():
+    """The fleet-chunk scaling table from ``BENCH_fleet.json``."""
+    title = "Fleet chunk scaling (BENCH_fleet.json)"
+    if not BENCH_FLEET_PATH.exists():
+        return (f"{title}\n(no BENCH_fleet.json -- run "
+                "benchmarks/test_fleet_engine.py first)")
+    timings = json.loads(BENCH_FLEET_PATH.read_text())["timings"]
+    header = ("entry", "chips", "chunks", "workers", "chips/s",
+              "speedup", "mode")
+    rows = []
+    for name in FLEET_SCALING_ENTRIES:
+        entry = timings.get(name)
+        if entry is None:
+            continue
+        chips = entry.get("n_chips", entry.get("n_cells", "-"))
+        rate = (entry.get("chips_per_s")
+                or entry.get("chips_per_s_parallel")
+                or entry.get("chips_per_s_after")
+                or entry.get("cells_per_s_after"))
+        workers = entry.get("workers",
+                            entry.get("requested_workers", 1))
+        speedup = entry.get("speedup")
+        rows.append((
+            name, chips, entry.get("n_chunks", 1), workers,
+            f"{rate:,.0f}" if rate else "-",
+            f"{speedup:.2f}x" if speedup else "-",
+            entry.get("mode", "fleet")))
+    if not rows:
+        return f"{title}\n(no fleet entries recorded)"
+    return f"{title}\n{render_table(header, rows)}"
+
+
+def capture_suite_output():
+    """Run the table suites and return their combined output."""
+    completed = subprocess.run(
+        [sys.executable, "-m", "pytest", "-s", *TABLE_SUITES],
+        cwd=REPO_ROOT, capture_output=True, text=True)
+    output = completed.stdout + completed.stderr
+    if completed.returncode != 0:
+        sys.stderr.write(output)
+        raise SystemExit(
+            f"table suites failed (exit {completed.returncode})")
+    return output
+
+
+def main(argv):
+    tables_only = "--tables-only" in argv
+    if tables_only and OUTPUT_PATH.exists():
+        text = OUTPUT_PATH.read_text()
+        marker = "\nFleet chunk scaling (BENCH_fleet.json)"
+        if marker in text:
+            text = text[:text.index(marker) + 1]
+        suite_output = text.rstrip("\n") + "\n"
+    else:
+        suite_output = capture_suite_output()
+    OUTPUT_PATH.write_text(suite_output.rstrip("\n") + "\n\n"
+                           + fleet_chunk_table() + "\n")
+    print(f"wrote {OUTPUT_PATH}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1:])

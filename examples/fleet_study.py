@@ -15,7 +15,12 @@ p99 chip, not the mean chip, sets the shipped margin.
 
 Usage::
 
-    python examples/fleet_study.py [n_chips] [epochs]
+    python examples/fleet_study.py [n_chips] [epochs] [--max-workers N]
+
+``--max-workers`` fans the lifetime chunks out across a process pool
+(one chunk per worker resident at a time, results merged
+bit-identically to the serial stream); small populations stay serial
+behind the work gate regardless.
 """
 
 import sys
@@ -28,7 +33,8 @@ from repro.system.scheduler import (
 from repro.system.workload import ConstantWorkload
 
 
-def run(n_chips: int = 10_000, n_epochs: int = 168) -> None:
+def run(n_chips: int = 10_000, n_epochs: int = 168,
+        max_workers: int | None = None) -> None:
     spec = FleetVariationSpec(capture_sigma=0.06,
                               recovery_sigma=0.08,
                               em_current_sigma=0.05)
@@ -42,13 +48,15 @@ def run(n_chips: int = 10_000, n_epochs: int = 168) -> None:
           f"3x3 cores, lognormal variation "
           f"(capture {spec.capture_sigma:.2f} / recovery "
           f"{spec.recovery_sigma:.2f} / EM {spec.em_current_sigma:.2f})")
+    if max_workers is not None:
+        print(f"chunk executor: up to {max_workers} workers")
     print()
     results = {}
     for name, policy in policies.items():
         result = run_fleet_lifetime_study(
             (3, 3), n_chips, workload, policy, n_epochs=n_epochs,
             record_every=max(n_epochs // 50, 1), variation=spec,
-            seed=0)
+            seed=0, max_workers=max_workers)
         results[name] = result
         print(f"{name}:")
         print(f"  guardband p50 {result.guardband_quantile(0.50):7.2%}"
@@ -71,9 +79,15 @@ def run(n_chips: int = 10_000, n_epochs: int = 168) -> None:
 
 
 def main() -> None:
-    n_chips = int(sys.argv[1]) if len(sys.argv) > 1 else 10_000
-    n_epochs = int(sys.argv[2]) if len(sys.argv) > 2 else 168
-    run(n_chips, n_epochs)
+    argv = list(sys.argv[1:])
+    max_workers = None
+    if "--max-workers" in argv:
+        at = argv.index("--max-workers")
+        max_workers = int(argv[at + 1])
+        del argv[at:at + 2]
+    n_chips = int(argv[0]) if len(argv) > 0 else 10_000
+    n_epochs = int(argv[1]) if len(argv) > 1 else 168
+    run(n_chips, n_epochs, max_workers=max_workers)
 
 
 if __name__ == "__main__":

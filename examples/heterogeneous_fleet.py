@@ -16,7 +16,13 @@ no-recovery margin does activating recovery return?
 
 Usage::
 
-    python examples/heterogeneous_fleet.py [chips_per_group] [epochs]
+    python examples/heterogeneous_fleet.py [chips_per_group] [epochs] \
+        [--max-workers N]
+
+``--max-workers`` fans the lifetime chunks out across a process pool;
+the byte budget then sizes one *worker's* residency, so total memory
+is ``max_workers`` x the budget.  Results merge bit-identically to
+the serial chunk stream.
 """
 
 import sys
@@ -64,7 +70,8 @@ def build_groups(chips_per_group: int):
     )
 
 
-def run(chips_per_group: int = 2_000, n_epochs: int = 168) -> None:
+def run(chips_per_group: int = 2_000, n_epochs: int = 168,
+        max_workers: int | None = None) -> None:
     spec = FleetVariationSpec(capture_sigma=0.06,
                               recovery_sigma=0.08,
                               em_current_sigma=0.05)
@@ -74,14 +81,16 @@ def run(chips_per_group: int = 2_000, n_epochs: int = 168) -> None:
     print(f"heterogeneous fleet: {n_chips} chips x {n_epochs} epochs "
           f"({len(groups)} groups of {chips_per_group}), 3x3 cores, "
           f"diurnal phases over {DIURNAL_PERIOD} epochs")
-    print(f"state budget 64 MiB "
+    print(f"state budget 64 MiB per worker "
           f"({state_bytes_per_chip(N_CORES)} B/chip -> "
           f"{budget // state_bytes_per_chip(N_CORES)} chips/chunk)")
+    if max_workers is not None:
+        print(f"chunk executor: up to {max_workers} workers")
     print()
     result = run_fleet_lifetime_study(
         (3, 3), groups=groups, n_epochs=n_epochs,
         record_every=max(n_epochs // 50, 1), variation=spec, seed=0,
-        state_budget_bytes=budget)
+        state_budget_bytes=budget, max_workers=max_workers)
     bands = result.guardbands
     quantiles = {}
     start = 0
@@ -106,9 +115,15 @@ def run(chips_per_group: int = 2_000, n_epochs: int = 168) -> None:
 
 
 def main() -> None:
-    chips = int(sys.argv[1]) if len(sys.argv) > 1 else 2_000
-    n_epochs = int(sys.argv[2]) if len(sys.argv) > 2 else 168
-    run(chips, n_epochs)
+    argv = list(sys.argv[1:])
+    max_workers = None
+    if "--max-workers" in argv:
+        at = argv.index("--max-workers")
+        max_workers = int(argv[at + 1])
+        del argv[at:at + 2]
+    chips = int(argv[0]) if len(argv) > 0 else 2_000
+    n_epochs = int(argv[1]) if len(argv) > 1 else 168
+    run(chips, n_epochs, max_workers=max_workers)
 
 
 if __name__ == "__main__":

@@ -328,6 +328,7 @@ class StackedTrapPopulations:
         _, first, inverse = np.unique(packed, return_index=True,
                                       return_inverse=True)
         record_counters("bti.fleet.kernels",
+                        kernel_builds=1,
                         dedup_rows_in=m,
                         dedup_rows_unique=first.size)
         u_stress = stressing[first]

@@ -20,8 +20,10 @@ from repro.solvers.factorized import (
 from repro.solvers.sweep import (
     DEFAULT_MIN_TASKS_FOR_POOL,
     ChunkRecord,
+    ChunkTask,
     SweepReport,
     TaskFailure,
+    chunk_tasks,
     run_sweep,
     task_seed_sequence,
 )
@@ -38,8 +40,10 @@ __all__ = [
     "solve_dense_cached",
     "DEFAULT_MIN_TASKS_FOR_POOL",
     "ChunkRecord",
+    "ChunkTask",
     "SweepReport",
     "TaskFailure",
+    "chunk_tasks",
     "run_sweep",
     "task_seed_sequence",
 ]

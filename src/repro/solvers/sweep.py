@@ -64,7 +64,7 @@ from typing import (
 import numpy as np
 
 from repro.errors import SimulationError, TaskError
-from repro.solvers.factorized import cache_counters
+from repro.solvers.factorized import cache_counters, record_counters
 
 #: Below this many tasks a pool is never started (startup dominates).
 #: BENCH_solvers.json showed small pooled sweeps running ~2x *slower*
@@ -90,6 +90,62 @@ def task_seed_sequence(seed: int, index: int) -> np.random.SeedSequence:
     ``(seed, index)``.
     """
     return np.random.SeedSequence(seed, spawn_key=(index,))
+
+
+@dataclass(frozen=True)
+class ChunkTask:
+    """One contiguous ``[start, stop)`` slice of a partitioned problem.
+
+    The adapter between row-partitioned engines (the fleet engine's
+    byte-budgeted chip chunks, the EM samplers' wire blocks) and
+    :func:`run_sweep`: the engine partitions its row space once with
+    :func:`chunk_tasks` and ships each slice as an independent sweep
+    task, inheriting the runner's crash-safe machinery (bounded
+    retries, chunk-level serial re-execution after worker death,
+    :class:`SweepReport` telemetry) without re-deriving boundaries in
+    two places.  Slices are half-open, ordered, and non-overlapping,
+    so results merge by a deterministic row-ordered scatter no matter
+    which worker finishes first.
+
+    Attributes:
+        index: position of the slice in the partition.
+        start / stop: item range of the slice, ``0 <= start < stop``.
+    """
+
+    index: int
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise SimulationError("chunk index must be non-negative")
+        if not 0 <= self.start < self.stop:
+            raise SimulationError(
+                "chunk slice must satisfy 0 <= start < stop")
+
+    @property
+    def n_items(self) -> int:
+        """Items covered by the slice."""
+        return self.stop - self.start
+
+
+def chunk_tasks(n_items: int, chunk_size: int) -> List[ChunkTask]:
+    """Partition ``n_items`` into ordered :class:`ChunkTask` slices.
+
+    The single source of chunk boundaries for partitioned engines:
+    serial streams and pooled executions of the same
+    ``(n_items, chunk_size)`` see identical slices, which is what
+    makes a pooled run's row-ordered merge bit-identical to the
+    serial stream.
+    """
+    if n_items < 1:
+        raise SimulationError("n_items must be at least 1")
+    if chunk_size < 1:
+        raise SimulationError("chunk_size must be at least 1")
+    return [ChunkTask(index=index, start=start,
+                      stop=min(start + chunk_size, n_items))
+            for index, start in enumerate(
+                range(0, n_items, chunk_size))]
 
 
 @dataclass(frozen=True)
@@ -521,6 +577,18 @@ def run_sweep(fn: Callable[..., Any], tasks: Sequence[Any], *,
                 for outcome in output.outcomes]
     failures = tuple(outcome.failure for outcome in outcomes
                      if outcome.failure is not None)
+
+    # Durable run counters (repro.solvers.cache_counters): how much
+    # sweep work ran where.  Callers that wrap run_sweep (the fleet
+    # chunk executor) surface these next to their cache telemetry.
+    record_counters(
+        "solvers.sweep", tasks=len(tasks),
+        pooled_chunks=sum(1 for mode in chunk_modes
+                          if mode == "pool"),
+        serial_chunks=sum(1 for mode in chunk_modes
+                          if mode == "serial"),
+        fallback_chunks=sum(1 for mode in chunk_modes
+                            if mode == "serial-fallback"))
 
     if on_report is not None:
         cache_totals: Dict[str, Dict[str, int]] = {}

@@ -29,7 +29,18 @@ task) per chip.  This module advances every chip in lockstep instead:
   populations too large to hold in memory at once it streams the fleet
   in row chunks under a byte budget (``max_chunk_chips`` /
   ``state_budget_bytes``), re-using one chip (and one thermal memo)
-  across every chunk.
+  across every chunk.  Chunks are whole-lifetime and independent, so
+  with ``max_workers > 1`` they dispatch across a process pool
+  (:func:`repro.solvers.sweep.run_sweep`'s crash-safe machinery:
+  bounded retries, chunk-level serial re-execution after worker
+  death, :class:`~repro.solvers.SweepReport` telemetry with
+  per-worker cache counters aggregated), shipping per-chip outputs
+  back through one preallocated ``multiprocessing.shared_memory``
+  slab instead of pickling multi-hundred-MB arrays.  Results merge
+  by a deterministic row-ordered scatter, so the outcome is bitwise
+  identical to the serial chunk stream for every worker count and
+  completion order; ``state_budget_bytes`` is a *per-worker* budget
+  (total residency is ``n_workers x budget`` by construction).
 
 Exactness: chip ``i`` of a fleet advances bit-identically to a
 standalone :class:`~repro.system.simulator.SystemSimulator` built with
@@ -57,8 +68,10 @@ identical to the single-chip engine.
 from __future__ import annotations
 
 import copy
+import os
+import time
 from dataclasses import dataclass, replace
-from typing import List, Optional, Sequence, Tuple, Union
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -68,8 +81,16 @@ from repro.bti.conditions import BtiConditionKernels
 from repro.bti.fleet import StackedTrapPopulations
 from repro.em.line import EmStressCondition
 from repro.errors import SimulationError
-from repro.solvers import FactorizationCache, record_counters
-from repro.solvers.sweep import task_seed_sequence
+from repro.solvers import FactorizationCache, cache_counters, record_counters
+from repro.solvers.sweep import (
+    ChunkRecord,
+    ChunkTask,
+    SweepReport,
+    _cache_delta,
+    chunk_tasks,
+    run_sweep,
+    task_seed_sequence,
+)
 from repro.system.aging import FleetEmState
 from repro.system.chip import Chip
 from repro.system.simulator import (
@@ -871,6 +892,290 @@ def _chunk_size(n_chips: int, n_cores: int, state_dtype,
     return max(1, limit)
 
 
+# -- parallel chunk execution -----------------------------------------------
+
+
+#: Below this much stacked work (``n_chips * n_cores * n_epochs``) the
+#: chunked runner never starts a process pool: pool spawn plus chip
+#: pickling costs tens of milliseconds, which dominates small fleets
+#: the way tiny task lists dominate
+#: :data:`repro.solvers.sweep.DEFAULT_MIN_TASKS_FOR_POOL`.  Callers
+#: with heavier (or lighter) per-chunk work override the gate with an
+#: explicit ``min_chunks_for_pool``.
+MIN_CORE_EPOCHS_FOR_POOL = 1 << 20
+
+# Fault-injection hooks, mirroring tests/test_sweep_faults.py: pool
+# workers are forked on Linux, so a test that monkeypatches these
+# module globals reaches the children too.  ``_TEST_STAGGER_S`` delays
+# chunk k by ``stagger * (n_chunks - 1 - k)`` so later chunks finish
+# *first* (exercising out-of-order completion); ``_TEST_DIE_UNLESS_PID``
+# hard-kills any process but the named one (exercising worker-death
+# recovery -- the parent survives and re-runs the chunks serially).
+_TEST_STAGGER_S = 0.0
+_TEST_DIE_UNLESS_PID: Optional[int] = None
+
+
+def _n_records(n_epochs: int, record_every: int) -> int:
+    """Timeline rows :meth:`FleetSimulator.run_groups` will record."""
+    return (n_epochs // record_every
+            + (1 if n_epochs % record_every else 0))
+
+
+def _slab_fields(n_chips: int, n_cores: int, n_records: int
+                 ) -> Tuple[Tuple[str, Tuple[int, ...], type], ...]:
+    """Ordered ``(name, shape, dtype)`` layout of one result slab.
+
+    One entry per :class:`FleetResult` array field; the slab is their
+    dense back-to-back packing.  Timeline fields carry the chip axis
+    last so a chunk's scatter is a column slice; summary fields are
+    chip-major so it is a row slice.
+    """
+    return (
+        ("times_s", (n_records,), np.float64),
+        ("worst_degradation", (n_records, n_chips), np.float64),
+        ("mean_degradation", (n_records, n_chips), np.float64),
+        ("dropped_demand", (n_records, n_chips), np.float64),
+        ("final_delta_vth_v", (n_chips, n_cores), np.float64),
+        ("final_permanent_vth_v", (n_chips, n_cores), np.float64),
+        ("final_em_drift_ohm", (n_chips, n_cores), np.float64),
+        ("em_failures", (n_chips, n_cores), np.bool_),
+        ("capture_scale", (n_chips,), np.float64),
+        ("recovery_scale", (n_chips,), np.float64),
+        ("em_current_scale", (n_chips,), np.float64),
+        ("migration_events", (n_chips,), np.int64),
+        ("total_demand", (n_chips,), np.float64),
+        ("total_dropped_demand", (n_chips,), np.float64),
+    )
+
+
+def _slab_nbytes(n_chips: int, n_cores: int, n_records: int) -> int:
+    """Total bytes of the packed slab layout."""
+    return sum(int(np.prod(shape)) * np.dtype(dtype).itemsize
+               for _, shape, dtype
+               in _slab_fields(n_chips, n_cores, n_records))
+
+
+def _slab_views(handle: "_FleetSlabHandle", buf) -> dict:
+    """Zero-copy array views of every slab field over ``buf``."""
+    views = {}
+    offset = 0
+    for name, shape, dtype in _slab_fields(
+            handle.n_chips, handle.n_cores, handle.n_records):
+        views[name] = np.ndarray(shape, dtype=dtype, buffer=buf,
+                                 offset=offset)
+        offset += int(np.prod(shape)) * np.dtype(dtype).itemsize
+    return views
+
+
+def _attach_shared_memory(name: str):
+    """Attach to an existing slab without adopting its lifetime.
+
+    The parent owns the slab (it created it and unlinks it after the
+    gather); an attaching worker must not register the segment with a
+    resource tracker, or the tracker would schedule a second unlink
+    (and, under fork, workers *share* the parent's tracker, so an
+    unregister-after-attach would erase the parent's own
+    registration).  Python 3.13+ exposes ``track=False`` for exactly
+    this; on older versions the registration is suppressed for the
+    duration of the attach.
+    """
+    from multiprocessing import shared_memory
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        from multiprocessing import resource_tracker
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+
+
+@dataclass(frozen=True)
+class _FleetSlabHandle:
+    """Picklable name-plus-layout reference to a result slab.
+
+    Workers receive this (a few dozen bytes) instead of shipping
+    multi-hundred-MB :class:`FleetResult` arrays back through the
+    pool's pickle pipe: each worker attaches to the named segment,
+    scatters its chunk's rows in place, and returns only the chunk
+    index as an acknowledgement.
+    """
+
+    shm_name: str
+    n_chips: int
+    n_cores: int
+    n_records: int
+
+    def scatter(self, result: FleetResult, start: int,
+                stop: int) -> None:
+        """Write one chunk's rows ``[start, stop)`` into the slab.
+
+        Row ranges of distinct chunks are disjoint, so concurrent
+        scatters never race; ``times_s`` is the shared epoch grid,
+        identical for every chunk, so its overlapping writes are
+        byte-equal.  The views must be dropped before ``close`` --
+        an mmap with live exports refuses to close.
+        """
+        shm = _attach_shared_memory(self.shm_name)
+        views = None
+        try:
+            views = _slab_views(self, shm.buf)
+            views["times_s"][:] = result.times_s
+            for name in ("worst_degradation", "mean_degradation",
+                         "dropped_demand"):
+                views[name][:, start:stop] = getattr(result, name)
+            for name in ("final_delta_vth_v",
+                         "final_permanent_vth_v",
+                         "final_em_drift_ohm", "em_failures",
+                         "migration_events", "total_demand",
+                         "total_dropped_demand"):
+                views[name][start:stop] = getattr(result, name)
+            for name in ("capture_scale", "recovery_scale",
+                         "em_current_scale"):
+                views[name][start:stop] = getattr(result.variation,
+                                                  name)
+        finally:
+            views = None
+            shm.close()
+
+
+class _FleetSlab:
+    """Parent-side owner of one shared-memory result slab."""
+
+    def __init__(self, n_chips: int, n_cores: int, n_records: int):
+        from multiprocessing import shared_memory
+        self._shm = shared_memory.SharedMemory(
+            create=True,
+            size=max(1, _slab_nbytes(n_chips, n_cores, n_records)))
+        self.handle = _FleetSlabHandle(
+            shm_name=self._shm.name, n_chips=n_chips,
+            n_cores=n_cores, n_records=n_records)
+
+    def gather(self, n_epochs: int) -> FleetResult:
+        """Copy the fully scattered slab out into an owned result."""
+        views = _slab_views(self.handle, self._shm.buf)
+        try:
+            return FleetResult(
+                times_s=views["times_s"].copy(),
+                worst_degradation=views["worst_degradation"].copy(),
+                mean_degradation=views["mean_degradation"].copy(),
+                dropped_demand=views["dropped_demand"].copy(),
+                final_delta_vth_v=views["final_delta_vth_v"].copy(),
+                final_permanent_vth_v=views[
+                    "final_permanent_vth_v"].copy(),
+                final_em_drift_ohm=views[
+                    "final_em_drift_ohm"].copy(),
+                em_failures=views["em_failures"].copy(),
+                variation=FleetVariation(
+                    capture_scale=views["capture_scale"].copy(),
+                    recovery_scale=views["recovery_scale"].copy(),
+                    em_current_scale=views[
+                        "em_current_scale"].copy()),
+                migration_events=views["migration_events"].copy(),
+                n_epochs=n_epochs,
+                total_demand=views["total_demand"].copy(),
+                total_dropped_demand=views[
+                    "total_dropped_demand"].copy())
+        finally:
+            views = None
+
+    def close(self) -> None:
+        """Release the parent mapping and unlink the segment."""
+        try:
+            self._shm.close()
+        finally:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+
+@dataclass(frozen=True)
+class _FleetChunkTask:
+    """Everything a pool worker needs for one whole-lifetime chunk.
+
+    The chip travels as a :class:`ChipConfig` (live chips hold an
+    unpicklable thermal factorization), the variation as either a
+    pre-sliced draw or the spec itself (workers draw their rows by
+    global index, so the chunk draw is bit-identical to the
+    corresponding slice of an unchunked draw), and the output path as
+    an optional slab handle (``None`` falls back to pickling the
+    chunk's :class:`FleetResult` through the pool pipe).
+    """
+
+    chunk: ChunkTask
+    n_chunks: int
+    chip: ChipConfig
+    groups: Tuple[FleetGroup, ...]
+    n_epochs: int
+    epoch_s: float
+    record_every: int
+    variation: Union[FleetVariation, FleetVariationSpec, None]
+    seed: int
+    calibration: Optional[BtiCalibration]
+    em_reference: Optional[EmStressCondition]
+    state_dtype: str
+    slab: Optional[_FleetSlabHandle]
+
+
+def _run_fleet_chunk(task: _FleetChunkTask):
+    """Run one row chunk (inside a pool worker, or the parent on
+    serial fallback).
+
+    Returns the chunk's :class:`FleetResult` when no slab is attached;
+    with a slab, the rows are scattered in place and only the chunk
+    index travels back.
+    """
+    if (_TEST_DIE_UNLESS_PID is not None
+            and os.getpid() != _TEST_DIE_UNLESS_PID):
+        os._exit(1)
+    if _TEST_STAGGER_S > 0.0:
+        time.sleep(_TEST_STAGGER_S
+                   * (task.n_chunks - 1 - task.chunk.index))
+    start, stop = task.chunk.start, task.chunk.stop
+    variation = task.variation
+    if isinstance(variation, FleetVariationSpec):
+        variation = variation.draw_range(start, stop, task.seed)
+    simulator = FleetSimulator(
+        task.chip.build(), stop - start,
+        calibration=task.calibration,
+        em_reference=task.em_reference, epoch_s=task.epoch_s,
+        variation=variation, seed=task.seed,
+        state_dtype=np.dtype(task.state_dtype))
+    result = simulator.run_groups(task.n_epochs, task.groups,
+                                  record_every=task.record_every)
+    if task.slab is None:
+        return result
+    task.slab.scatter(result, start, stop)
+    return task.chunk.index
+
+
+def _pool_serial_reason(n_chips: int, n_cores: int, n_epochs: int,
+                        n_chunks: int, workers: int,
+                        min_chunks_for_pool: Optional[int]
+                        ) -> Optional[str]:
+    """Why the chunk stream should stay serial (``None`` to pool)."""
+    if workers <= 1:
+        return "max_workers <= 1"
+    if n_chunks < 2:
+        return "single chunk"
+    if min_chunks_for_pool is not None:
+        if min_chunks_for_pool < 1:
+            raise SimulationError(
+                "min_chunks_for_pool must be at least 1")
+        if n_chunks < min_chunks_for_pool:
+            return (f"{n_chunks} chunks below "
+                    f"min_chunks_for_pool={min_chunks_for_pool}")
+        return None
+    work = n_chips * n_cores * n_epochs
+    if work < MIN_CORE_EPOCHS_FOR_POOL:
+        return (f"{work} core-epochs below pool threshold "
+                f"{MIN_CORE_EPOCHS_FOR_POOL}")
+    return None
+
+
 def run_fleet_lifetime_study(
         chip: Union[Chip, ChipConfig, Tuple[int, int]],
         n_chips: Optional[int] = None,
@@ -888,7 +1193,12 @@ def run_fleet_lifetime_study(
         groups: Optional[Sequence[FleetGroup]] = None,
         max_chunk_chips: Optional[int] = None,
         state_budget_bytes: Optional[int] = None,
-        state_dtype=np.float64) -> FleetResult:
+        state_dtype=np.float64,
+        max_workers: Optional[int] = None,
+        min_chunks_for_pool: Optional[int] = None,
+        retries: int = 0,
+        on_report: Optional[Callable[[SweepReport], None]] = None
+        ) -> FleetResult:
     """Monte Carlo lifetime study of a chip population.
 
     The in-process replacement for fanning identical (or
@@ -901,6 +1211,25 @@ def run_fleet_lifetime_study(
     copies from epoch 0 against the same shared chip (so the thermal
     memo is warm after the first chunk), and results concatenate --
     the outcome is invariant in the chunk size.
+
+    Chunks are whole-lifetime and independent, so with
+    ``max_workers > 1`` (and enough work to clear the serial gate)
+    they dispatch across :func:`repro.solvers.sweep.run_sweep`'s
+    crash-safe process pool: a worker killed mid-fleet degrades the
+    study to chunk-level serial re-execution instead of aborting it,
+    bounded ``retries`` re-run flaky chunks, and the
+    :class:`~repro.solvers.SweepReport` delivered via ``on_report``
+    aggregates every worker's named-cache counters.  Workers scatter
+    their rows into one preallocated
+    ``multiprocessing.shared_memory`` slab (pickling only a tiny
+    acknowledgement back), and chunk boundaries are the identical
+    :func:`repro.solvers.sweep.chunk_tasks` partition on both paths,
+    so a pooled run merges **bit-identically** to the serial chunk
+    stream for every worker count and completion order.  Note that
+    ``state_budget_bytes`` bounds one *chunk* and each worker holds
+    one chunk resident: with pooling the budget is per worker, and
+    total residency is ``n_workers x state_budget_bytes`` by
+    construction.
 
     Args:
         chip: the shared design -- a live :class:`Chip`, a
@@ -922,12 +1251,35 @@ def run_fleet_lifetime_study(
         groups: heterogeneous population layout, a sequence of
             :class:`FleetGroup` laid out back-to-back in chip order;
             mutually exclusive with ``workload`` / ``policy``.
-        max_chunk_chips: upper bound on chips resident at once.
+        max_chunk_chips: upper bound on chips resident at once (per
+            worker, when pooled).
         state_budget_bytes: byte budget for the resident aging state;
             the chunk height is ``budget // state_bytes_per_chip``.
+            A *per-worker* budget under pooling: total residency is
+            ``n_workers x budget``.
         state_dtype: trap-state dtype (``np.float64`` bit-exact, or
             ``np.float32`` at half the state memory within
             :data:`FLOAT32_MAX_RELATIVE_ERROR`).
+        max_workers: process count for parallel chunk execution;
+            ``None`` picks the CPU count, ``0``/``1`` forces the
+            serial chunk stream.  Results are bitwise identical
+            either way.
+        min_chunks_for_pool: explicit pooling threshold -- fewer
+            chunks than this run serially.  ``None`` (default)
+            applies the work-aware gate: pool only when the stacked
+            work ``n_chips * n_cores * n_epochs`` reaches
+            :data:`MIN_CORE_EPOCHS_FOR_POOL` (mirroring
+            ``min_tasks_for_pool`` in
+            :func:`~repro.solvers.sweep.run_sweep`).
+        retries: bounded per-chunk re-executions before the study
+            fails (chunk results are deterministic, so a retry
+            reproduces the identical rows).
+        on_report: optional callback receiving the run's
+            :class:`~repro.solvers.SweepReport` -- mode ``"fleet"``
+            for the serial stream, ``"fleet+pool"`` /
+            ``"fleet+pool+serial-fallback"`` for pooled runs, with
+            per-chunk wall times and cache counters aggregated
+            across workers.
 
     Returns:
         A :class:`FleetResult`; ``chip_result(i)`` recovers any
@@ -958,24 +1310,132 @@ def run_fleet_lifetime_study(
         n_chips = total
     chunk = _chunk_size(n_chips, built.n_cores, state_dtype,
                         max_chunk_chips, state_budget_bytes)
-    parts: List[FleetResult] = []
-    n_chunks = 0
-    for start in range(0, n_chips, chunk):
-        stop = min(n_chips, start + chunk)
-        if variation is None:
-            chunk_variation = None
-        elif isinstance(variation, FleetVariationSpec):
-            chunk_variation = variation.draw_range(start, stop, seed)
+    bounds = chunk_tasks(n_chips, chunk)
+    n_chunks = len(bounds)
+    workers = (max_workers if max_workers is not None
+               else (os.cpu_count() or 1))
+    if workers < 0:
+        raise SimulationError("max_workers must be non-negative")
+    if retries < 0:
+        raise SimulationError("retries must be non-negative")
+    reason = _pool_serial_reason(n_chips, built.n_cores, n_epochs,
+                                 n_chunks, workers,
+                                 min_chunks_for_pool)
+    started = time.perf_counter()
+
+    if reason is not None:
+        # Serial chunk stream: one shared chip (warm thermal memo
+        # after the first chunk), chunks advanced in order.
+        before = cache_counters() if on_report is not None else None
+        parts: List[FleetResult] = []
+        records: List[ChunkRecord] = []
+        for task in bounds:
+            chunk_started = time.perf_counter()
+            if variation is None:
+                chunk_variation = None
+            elif isinstance(variation, FleetVariationSpec):
+                chunk_variation = variation.draw_range(
+                    task.start, task.stop, seed)
+            else:
+                chunk_variation = variation.slice_range(
+                    task.start, task.stop)
+            simulator = FleetSimulator(
+                built, task.n_items, calibration=calibration,
+                em_reference=em_reference, epoch_s=epoch_s,
+                variation=chunk_variation, seed=seed,
+                state_dtype=state_dtype)
+            parts.append(simulator.run_groups(
+                n_epochs,
+                _slice_groups(groups, task.start, task.stop),
+                record_every=record_every))
+            records.append(ChunkRecord(
+                index=task.index, start=task.index,
+                stop=task.index + 1, executed_in="serial",
+                wall_time_s=time.perf_counter() - chunk_started,
+                retries=0, n_failures=0))
+        record_counters("fleet.engine", chunks=n_chunks)
+        if on_report is not None:
+            on_report(SweepReport(
+                n_tasks=n_chunks, n_chunks=n_chunks,
+                max_workers=workers, mode="fleet",
+                serial_reason=reason, fallback_reasons=(),
+                wall_time_s=time.perf_counter() - started,
+                chunks=tuple(records), retries=0, failures=(),
+                cache_counters=_cache_delta(before,
+                                            cache_counters())))
+        return _merge_fleet_results(parts)
+
+    # Pooled chunk execution: ship each chunk as one sweep task and
+    # scatter the rows into a shared-memory slab.  Chunk boundaries
+    # are the same chunk_tasks partition as the serial stream, and
+    # variation is drawn/sliced by global chip index, so the merged
+    # result is bitwise identical to the serial path.
+    if isinstance(chip, ChipConfig):
+        config = chip
+    else:
+        config = ChipConfig(rows=built.rows, cols=built.cols,
+                            core=built.core,
+                            thermal=built.thermal.config)
+    slab: Optional[_FleetSlab] = None
+    try:
+        slab = _FleetSlab(n_chips, built.n_cores,
+                          _n_records(n_epochs, record_every))
+    except Exception:
+        # No shared memory available (exotic sandboxes): fall back to
+        # pickling chunk results through the pool pipe.
+        slab = None
+    handle = slab.handle if slab is not None else None
+    dtype_str = np.dtype(state_dtype).str
+    sweep_tasks: List[_FleetChunkTask] = []
+    for task in bounds:
+        if variation is None or isinstance(variation,
+                                           FleetVariationSpec):
+            chunk_variation = variation
         else:
-            chunk_variation = variation.slice_range(start, stop)
-        simulator = FleetSimulator(
-            built, stop - start, calibration=calibration,
-            em_reference=em_reference, epoch_s=epoch_s,
-            variation=chunk_variation, seed=seed,
-            state_dtype=state_dtype)
-        parts.append(simulator.run_groups(
-            n_epochs, _slice_groups(groups, start, stop),
-            record_every=record_every))
-        n_chunks += 1
-    record_counters("fleet.engine", chunks=n_chunks)
-    return _merge_fleet_results(parts)
+            chunk_variation = variation.slice_range(task.start,
+                                                    task.stop)
+        sweep_tasks.append(_FleetChunkTask(
+            chunk=task, n_chunks=n_chunks, chip=config,
+            groups=_slice_groups(groups, task.start, task.stop),
+            n_epochs=n_epochs, epoch_s=epoch_s,
+            record_every=record_every, variation=chunk_variation,
+            seed=seed, calibration=calibration,
+            em_reference=em_reference, state_dtype=dtype_str,
+            slab=handle))
+    inner: List[SweepReport] = []
+    try:
+        returned = run_sweep(
+            _run_fleet_chunk, sweep_tasks, max_workers=workers,
+            chunk_size=1, min_tasks_for_pool=1, on_error="raise",
+            retries=retries,
+            on_report=inner.append if on_report is not None
+            else None)
+        record_counters("fleet.engine", chunks=n_chunks)
+        if slab is not None:
+            result = slab.gather(n_epochs)
+        else:
+            result = _merge_fleet_results(list(returned))
+    finally:
+        if slab is not None:
+            slab.close()
+        if on_report is not None and inner:
+            # Re-emit the sweep's report under fleet mode names, with
+            # the parent's chunk counter folded into the aggregated
+            # worker cache deltas.  Delivered even when a chunk
+            # exhausted its retries (run_sweep reports before it
+            # raises), so telemetry survives failure.
+            report = inner[0]
+            mode = {"pool": "fleet+pool",
+                    "pool+serial-fallback":
+                        "fleet+pool+serial-fallback",
+                    "serial": "fleet"}.get(report.mode, report.mode)
+            counters = {name: dict(values) for name, values
+                        in report.cache_counters.items()}
+            entry = counters.setdefault(
+                "fleet.engine", {"hits": 0, "misses": 0})
+            entry["chunks"] = entry.get("chunks", 0) + n_chunks
+            on_report(replace(
+                report, mode=mode,
+                wall_time_s=time.perf_counter() - started,
+                cache_counters=counters))
+    return result

@@ -30,7 +30,6 @@ from __future__ import annotations
 
 import copy
 import dataclasses
-import time
 from dataclasses import dataclass
 from typing import (
     Any,
@@ -47,8 +46,7 @@ import numpy as np
 
 from repro import units
 from repro.errors import SimulationError
-from repro.solvers import cache_counters
-from repro.solvers.sweep import SweepReport, _cache_delta, run_sweep
+from repro.solvers.sweep import SweepReport, run_sweep
 from repro.system.chip import Chip, CoreSpec
 from repro.system.simulator import SystemSimulator
 from repro.thermal.network import ThermalNetworkConfig
@@ -261,7 +259,6 @@ def _run_cell(cell: _SweepCell,
 def _fleet_incompatibility(chip_configs: Sequence[ChipConfig],
                            workload_pairs: Sequence[Tuple[str, Any]],
                            seed: Optional[int],
-                           max_workers: Optional[int],
                            min_tasks_for_pool: Optional[int],
                            on_error: str, retries: int,
                            progress) -> Optional[str]:
@@ -272,8 +269,10 @@ def _fleet_incompatibility(chip_configs: Sequence[ChipConfig],
     reseeds from its own per-task streams, which the fleet cannot
     reproduce chip by chip), and any pool fault-tolerance or
     scheduling knob (the fleet is one in-process advance -- there is
-    no pool to configure).  ``on_report`` is *not* a pool knob: the
-    fleet path synthesizes its own report.
+    no per-cell pool to configure).  ``on_report`` is *not* a pool
+    knob (the fleet path synthesizes its own report), and neither is
+    ``max_workers``: the fleet engine has its own parallel chunk
+    executor, so worker counts forward to it.
     """
     first = chip_configs[0]
     for config in chip_configs[1:]:
@@ -287,7 +286,6 @@ def _fleet_incompatibility(chip_configs: Sequence[ChipConfig],
                 return (f"workload {label!r} carries a seed field and "
                         "would be reseeded per cell")
     knobs = [name for name, off in (
-        ("max_workers", max_workers is None),
         ("min_tasks_for_pool", min_tasks_for_pool is None),
         ("on_error", on_error == "raise"),
         ("retries", retries == 0),
@@ -302,6 +300,7 @@ def _run_fleet_grid(cells: Sequence[_SweepCell],
                     policy_pairs: Sequence[Tuple[str, Any]],
                     workload_pairs: Sequence[Tuple[str, Any]],
                     n_epochs: int, epoch_s: float, record_every: int,
+                    max_workers: Optional[int],
                     on_report) -> Tuple[SweepCellResult, ...]:
     """Evaluate the whole grid as one stacked fleet advance.
 
@@ -312,30 +311,38 @@ def _run_fleet_grid(cells: Sequence[_SweepCell],
     so each cohort's policy observable equals every member cell's own
     observable and the per-cell results match the pooled path
     bit for bit.
+
+    ``max_workers`` forwards to the fleet engine's parallel chunk
+    executor: with more than one worker the stacked rows split into
+    one whole-lifetime chunk per worker (results are invariant in
+    the chunk size, so this is purely a scheduling decision, and the
+    engine's work-aware serial gate still keeps small grids in one
+    in-process advance).
     """
-    from repro.system.fleet import FleetGroup, FleetSimulator
-    started = time.perf_counter()
-    before = cache_counters() if on_report is not None else None
+    from repro.system.fleet import FleetGroup, run_fleet_lifetime_study
     groups = tuple(
         FleetGroup(n_chips=len(chip_configs), workload=workload,
                    policy=policy, name=f"{policy_label}/{workload_label}")
         for policy_label, policy in policy_pairs
         for workload_label, workload in workload_pairs)
-    simulator = FleetSimulator(chip_configs[0].build(), len(cells),
-                               epoch_s=epoch_s)
-    fleet = simulator.run_groups(n_epochs, groups,
-                                 record_every=record_every)
+    max_chunk_chips = None
+    if max_workers is not None and max_workers > 1:
+        max_chunk_chips = max(1, -(-len(cells) // max_workers))
+    captured: List[SweepReport] = []
+    fleet = run_fleet_lifetime_study(
+        chip_configs[0], groups=groups, n_epochs=n_epochs,
+        epoch_s=epoch_s, record_every=record_every,
+        max_chunk_chips=max_chunk_chips, max_workers=max_workers,
+        on_report=captured.append if on_report is not None else None)
     results = tuple(
         _cell_summary(cell.policy_label, cell.workload_label,
                       cell.chip_label, fleet.chip_result(index))
         for index, cell in enumerate(cells))
     if on_report is not None:
-        on_report(SweepReport(
-            n_tasks=len(cells), n_chunks=1, max_workers=0,
-            mode="fleet", serial_reason=None, fallback_reasons=(),
-            wall_time_s=time.perf_counter() - started, chunks=(),
-            retries=0, failures=(),
-            cache_counters=_cache_delta(before, cache_counters())))
+        # The fleet report counts chunks as its tasks; grid callers
+        # read n_tasks as the cell count, so restate it.
+        on_report(dataclasses.replace(captured[0],
+                                      n_tasks=len(cells)))
     return results
 
 
@@ -395,21 +402,30 @@ def run_lifetime_sweep(
         engine: ``"auto"`` (default) runs the grid on the
             structure-of-arrays fleet engine whenever every cell
             shares one chip design, no workload is reseeded per cell
-            and no pool knob is set, falling back to the pooled path
-            otherwise; ``"fleet"`` forces the fleet engine (raising
-            :class:`~repro.errors.SimulationError` with the blocking
-            reason when the grid is incompatible); ``"pooled"``
-            forces the per-cell path.  Results are identical either
-            way; the fleet path reports ``mode="fleet"`` on its
-            ``on_report`` :class:`~repro.solvers.SweepReport`, with
-            the fleet engine's chip/cohort/kernel-dedup counters in
+            and no per-cell pool knob is set, falling back to the
+            pooled path otherwise; ``"fleet"`` forces the fleet
+            engine (raising :class:`~repro.errors.SimulationError`
+            with the blocking reason when the grid is incompatible);
+            ``"pooled"`` forces the per-cell path.  Results are
+            identical either way; the fleet path reports
+            ``mode="fleet"`` (or ``"fleet+pool"`` when its chunks
+            pooled) on its ``on_report``
+            :class:`~repro.solvers.SweepReport`, with the fleet
+            engine's chip/cohort/kernel-dedup counters in
             ``cache_counters``.
-        max_workers / min_tasks_for_pool: forwarded to
-            :func:`repro.solvers.sweep.run_sweep`; results are
-            identical whichever path runs.  When
-            ``min_tasks_for_pool`` is left at ``None``, a work-aware
-            gate keeps sub-threshold grids serial: the pool only
-            starts once the total simulated core-epochs reach
+        max_workers: process count.  On the pooled path it is
+            forwarded to :func:`repro.solvers.sweep.run_sweep`; on
+            the fleet path it forwards to the fleet engine's
+            parallel chunk executor (the stacked rows split into one
+            whole-lifetime chunk per worker -- results stay
+            bitwise identical, and small grids remain one serial
+            in-process advance behind the engine's work gate).
+        min_tasks_for_pool: forwarded to
+            :func:`repro.solvers.sweep.run_sweep` (setting it forces
+            the pooled path); results are identical whichever path
+            runs.  When left at ``None``, a work-aware gate keeps
+            sub-threshold grids serial: the pool only starts once
+            the total simulated core-epochs reach
             :data:`_MIN_POOL_CORE_EPOCHS` (pass an explicit value to
             override).
         on_error / retries / progress / on_report: fault-tolerance
@@ -459,12 +475,13 @@ def run_lifetime_sweep(
             f"got {engine!r}")
     if engine != "pooled":
         reason = _fleet_incompatibility(
-            chip_configs, workload_pairs, seed, max_workers,
+            chip_configs, workload_pairs, seed,
             min_tasks_for_pool, on_error, retries, progress)
         if reason is None:
             survivors = _run_fleet_grid(
                 cells, chip_configs, policy_pairs, workload_pairs,
-                n_epochs, epoch_s, record_every, on_report)
+                n_epochs, epoch_s, record_every, max_workers,
+                on_report)
             return SweepResult(cells=survivors, n_epochs=n_epochs,
                                epoch_s=epoch_s)
         if engine == "fleet":

@@ -332,11 +332,27 @@ class TestSweepEngineRouting:
         assert "bti.fleet.kernels" in counters
 
     def test_pool_knobs_force_pooled_path(self):
-        reports = []
-        self.run_grid(max_workers=2, on_report=reports.append)
-        assert reports[0].mode != "fleet"
+        for knob in ({"min_tasks_for_pool": 1}, {"retries": 1},
+                     {"on_error": "collect"},
+                     {"progress": lambda done, total: None}):
+            reports = []
+            self.run_grid(on_report=reports.append, **knob)
+            assert reports[0].mode != "fleet", knob
         with pytest.raises(SimulationError):
-            self.run_grid(engine="fleet", max_workers=2)
+            self.run_grid(engine="fleet", retries=1)
+
+    def test_max_workers_stays_on_fleet_path(self):
+        # max_workers is no longer a pool knob: it forwards to the
+        # fleet engine's chunk executor, and this grid is far below
+        # the work gate, so the run stays one serial fleet advance.
+        reports = []
+        workers = self.run_grid(engine="fleet", max_workers=2,
+                                on_report=reports.append)
+        assert reports[0].mode == "fleet"
+        assert reports[0].n_tasks == len(workers.cells) == 8
+        baseline = self.run_grid(engine="fleet")
+        for a, b in zip(workers.cells, baseline.cells):
+            assert a == b
 
     def test_mixed_chip_designs_force_pooled_path(self):
         policies, workloads, _ = self.grid()

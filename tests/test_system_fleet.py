@@ -400,12 +400,27 @@ class TestBatchedEmStatistics:
 
 class TestWorkAwareGates:
     def test_small_lifetime_sweep_stays_serial(self):
+        # max_workers forwards to the fleet chunk executor, whose
+        # work-aware gate keeps a tiny grid off the pool.
         reports = []
         run_lifetime_sweep(
             {"none": NoRecoveryPolicy()},
             {"flat": ConstantWorkload(n_cores=4)},
             [ChipConfig(2, 2, name=f"c{i}") for i in range(5)],
             n_epochs=4, max_workers=4, on_report=reports.append)
+        assert reports[-1].mode == "fleet"
+        assert "pool threshold" in reports[-1].serial_reason
+
+    def test_small_pooled_sweep_stays_serial(self):
+        # Forcing the per-cell pool route still hits run_sweep's
+        # min_tasks_for_pool gate on the same tiny grid.
+        reports = []
+        run_lifetime_sweep(
+            {"none": NoRecoveryPolicy()},
+            {"flat": ConstantWorkload(n_cores=4)},
+            [ChipConfig(2, 2, name=f"c{i}") for i in range(5)],
+            n_epochs=4, max_workers=4, engine="pooled",
+            on_report=reports.append)
         assert reports[-1].mode == "serial"
         assert "min_tasks_for_pool" in reports[-1].serial_reason
 
