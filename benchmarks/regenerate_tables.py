@@ -55,6 +55,7 @@ FLEET_SCALING_ENTRIES = (
     "fleet_scaling_4096_chips_varied",
     "hetero_grid_fleet_vs_pooled_1024_cells",
     "chunked_fleet_65536_chips",
+    "checkpointed_fleet_65536_chips",
     "parallel_chunked_fleet_65536_chips",
     "parallel_fleet_262144_chips",
 )

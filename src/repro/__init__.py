@@ -35,6 +35,7 @@ __version__ = "1.0.0"
 from repro import units
 from repro.errors import (
     CalibrationError,
+    CheckpointError,
     ConvergenceError,
     NetlistError,
     ReproError,
@@ -47,6 +48,7 @@ __all__ = [
     "units",
     "ReproError",
     "CalibrationError",
+    "CheckpointError",
     "ConvergenceError",
     "NetlistError",
     "ScheduleError",

@@ -10,6 +10,8 @@ Usage::
     python -m repro.cli fig10
     python -m repro.cli margins --years 10
     python -m repro.cli system --epochs 336
+    python -m repro.cli fleet --chips 64 --checkpoint-dir ckpt/
+    python -m repro.cli resume ckpt/
 
 Each sub-command prints the same rows/series the corresponding paper
 table or figure reports.  The heavy lifting lives in the library; the
@@ -136,6 +138,63 @@ def _cmd_margins(args: argparse.Namespace) -> None:
     print(comparison.describe())
 
 
+def _print_fleet_result(result, title: str) -> None:
+    import numpy as np
+    worst = result.final_delta_vth_v.max(axis=1)
+    rows = [
+        ("chips", f"{result.n_chips}"),
+        ("epochs", f"{result.n_epochs}"),
+        ("median worst-core dVth",
+         f"{np.median(worst) * 1e3:.3f} mV"),
+        ("p99 worst-core dVth",
+         f"{np.quantile(worst, 0.99) * 1e3:.3f} mV"),
+        ("EM failures",
+         f"{int(np.count_nonzero(result.em_failures.any(axis=1)))}"
+         " chips"),
+        ("migration events",
+         f"{int(result.migration_events.sum())}"),
+    ]
+    print(format_table(("quantity", "value"), rows, title=title))
+
+
+def _cmd_fleet(args: argparse.Namespace) -> None:
+    from repro.system.fleet import (FleetVariationSpec,
+                                    run_fleet_lifetime_study)
+    from repro.system.scheduler import RoundRobinRecoveryPolicy
+    from repro.system.workload import ConstantWorkload
+    rows, cols = (int(part) for part in args.chip.split("x"))
+    result = run_fleet_lifetime_study(
+        (rows, cols), args.chips,
+        ConstantWorkload(n_cores=rows * cols,
+                         utilization=args.utilization),
+        RoundRobinRecoveryPolicy(recovery_slots=2,
+                                 em_alternate_every=2),
+        n_epochs=args.epochs,
+        record_every=max(args.epochs // 40, 1),
+        variation=FleetVariationSpec(
+            capture_sigma=args.variation_sigma,
+            recovery_sigma=args.variation_sigma,
+            em_current_sigma=args.variation_sigma),
+        seed=args.seed, max_workers=args.workers,
+        checkpoint_every=args.checkpoint_every,
+        checkpoint_dir=args.checkpoint_dir)
+    _print_fleet_result(
+        result, f"Fleet lifetime study ({args.chips} chips, "
+                f"{args.epochs} epochs)")
+    if args.checkpoint_dir:
+        print(f"\ncheckpoints in {args.checkpoint_dir}; resume a "
+              f"killed run with:\n  python -m repro.cli resume "
+              f"{args.checkpoint_dir}")
+
+
+def _cmd_resume(args: argparse.Namespace) -> None:
+    from repro.system.checkpoint import resume_fleet_lifetime_study
+    result = resume_fleet_lifetime_study(
+        args.checkpoint_dir, max_workers=args.workers)
+    _print_fleet_result(
+        result, f"Resumed fleet study ({args.checkpoint_dir})")
+
+
 def _cmd_blech(args: argparse.Namespace) -> None:
     from repro.em.blech import assess, critical_length_m
     from repro.em.line import EmStressCondition
@@ -238,6 +297,27 @@ def build_parser() -> argparse.ArgumentParser:
     system.add_argument("--epochs", type=int, default=336)
     system.add_argument("--utilization", type=float, default=0.6)
     system.set_defaults(func=_cmd_system)
+
+    fleet = sub.add_parser(
+        "fleet", help="checkpointed fleet lifetime study")
+    fleet.add_argument("--chips", type=int, default=64)
+    fleet.add_argument("--chip", type=str, default="3x3",
+                       help="core grid, e.g. 3x3")
+    fleet.add_argument("--epochs", type=int, default=168)
+    fleet.add_argument("--utilization", type=float, default=0.6)
+    fleet.add_argument("--variation-sigma", type=float, default=0.1)
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--workers", type=int, default=None)
+    fleet.add_argument("--checkpoint-dir", type=str, default=None)
+    fleet.add_argument("--checkpoint-every", type=int, default=None,
+                       help="epochs between progress snapshots")
+    fleet.set_defaults(func=_cmd_fleet)
+
+    resume = sub.add_parser(
+        "resume", help="resume a killed fleet study")
+    resume.add_argument("checkpoint_dir", type=str)
+    resume.add_argument("--workers", type=int, default=None)
+    resume.set_defaults(func=_cmd_resume)
 
     blech = sub.add_parser("blech", help="Blech immortality audit")
     blech.add_argument("--density-ma-cm2", type=float, default=7.96)

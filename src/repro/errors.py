@@ -53,3 +53,14 @@ class TaskError(ReproError):
 
 class SensorError(ReproError):
     """A wearout sensor was misconfigured or read out of range."""
+
+
+class CheckpointError(ReproError):
+    """A fleet checkpoint could not be written, read, or applied.
+
+    Raised by :mod:`repro.system.checkpoint` for unreadable or
+    corrupt snapshot files (bad magic, checksum mismatch), for
+    snapshots written under a different schema version than this
+    build reads, and for checkpoint directories whose study
+    fingerprint does not match the study being resumed.
+    """

@@ -193,8 +193,12 @@ class ChunkRecord:
             order, so chunk ``i`` covers tasks ``[start, stop)``).
         start / stop: task-index range of the chunk.
         executed_in: ``"pool"`` (completed in a worker), ``"serial"``
-            (the sweep never started a pool) or ``"serial-fallback"``
-            (re-run in-process after a pool-side failure).
+            (the sweep never started a pool), ``"serial-fallback"``
+            (re-run in-process after a pool-side failure) or
+            ``"cached"`` (restored from a checkpoint directory
+            instead of executed -- emitted by checkpointed fleet
+            studies, see :mod:`repro.system.checkpoint`; its
+            ``wall_time_s`` is the restore time).
         wall_time_s: time spent evaluating the chunk, measured inside
             whichever process ran it (excludes queueing / transport).
         retries: total re-executions granted to the chunk's tasks.

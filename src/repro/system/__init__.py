@@ -45,6 +45,11 @@ from repro.system.sweeps import (
     SweepResult,
     run_lifetime_sweep,
 )
+from repro.system.checkpoint import (
+    FleetSession,
+    FleetSnapshot,
+    resume_fleet_lifetime_study,
+)
 from repro.system.reliability import ReliabilityReport, \
     reliability_report
 
@@ -74,6 +79,9 @@ __all__ = [
     "FleetVariation",
     "FleetVariationSpec",
     "run_fleet_lifetime_study",
+    "FleetSession",
+    "FleetSnapshot",
+    "resume_fleet_lifetime_study",
     "ChipConfig",
     "SweepCellResult",
     "SweepResult",

@@ -69,9 +69,10 @@ from __future__ import annotations
 
 import copy
 import os
+import threading
 import time
 from dataclasses import dataclass, replace
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -761,23 +762,85 @@ class FleetSimulator:
         """
         if n_epochs < 1:
             raise SimulationError("n_epochs must be at least 1")
+        run = _FleetRun(self, groups, record_every=record_every,
+                        n_epochs=n_epochs)
+        run.advance(n_epochs)
+        return run.result()
+
+
+class _FleetRun:
+    """Resumable epoch-loop state of one fleet simulation.
+
+    Owns everything :meth:`FleetSimulator.run_groups` used to keep in
+    loop locals -- the per-cohort policy/workload copies with their
+    mutable cursors, the epoch cursor, the demand/migration
+    accumulators and the recorded timeline -- so an advance can stop
+    after any epoch and continue later (or in another process, via
+    :mod:`repro.system.checkpoint`) with a trajectory bit-identical
+    to an uninterrupted run: every cross-epoch input is either stored
+    here or recomputed as the same pure function of the stored state.
+
+    ``n_epochs=None`` leaves the horizon open (the incremental
+    :class:`~repro.system.checkpoint.FleetSession` mode): records then
+    follow the ``record_every`` modulo rule only, while a declared
+    horizon additionally records its final epoch exactly like the
+    one-shot loop.
+    """
+
+    def __init__(self, simulator: FleetSimulator,
+                 groups: Sequence[FleetGroup],
+                 record_every: int = 1,
+                 n_epochs: Optional[int] = None):
         if record_every < 1:
             raise SimulationError("record_every must be at least 1")
-        state = self.state
-        thermal = self.chip.thermal
-        oscillator = self.chip.core.oscillator
-        cohorts = self._build_cohorts(groups)
-        n_chips = state.n_chips
-        migration_events = np.zeros(n_chips, dtype=np.int64)
-        total_demand = np.zeros(n_chips)
-        total_dropped = np.zeros(n_chips)
-        dropped_epoch = np.empty(n_chips)
-        times: List[float] = []
-        worst: List[np.ndarray] = []
-        mean: List[np.ndarray] = []
-        dropped: List[np.ndarray] = []
+        if n_epochs is not None and n_epochs < 1:
+            raise SimulationError("n_epochs must be at least 1")
+        self.simulator = simulator
+        self.groups = tuple(groups)
+        self.record_every = record_every
+        self.n_epochs = n_epochs
+        self.cohorts = simulator._build_cohorts(self.groups)
+        n_chips = simulator.state.n_chips
+        self.epoch = 0
+        self.migration_events = np.zeros(n_chips, dtype=np.int64)
+        self.total_demand = np.zeros(n_chips)
+        self.total_dropped = np.zeros(n_chips)
+        self.times: List[float] = []
+        self.worst: List[np.ndarray] = []
+        self.mean: List[np.ndarray] = []
+        self.dropped: List[np.ndarray] = []
+        self._dropped_epoch = np.empty(n_chips)
+        # Per-cohort (start, stop, temps) of the last advanced epoch;
+        # result() evaluates the EM read-out and the thermal refresh
+        # from these, so they are part of the resumable state.
+        self.cohort_temps: Optional[
+            List[Tuple[int, int, np.ndarray]]] = None
+
+    def advance(self, n_epochs: int) -> None:
+        """Advance the population by ``n_epochs`` more epochs."""
+        if n_epochs < 1:
+            raise SimulationError("n_epochs must be at least 1")
+        if (self.n_epochs is not None
+                and self.epoch + n_epochs > self.n_epochs):
+            raise SimulationError(
+                f"advance past the declared horizon: "
+                f"{self.epoch} + {n_epochs} > {self.n_epochs}")
+        simulator = self.simulator
+        state = simulator.state
+        epoch_s = simulator.epoch_s
+        oscillator = simulator.chip.core.oscillator
+        cohorts = self.cohorts
+        record_every = self.record_every
+        horizon = self.n_epochs
+        migration_events = self.migration_events
+        total_demand = self.total_demand
+        total_dropped = self.total_dropped
+        dropped_epoch = self._dropped_epoch
         delta_vth = state.delta_vth_v()
-        for epoch in range(n_epochs):
+        cond = None
+        for epoch in range(self.epoch, self.epoch + n_epochs):
+            if _TEST_EPOCH_SLEEP_S > 0.0:
+                time.sleep(_TEST_EPOCH_SLEEP_S)
             keyed = []
             key_parts = []
             for cohort in cohorts:
@@ -803,40 +866,55 @@ class FleetSimulator:
                 key_parts.append((cohort.start, cohort.stop)
                                  + assignment.cache_key())
             token = tuple(key_parts)
-            cond = self._condition_cache.get_or_build(
+            cond = simulator._condition_cache.get_or_build(
                 token,
-                lambda: self._build_group_conditions(keyed, token))
-            state.bti.step(self.epoch_s, cond.stressing,
+                lambda: simulator._build_group_conditions(keyed,
+                                                          token))
+            state.bti.step(epoch_s, cond.stressing,
                            cond.capture_safe, cond.recovery,
                            kernel_key=token)
-            state.em.step(self.epoch_s, cond.j_flat, cond.temps_flat,
-                          key=(self.epoch_s, token))
+            state.em.step(epoch_s, cond.j_flat, cond.temps_flat,
+                          key=(epoch_s, token))
             delta_vth = state.delta_vth_v()
-            if (epoch + 1) % record_every == 0 or epoch == n_epochs - 1:
+            if ((epoch + 1) % record_every == 0
+                    or (horizon is not None and epoch == horizon - 1)):
                 degradation = oscillator.delay_degradation_array(
                     delta_vth)
-                times.append((epoch + 1) * self.epoch_s)
-                worst.append(degradation.max(axis=1))
-                mean.append(degradation.mean(axis=1))
-                dropped.append(dropped_epoch.copy())
+                self.times.append((epoch + 1) * epoch_s)
+                self.worst.append(degradation.max(axis=1))
+                self.mean.append(degradation.mean(axis=1))
+                self.dropped.append(dropped_epoch.copy())
+        self.epoch += n_epochs
+        self.cohort_temps = [(start, stop, temps.copy())
+                             for start, stop, temps
+                             in cond.cohort_temps]
+
+    def result(self) -> FleetResult:
+        """The :class:`FleetResult` of everything advanced so far."""
+        if self.epoch < 1 or self.cohort_temps is None:
+            raise SimulationError(
+                "advance at least one epoch before taking a result")
+        simulator = self.simulator
+        state = simulator.state
         # Same read-out refresh as the scalar simulator, per cohort:
         # each cohort's EM failure check evaluates the reference
         # resistance at that cohort's own hottest core.  The shared
         # thermal network is left reflecting the last cohort's solve.
-        thermal.temperatures_k = cond.temps.copy()
+        simulator.chip.thermal.temperatures_k = \
+            self.cohort_temps[-1][2].copy()
         shape = (state.n_chips, state.n_cores)
         em_failures = np.empty(shape, dtype=bool)
-        for start, stop, temps in cond.cohort_temps:
+        for start, stop, temps in self.cohort_temps:
             read_t = float(np.max(temps))
             em_failures[start:stop] = \
                 state.em.failed(read_t).reshape(shape)[start:stop]
-        record_counters("fleet.engine", chips=n_chips,
-                        epochs=n_epochs, cohorts=len(cohorts))
+        record_counters("fleet.engine", chips=state.n_chips,
+                        epochs=self.epoch, cohorts=len(self.cohorts))
         return FleetResult(
-            times_s=np.array(times),
-            worst_degradation=np.array(worst),
-            mean_degradation=np.array(mean),
-            dropped_demand=np.array(dropped),
+            times_s=np.array(self.times),
+            worst_degradation=np.array(self.worst),
+            mean_degradation=np.array(self.mean),
+            dropped_demand=np.array(self.dropped),
             final_delta_vth_v=state.delta_vth_v().copy(),
             final_permanent_vth_v=np.asarray(
                 state.bti.permanent_vth_v(),
@@ -844,11 +922,11 @@ class FleetSimulator:
             final_em_drift_ohm=state.em.delta_resistance_ohm()
             .reshape(shape),
             em_failures=em_failures,
-            variation=self.variation,
-            migration_events=migration_events,
-            n_epochs=n_epochs,
-            total_demand=total_demand,
-            total_dropped_demand=total_dropped)
+            variation=simulator.variation,
+            migration_events=self.migration_events.copy(),
+            n_epochs=self.epoch,
+            total_demand=self.total_demand.copy(),
+            total_dropped_demand=self.total_dropped.copy())
 
 
 # -- population entry point -------------------------------------------------
@@ -914,6 +992,11 @@ MIN_CORE_EPOCHS_FOR_POOL = 1 << 20
 _TEST_STAGGER_S = 0.0
 _TEST_DIE_UNLESS_PID: Optional[int] = None
 
+#: Per-epoch sleep injected into :meth:`_FleetRun.advance` -- slows a
+#: run down so a kill-and-resume test can SIGKILL it mid-lifetime at a
+#: controlled epoch.  Forked workers inherit the setting.
+_TEST_EPOCH_SLEEP_S = 0.0
+
 
 def _n_records(n_epochs: int, record_every: int) -> int:
     """Timeline rows :meth:`FleetSimulator.run_groups` will record."""
@@ -967,6 +1050,12 @@ def _slab_views(handle: "_FleetSlabHandle", buf) -> dict:
     return views
 
 
+#: Serializes the <3.13 ``resource_tracker.register`` patch below:
+#: the patch is process-global, so two threads attaching at once must
+#: not install/restore it over each other.
+_TRACKER_PATCH_LOCK = threading.Lock()
+
+
 def _attach_shared_memory(name: str):
     """Attach to an existing slab without adopting its lifetime.
 
@@ -978,18 +1067,39 @@ def _attach_shared_memory(name: str):
     registration).  Python 3.13+ exposes ``track=False`` for exactly
     this; on older versions the registration is suppressed for the
     duration of the attach.
+
+    The suppression is *surgical*: ``resource_tracker.register`` is a
+    process-global hook, so a blanket no-op would silently drop the
+    registration of any other ``SharedMemory`` created concurrently
+    on another thread and leak that segment.  Instead the patch is
+    serialized behind :data:`_TRACKER_PATCH_LOCK` and only swallows
+    registrations of *this* segment name, delegating everything else
+    to the real tracker.
     """
     from multiprocessing import shared_memory
     try:
         return shared_memory.SharedMemory(name=name, track=False)
     except TypeError:
         from multiprocessing import resource_tracker
-        original = resource_tracker.register
-        resource_tracker.register = lambda *args, **kwargs: None
-        try:
-            return shared_memory.SharedMemory(name=name)
-        finally:
-            resource_tracker.register = original
+        # POSIX segment names reach the tracker with a leading slash
+        # ("/psm_..."), while SharedMemory.name strips it; compare the
+        # final path component so both spellings match.
+        ours = name.split("/")[-1]
+        with _TRACKER_PATCH_LOCK:
+            original = resource_tracker.register
+
+            def register_skipping_ours(res_name, rtype,
+                                       *args, **kwargs):
+                if (rtype == "shared_memory"
+                        and str(res_name).split("/")[-1] == ours):
+                    return None
+                return original(res_name, rtype, *args, **kwargs)
+
+            resource_tracker.register = register_skipping_ours
+            try:
+                return shared_memory.SharedMemory(name=name)
+            finally:
+                resource_tracker.register = original
 
 
 @dataclass(frozen=True)
@@ -1093,6 +1203,21 @@ class _FleetSlab:
 
 
 @dataclass(frozen=True)
+class _ChunkCheckpoint:
+    """Picklable per-chunk checkpoint configuration.
+
+    ``directory`` is the study's checkpoint directory, ``every`` the
+    progress-snapshot cadence in epochs (``None`` writes only the
+    final chunk result), ``digest`` the study fingerprint every file
+    carries (see :func:`repro.system.checkpoint.study_digest`).
+    """
+
+    directory: str
+    every: Optional[int]
+    digest: str
+
+
+@dataclass(frozen=True)
 class _FleetChunkTask:
     """Everything a pool worker needs for one whole-lifetime chunk.
 
@@ -1102,7 +1227,10 @@ class _FleetChunkTask:
     global index, so the chunk draw is bit-identical to the
     corresponding slice of an unchunked draw), and the output path as
     an optional slab handle (``None`` falls back to pickling the
-    chunk's :class:`FleetResult` through the pool pipe).
+    chunk's :class:`FleetResult` through the pool pipe).  With a
+    ``checkpoint`` attached the chunk is crash-durable: it restores
+    itself from its newest snapshot before advancing and writes
+    progress at the configured cadence.
     """
 
     chunk: ChunkTask
@@ -1118,6 +1246,62 @@ class _FleetChunkTask:
     em_reference: Optional[EmStressCondition]
     state_dtype: str
     slab: Optional[_FleetSlabHandle]
+    checkpoint: Optional[_ChunkCheckpoint] = None
+
+
+def _execute_chunk(built: Chip, task: _FleetChunkTask
+                   ) -> Tuple[FleetResult, bool]:
+    """Run (or restore) one whole-lifetime row chunk on ``built``.
+
+    The shared chunk executor of the serial stream and the pool
+    workers.  Resolves the chunk's variation rows by global index,
+    honors the chunk's checkpoint configuration -- a complete result
+    file short-circuits the run entirely, a progress snapshot
+    restores the epoch cursor, and cadenced progress snapshots are
+    written while advancing -- and returns ``(result, from_cache)``.
+    Splitting the advance at checkpoint boundaries is bitwise
+    invariant: every epoch sees the same state, conditions and record
+    decisions as one uninterrupted advance.
+    """
+    ckpt = task.checkpoint
+    if ckpt is not None:
+        from repro.system import checkpoint as checkpoint_mod
+        cached = checkpoint_mod.load_chunk_result(
+            ckpt, task.chunk.index)
+        if cached is not None:
+            return cached, True
+    start, stop = task.chunk.start, task.chunk.stop
+    variation = task.variation
+    if isinstance(variation, FleetVariationSpec):
+        variation = variation.draw_range(start, stop, task.seed)
+    simulator = FleetSimulator(
+        built, stop - start,
+        calibration=task.calibration,
+        em_reference=task.em_reference, epoch_s=task.epoch_s,
+        variation=variation, seed=task.seed,
+        state_dtype=np.dtype(task.state_dtype))
+    run = _FleetRun(simulator, task.groups,
+                    record_every=task.record_every,
+                    n_epochs=task.n_epochs)
+    every = None
+    if ckpt is not None:
+        checkpoint_mod.resume_chunk_run(ckpt, task.chunk.index, run)
+        every = ckpt.every
+    while run.epoch < task.n_epochs:
+        if every:
+            step = min(every - run.epoch % every,
+                       task.n_epochs - run.epoch)
+        else:
+            step = task.n_epochs - run.epoch
+        run.advance(step)
+        if every and run.epoch < task.n_epochs:
+            checkpoint_mod.save_chunk_progress(
+                ckpt, task.chunk.index, run)
+    result = run.result()
+    if ckpt is not None:
+        checkpoint_mod.save_chunk_result(
+            ckpt, task.chunk.index, result)
+    return result, False
 
 
 def _run_fleet_chunk(task: _FleetChunkTask):
@@ -1134,21 +1318,10 @@ def _run_fleet_chunk(task: _FleetChunkTask):
     if _TEST_STAGGER_S > 0.0:
         time.sleep(_TEST_STAGGER_S
                    * (task.n_chunks - 1 - task.chunk.index))
-    start, stop = task.chunk.start, task.chunk.stop
-    variation = task.variation
-    if isinstance(variation, FleetVariationSpec):
-        variation = variation.draw_range(start, stop, task.seed)
-    simulator = FleetSimulator(
-        task.chip.build(), stop - start,
-        calibration=task.calibration,
-        em_reference=task.em_reference, epoch_s=task.epoch_s,
-        variation=variation, seed=task.seed,
-        state_dtype=np.dtype(task.state_dtype))
-    result = simulator.run_groups(task.n_epochs, task.groups,
-                                  record_every=task.record_every)
+    result, _ = _execute_chunk(task.chip.build(), task)
     if task.slab is None:
         return result
-    task.slab.scatter(result, start, stop)
+    task.slab.scatter(result, task.chunk.start, task.chunk.stop)
     return task.chunk.index
 
 
@@ -1197,7 +1370,9 @@ def run_fleet_lifetime_study(
         max_workers: Optional[int] = None,
         min_chunks_for_pool: Optional[int] = None,
         retries: int = 0,
-        on_report: Optional[Callable[[SweepReport], None]] = None
+        on_report: Optional[Callable[[SweepReport], None]] = None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir=None
         ) -> FleetResult:
     """Monte Carlo lifetime study of a chip population.
 
@@ -1279,7 +1454,23 @@ def run_fleet_lifetime_study(
             for the serial stream, ``"fleet+pool"`` /
             ``"fleet+pool+serial-fallback"`` for pooled runs, with
             per-chunk wall times and cache counters aggregated
-            across workers.
+            across workers.  A run that dies before producing any
+            sweep report still emits one, under mode
+            ``"fleet+failed"``, so failed runs leave telemetry.
+        checkpoint_every / checkpoint_dir: crash durability.  With a
+            ``checkpoint_dir``, every chunk writes its finished
+            :class:`FleetResult` there, and (with a
+            ``checkpoint_every`` cadence) an in-progress snapshot
+            every that many epochs; re-invoking the identical study
+            against the same directory restores complete chunks
+            (``executed_in == "cached"`` in the report) and resumes
+            incomplete ones from their newest snapshot.  The resumed
+            result is **bitwise-equal** to an uninterrupted run, for
+            serial and pooled execution alike.  See
+            :mod:`repro.system.checkpoint` (and
+            :func:`~repro.system.checkpoint
+            .resume_fleet_lifetime_study` for resuming without
+            restating the study).
 
     Returns:
         A :class:`FleetResult`; ``chip_result(i)`` recovers any
@@ -1321,71 +1512,32 @@ def run_fleet_lifetime_study(
     reason = _pool_serial_reason(n_chips, built.n_cores, n_epochs,
                                  n_chunks, workers,
                                  min_chunks_for_pool)
-    started = time.perf_counter()
-
-    if reason is not None:
-        # Serial chunk stream: one shared chip (warm thermal memo
-        # after the first chunk), chunks advanced in order.
-        before = cache_counters() if on_report is not None else None
-        parts: List[FleetResult] = []
-        records: List[ChunkRecord] = []
-        for task in bounds:
-            chunk_started = time.perf_counter()
-            if variation is None:
-                chunk_variation = None
-            elif isinstance(variation, FleetVariationSpec):
-                chunk_variation = variation.draw_range(
-                    task.start, task.stop, seed)
-            else:
-                chunk_variation = variation.slice_range(
-                    task.start, task.stop)
-            simulator = FleetSimulator(
-                built, task.n_items, calibration=calibration,
-                em_reference=em_reference, epoch_s=epoch_s,
-                variation=chunk_variation, seed=seed,
-                state_dtype=state_dtype)
-            parts.append(simulator.run_groups(
-                n_epochs,
-                _slice_groups(groups, task.start, task.stop),
-                record_every=record_every))
-            records.append(ChunkRecord(
-                index=task.index, start=task.index,
-                stop=task.index + 1, executed_in="serial",
-                wall_time_s=time.perf_counter() - chunk_started,
-                retries=0, n_failures=0))
-        record_counters("fleet.engine", chunks=n_chunks)
-        if on_report is not None:
-            on_report(SweepReport(
-                n_tasks=n_chunks, n_chunks=n_chunks,
-                max_workers=workers, mode="fleet",
-                serial_reason=reason, fallback_reasons=(),
-                wall_time_s=time.perf_counter() - started,
-                chunks=tuple(records), retries=0, failures=(),
-                cache_counters=_cache_delta(before,
-                                            cache_counters())))
-        return _merge_fleet_results(parts)
-
-    # Pooled chunk execution: ship each chunk as one sweep task and
-    # scatter the rows into a shared-memory slab.  Chunk boundaries
-    # are the same chunk_tasks partition as the serial stream, and
-    # variation is drawn/sliced by global chip index, so the merged
-    # result is bitwise identical to the serial path.
     if isinstance(chip, ChipConfig):
         config = chip
     else:
         config = ChipConfig(rows=built.rows, cols=built.cols,
                             core=built.core,
                             thermal=built.thermal.config)
-    slab: Optional[_FleetSlab] = None
-    try:
-        slab = _FleetSlab(n_chips, built.n_cores,
-                          _n_records(n_epochs, record_every))
-    except Exception:
-        # No shared memory available (exotic sandboxes): fall back to
-        # pickling chunk results through the pool pipe.
-        slab = None
-    handle = slab.handle if slab is not None else None
     dtype_str = np.dtype(state_dtype).str
+    ckpt: Optional[_ChunkCheckpoint] = None
+    if checkpoint_dir is not None:
+        from repro.system import checkpoint as checkpoint_mod
+        ckpt = checkpoint_mod.prepare_study_directory(
+            checkpoint_dir, every=checkpoint_every, chip=config,
+            groups=groups, n_epochs=n_epochs, epoch_s=epoch_s,
+            record_every=record_every, variation=variation,
+            seed=seed, calibration=calibration,
+            em_reference=em_reference, state_dtype=dtype_str,
+            bounds=bounds, max_chunk_chips=max_chunk_chips,
+            state_budget_bytes=state_budget_bytes)
+    elif checkpoint_every is not None:
+        raise SimulationError(
+            "checkpoint_every requires checkpoint_dir")
+    # One task list feeds both paths: the serial stream executes the
+    # tasks in-process against the shared chip, the pooled path ships
+    # them to workers.  Chunk boundaries, variation draws and group
+    # slices are identical either way, so the merged result is
+    # bitwise identical for every worker count.
     sweep_tasks: List[_FleetChunkTask] = []
     for task in bounds:
         if variation is None or isinstance(variation,
@@ -1401,41 +1553,170 @@ def run_fleet_lifetime_study(
             record_every=record_every, variation=chunk_variation,
             seed=seed, calibration=calibration,
             em_reference=em_reference, state_dtype=dtype_str,
-            slab=handle))
-    inner: List[SweepReport] = []
+            slab=None, checkpoint=ckpt))
+    started = time.perf_counter()
+
+    if reason is not None:
+        # Serial chunk stream: one shared chip (warm thermal memo
+        # after the first chunk), chunks advanced in order.  The
+        # report is emitted from the finally block so a chunk that
+        # raises still leaves telemetry (mode "fleet+failed" with the
+        # chunks that did complete).
+        before = cache_counters() if on_report is not None else None
+        parts: List[FleetResult] = []
+        records: List[ChunkRecord] = []
+        failed = True
+        try:
+            for task in sweep_tasks:
+                chunk_started = time.perf_counter()
+                part, from_cache = _execute_chunk(built, task)
+                parts.append(part)
+                records.append(ChunkRecord(
+                    index=task.chunk.index, start=task.chunk.index,
+                    stop=task.chunk.index + 1,
+                    executed_in="cached" if from_cache else "serial",
+                    wall_time_s=time.perf_counter() - chunk_started,
+                    retries=0, n_failures=0))
+            failed = False
+        finally:
+            if not failed:
+                record_counters("fleet.engine", chunks=n_chunks)
+            if on_report is not None:
+                counters = _cache_delta(before, cache_counters())
+                if failed:
+                    entry = counters.setdefault(
+                        "fleet.engine", {"hits": 0, "misses": 0})
+                    entry["chunks"] = (entry.get("chunks", 0)
+                                       + len(records))
+                on_report(SweepReport(
+                    n_tasks=n_chunks, n_chunks=n_chunks,
+                    max_workers=workers,
+                    mode="fleet+failed" if failed else "fleet",
+                    serial_reason=reason, fallback_reasons=(),
+                    wall_time_s=time.perf_counter() - started,
+                    chunks=tuple(records), retries=0, failures=(),
+                    cache_counters=counters))
+        return _merge_fleet_results(parts)
+
+    # Pooled chunk execution: ship each chunk as one sweep task and
+    # scatter the rows into a shared-memory slab.
+    slab: Optional[_FleetSlab] = None
     try:
-        returned = run_sweep(
-            _run_fleet_chunk, sweep_tasks, max_workers=workers,
-            chunk_size=1, min_tasks_for_pool=1, on_error="raise",
-            retries=retries,
-            on_report=inner.append if on_report is not None
-            else None)
+        slab = _FleetSlab(n_chips, built.n_cores,
+                          _n_records(n_epochs, record_every))
+    except Exception:
+        # No shared memory available (exotic sandboxes): fall back to
+        # pickling chunk results through the pool pipe.
+        slab = None
+    handle = slab.handle if slab is not None else None
+    if handle is not None:
+        sweep_tasks = [replace(task, slab=handle)
+                       for task in sweep_tasks]
+    inner: List[SweepReport] = []
+    cached_records: List[ChunkRecord] = []
+    cached_results: Dict[int, FleetResult] = {}
+    pending = sweep_tasks
+    before = cache_counters() if on_report is not None else None
+    completed = False
+    try:
+        if ckpt is not None:
+            # Resume: restore complete chunks in the parent and
+            # dispatch only the incomplete ones through run_sweep's
+            # crash-safe machinery.
+            from repro.system import checkpoint as checkpoint_mod
+            pending = []
+            for task in sweep_tasks:
+                load_started = time.perf_counter()
+                loaded = checkpoint_mod.load_chunk_result(
+                    ckpt, task.chunk.index)
+                if loaded is None:
+                    pending.append(task)
+                    continue
+                cached_results[task.chunk.index] = loaded
+                if handle is not None:
+                    handle.scatter(loaded, task.chunk.start,
+                                   task.chunk.stop)
+                cached_records.append(ChunkRecord(
+                    index=task.chunk.index, start=task.chunk.index,
+                    stop=task.chunk.index + 1, executed_in="cached",
+                    wall_time_s=(time.perf_counter()
+                                 - load_started),
+                    retries=0, n_failures=0))
+        returned: Sequence = ()
+        if pending:
+            returned = run_sweep(
+                _run_fleet_chunk, pending, max_workers=workers,
+                chunk_size=1, min_tasks_for_pool=1,
+                on_error="raise", retries=retries,
+                on_report=inner.append if on_report is not None
+                else None)
         record_counters("fleet.engine", chunks=n_chunks)
         if slab is not None:
             result = slab.gather(n_epochs)
         else:
-            result = _merge_fleet_results(list(returned))
+            by_index = dict(cached_results)
+            for task, value in zip(pending, returned):
+                by_index[task.chunk.index] = value
+            result = _merge_fleet_results(
+                [by_index[index] for index in range(n_chunks)])
+        completed = True
     finally:
         if slab is not None:
             slab.close()
-        if on_report is not None and inner:
-            # Re-emit the sweep's report under fleet mode names, with
-            # the parent's chunk counter folded into the aggregated
-            # worker cache deltas.  Delivered even when a chunk
-            # exhausted its retries (run_sweep reports before it
-            # raises), so telemetry survives failure.
-            report = inner[0]
-            mode = {"pool": "fleet+pool",
-                    "pool+serial-fallback":
-                        "fleet+pool+serial-fallback",
-                    "serial": "fleet"}.get(report.mode, report.mode)
-            counters = {name: dict(values) for name, values
-                        in report.cache_counters.items()}
-            entry = counters.setdefault(
-                "fleet.engine", {"hits": 0, "misses": 0})
-            entry["chunks"] = entry.get("chunks", 0) + n_chunks
-            on_report(replace(
-                report, mode=mode,
-                wall_time_s=time.perf_counter() - started,
-                cache_counters=counters))
+        if on_report is not None:
+            elapsed = time.perf_counter() - started
+            if inner:
+                # Re-emit the sweep's report under fleet mode names,
+                # with the parent's chunk counter folded into the
+                # aggregated worker cache deltas and run_sweep's
+                # local chunk indices remapped to global ones.
+                # Delivered even when a chunk exhausted its retries
+                # (run_sweep reports before it raises), so telemetry
+                # survives failure.
+                report = inner[0]
+                mode = {"pool": "fleet+pool",
+                        "pool+serial-fallback":
+                            "fleet+pool+serial-fallback",
+                        "serial": "fleet"}.get(report.mode,
+                                               report.mode)
+                counters = {name: dict(values) for name, values
+                            in report.cache_counters.items()}
+                entry = counters.setdefault(
+                    "fleet.engine", {"hits": 0, "misses": 0})
+                entry["chunks"] = entry.get("chunks", 0) + n_chunks
+                chunks = [replace(
+                    record,
+                    index=pending[record.index].chunk.index,
+                    start=pending[record.index].chunk.index,
+                    stop=pending[record.index].chunk.index + 1)
+                    for record in report.chunks]
+                chunks = tuple(sorted(
+                    chunks + cached_records,
+                    key=lambda record: record.index))
+                on_report(replace(
+                    report, mode=mode, n_tasks=n_chunks,
+                    n_chunks=n_chunks, chunks=chunks,
+                    wall_time_s=elapsed, cache_counters=counters))
+            else:
+                # run_sweep died before reporting (or never ran):
+                # emit the failure-mode report -- or, when every
+                # chunk was restored from checkpoint, the all-cached
+                # success report.
+                counters = _cache_delta(before, cache_counters())
+                entry = counters.setdefault(
+                    "fleet.engine", {"hits": 0, "misses": 0})
+                if not completed:
+                    entry["chunks"] = (entry.get("chunks", 0)
+                                       + len(cached_records))
+                on_report(SweepReport(
+                    n_tasks=n_chunks, n_chunks=n_chunks,
+                    max_workers=workers,
+                    mode="fleet" if completed else "fleet+failed",
+                    serial_reason=(
+                        "every chunk restored from checkpoint"
+                        if completed else None),
+                    fallback_reasons=(),
+                    wall_time_s=elapsed,
+                    chunks=tuple(cached_records), retries=0,
+                    failures=(), cache_counters=counters))
     return result

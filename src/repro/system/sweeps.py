@@ -301,7 +301,9 @@ def _run_fleet_grid(cells: Sequence[_SweepCell],
                     workload_pairs: Sequence[Tuple[str, Any]],
                     n_epochs: int, epoch_s: float, record_every: int,
                     max_workers: Optional[int],
-                    on_report) -> Tuple[SweepCellResult, ...]:
+                    on_report, checkpoint_every: Optional[int] = None,
+                    checkpoint_dir=None
+                    ) -> Tuple[SweepCellResult, ...]:
     """Evaluate the whole grid as one stacked fleet advance.
 
     Cells are policy-major, then workload, then chip -- exactly one
@@ -333,7 +335,9 @@ def _run_fleet_grid(cells: Sequence[_SweepCell],
         chip_configs[0], groups=groups, n_epochs=n_epochs,
         epoch_s=epoch_s, record_every=record_every,
         max_chunk_chips=max_chunk_chips, max_workers=max_workers,
-        on_report=captured.append if on_report is not None else None)
+        on_report=captured.append if on_report is not None else None,
+        checkpoint_every=checkpoint_every,
+        checkpoint_dir=checkpoint_dir)
     results = tuple(
         _cell_summary(cell.policy_label, cell.workload_label,
                       cell.chip_label, fleet.chip_result(index))
@@ -372,7 +376,9 @@ def run_lifetime_sweep(
         on_error: str = "raise",
         retries: int = 0,
         progress=None,
-        on_report=None) -> SweepResult:
+        on_report=None,
+        checkpoint_every: Optional[int] = None,
+        checkpoint_dir=None) -> SweepResult:
     """Simulate every policy x workload x chip cell of a design grid.
 
     Args:
@@ -436,6 +442,19 @@ def run_lifetime_sweep(
             :class:`~repro.solvers.TaskFailure` records arrive on the
             ``on_report`` :class:`~repro.solvers.SweepReport`), so a
             multi-day design sweep survives one pathological cell.
+        checkpoint_every / checkpoint_dir: crash-durable execution,
+            fleet route only: forwarded to
+            :func:`~repro.system.fleet.run_fleet_lifetime_study`, so
+            every chunk of the stacked grid persists its result (and
+            in-flight progress every ``checkpoint_every`` epochs)
+            under ``checkpoint_dir``, and re-invoking the identical
+            sweep resumes instead of recomputing -- see
+            :mod:`repro.system.checkpoint`.  Requesting
+            checkpointing on a grid the fleet engine cannot run (or
+            with ``engine="pooled"``) raises
+            :class:`~repro.errors.SimulationError` naming the
+            blocking reason: the per-cell pooled path has no durable
+            chunk state.
 
     Returns:
         A :class:`SweepResult` with one cell per grid point, ordered
@@ -473,6 +492,13 @@ def run_lifetime_sweep(
         raise SimulationError(
             f"engine must be 'auto', 'fleet' or 'pooled', "
             f"got {engine!r}")
+    wants_checkpoint = (checkpoint_dir is not None
+                        or checkpoint_every is not None)
+    if wants_checkpoint and engine == "pooled":
+        raise SimulationError(
+            "checkpointing requires the fleet engine; the per-cell "
+            "pooled path has no durable chunk state "
+            "(drop engine='pooled')")
     if engine != "pooled":
         reason = _fleet_incompatibility(
             chip_configs, workload_pairs, seed,
@@ -481,12 +507,17 @@ def run_lifetime_sweep(
             survivors = _run_fleet_grid(
                 cells, chip_configs, policy_pairs, workload_pairs,
                 n_epochs, epoch_s, record_every, max_workers,
-                on_report)
+                on_report, checkpoint_every=checkpoint_every,
+                checkpoint_dir=checkpoint_dir)
             return SweepResult(cells=survivors, n_epochs=n_epochs,
                                epoch_s=epoch_s)
         if engine == "fleet":
             raise SimulationError(
                 f"engine='fleet' cannot run this grid: {reason}")
+        if wants_checkpoint:
+            raise SimulationError(
+                "checkpointing requires the fleet engine, but this "
+                f"grid cannot run on it: {reason}")
     if min_tasks_for_pool is None:
         total_core_epochs = n_epochs * len(policy_pairs) \
             * len(workload_pairs) \

@@ -25,6 +25,19 @@ class TestParser:
         assert args.stress_min == 20.0
         assert args.recovery_min == 10.0
 
+    def test_fleet_defaults(self):
+        args = build_parser().parse_args(["fleet"])
+        assert args.chips == 64
+        assert args.chip == "3x3"
+        assert args.checkpoint_dir is None
+        assert args.checkpoint_every is None
+
+    def test_resume_requires_directory(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["resume"])
+        args = build_parser().parse_args(["resume", "ckpt"])
+        assert args.checkpoint_dir == "ckpt"
+
 
 class TestCommands:
     def test_table1_prints_all_rows(self, capsys):
@@ -76,3 +89,26 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "deep-healing plan:" in out
         assert "availability" in out
+
+    def test_fleet_prints_population_summary(self, capsys):
+        assert main(["fleet", "--chips", "4", "--chip", "2x2",
+                     "--epochs", "4", "--workers", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "Fleet lifetime study (4 chips, 4 epochs)" in out
+        assert "p99 worst-core dVth" in out
+
+    def test_fleet_then_resume_round_trip(self, capsys, tmp_path):
+        directory = str(tmp_path / "ckpt")
+        assert main(["fleet", "--chips", "4", "--chip", "2x2",
+                     "--epochs", "4", "--workers", "0",
+                     "--checkpoint-dir", directory,
+                     "--checkpoint-every", "2"]) == 0
+        first = capsys.readouterr().out
+        assert "resume" in first
+        assert main(["resume", directory, "--workers", "0"]) == 0
+        second = capsys.readouterr().out
+        assert "Resumed fleet study" in second
+        # The resumed run restores every chunk, so the population
+        # summary matches the original line for line.
+        tail = first.split("quantity")[1].split("checkpoints")[0]
+        assert tail.strip() in second

@@ -342,3 +342,136 @@ class TestSlabTransport:
         assert len(result.times_s) == _n_records(N_EPOCHS, 2)
         result = run_study(max_workers=1, record_every=1)
         assert len(result.times_s) == _n_records(N_EPOCHS, 1)
+
+
+# -- the resource-tracker patch (legacy attach) ----------------------------
+
+
+class TestSharedMemoryAttachPatch:
+    """Pre-3.13 ``_attach_shared_memory`` fallback.
+
+    Without ``track=False`` the attach must suppress the tracker
+    registration of *its own* segment only: a blanket no-op would
+    silently drop the registration of any SharedMemory created
+    concurrently on another thread and leak that segment, and an
+    unserialized install/restore lets two threads clobber each
+    other's patch.
+    """
+
+    def _legacy(self, monkeypatch, recorded):
+        from multiprocessing import resource_tracker, shared_memory
+
+        def recording_register(res_name, rtype, *args, **kwargs):
+            recorded.append((res_name, rtype))
+
+        monkeypatch.setattr(resource_tracker, "register",
+                            recording_register)
+
+        class LegacySharedMemory:
+            """3.12-style attach: no track kwarg, always registers."""
+
+            def __init__(self, name=None, **kwargs):
+                if "track" in kwargs:
+                    raise TypeError(
+                        "__init__() got an unexpected keyword "
+                        "argument 'track'")
+                # The stdlib registers with the leading-slash
+                # spelling; a concurrent allocation on another
+                # thread registers too and must NOT be swallowed.
+                resource_tracker.register("/" + name,
+                                          "shared_memory")
+                resource_tracker.register("/psm_other_thread",
+                                          "shared_memory")
+                self.name = name
+
+        monkeypatch.setattr(shared_memory, "SharedMemory",
+                            LegacySharedMemory)
+        return recording_register
+
+    def test_suppresses_only_our_registration(self, monkeypatch):
+        from multiprocessing import resource_tracker
+        recorded = []
+        recorder = self._legacy(monkeypatch, recorded)
+        segment = fleet_module._attach_shared_memory("psm_ours")
+        assert segment.name == "psm_ours"
+        # Our segment's registration was swallowed, the concurrent
+        # one passed through to the real tracker.
+        assert recorded == [("/psm_other_thread", "shared_memory")]
+        # And the process-global hook is restored afterwards.
+        assert resource_tracker.register is recorder
+
+    def test_concurrent_attaches_restore_the_hook(self, monkeypatch):
+        import threading as threading_module
+        from multiprocessing import resource_tracker
+        recorded = []
+        recorder = self._legacy(monkeypatch, recorded)
+        barrier = threading_module.Barrier(8)
+        errors = []
+
+        def attach(index):
+            try:
+                barrier.wait(timeout=10)
+                fleet_module._attach_shared_memory(f"psm_{index}")
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading_module.Thread(target=attach, args=(i,))
+                   for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        # Every attach swallowed its own registration and let the
+        # concurrent one through; no thread clobbered another's
+        # restore, so the original hook survives.
+        assert resource_tracker.register is recorder
+        assert all(name == "/psm_other_thread" for name, _ in recorded)
+        assert len(recorded) == 8
+
+
+# -- failure telemetry -----------------------------------------------------
+
+
+class TestFailureTelemetry:
+    """A run that dies mid-study must still deliver its report."""
+
+    def test_pool_death_before_report_emits_failed_mode(
+            self, monkeypatch):
+        # run_sweep raising before producing any report used to leave
+        # `inner` empty and on_report never fired -- the telemetry
+        # black hole.  The finally block now emits a "fleet+failed"
+        # report with the wall time.
+        def boom(*args, **kwargs):
+            raise RuntimeError("pool exploded before reporting")
+
+        monkeypatch.setattr(fleet_module, "run_sweep", boom)
+        reports = []
+        with pytest.raises(RuntimeError, match="pool exploded"):
+            run_study(max_workers=WORKERS, min_chunks_for_pool=1,
+                      on_report=reports.append)
+        (report,) = reports
+        assert report.mode == "fleet+failed"
+        assert report.n_chunks == 4
+        assert report.wall_time_s >= 0.0
+        assert report.chunks == ()
+
+    def test_serial_chunk_failure_reports_completed_chunks(
+            self, monkeypatch):
+        real = fleet_module._execute_chunk
+
+        def fail_on_second(built, task):
+            if task.chunk.index == 1:
+                raise RuntimeError("chunk died")
+            return real(built, task)
+
+        monkeypatch.setattr(fleet_module, "_execute_chunk",
+                            fail_on_second)
+        reports = []
+        with pytest.raises(RuntimeError, match="chunk died"):
+            run_study(max_workers=1, on_report=reports.append)
+        (report,) = reports
+        assert report.mode == "fleet+failed"
+        # Chunk 0 completed before the failure and is accounted for.
+        assert [chunk.index for chunk in report.chunks] == [0]
+        assert report.cache_counters["fleet.engine"]["chunks"] == 1

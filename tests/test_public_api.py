@@ -51,7 +51,7 @@ MODULES = PACKAGES + [
     "repro.system.chip", "repro.system.workload",
     "repro.system.scheduler", "repro.system.dark_silicon",
     "repro.system.aging", "repro.system.simulator",
-    "repro.system.reliability",
+    "repro.system.reliability", "repro.system.checkpoint",
     "repro.analysis.fitting", "repro.analysis.stats",
     "repro.analysis.reporting", "repro.analysis.sensitivity",
     "repro.solvers.factorized", "repro.solvers.sweep",
